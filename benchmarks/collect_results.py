@@ -1,0 +1,60 @@
+"""Collate benchmarks/results/*.txt into one report.
+
+Usage::
+
+    python benchmarks/collect_results.py [output.md]
+
+Run after ``pytest benchmarks/ --benchmark-only``; produces the measured
+tables EXPERIMENTS.md cites, in experiment order, as a single markdown
+document (defaults to stdout).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _sort_key(name: str):
+    match = re.match(r"e(\d+)([a-z]?)", name)
+    if match is None:
+        return (999, name)
+    return (int(match.group(1)), match.group(2))
+
+
+def collect() -> str:
+    if not os.path.isdir(RESULTS_DIR):
+        return (
+            "No results found — run `pytest benchmarks/ --benchmark-only` "
+            "first.\n"
+        )
+    names = sorted(
+        (n[:-4] for n in os.listdir(RESULTS_DIR) if n.endswith(".txt")),
+        key=_sort_key,
+    )
+    sections: List[str] = ["# Measured benchmark tables\n"]
+    for name in names:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, encoding="utf-8") as fh:
+            body = fh.read().rstrip()
+        sections.append(f"```\n{body}\n```\n")
+    return "\n".join(sections)
+
+
+def main(argv: List[str]) -> int:
+    report = collect()
+    if len(argv) > 1:
+        with open(argv[1], "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote {argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

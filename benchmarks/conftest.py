@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures."""
+
+import sys
+
+import pytest
+
+from repro import Runtime
+
+sys.setrecursionlimit(200_000)
+
+
+@pytest.fixture
+def rt():
+    runtime = Runtime(keep_registry=False)
+    with runtime.active():
+        yield runtime
+
+
+@pytest.fixture
+def rt_registry():
+    """Runtime keeping the node registry (for space measurements)."""
+    runtime = Runtime(keep_registry=True)
+    with runtime.active():
+        yield runtime

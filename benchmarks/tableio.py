@@ -1,0 +1,56 @@
+"""Table emission for the benchmark harness.
+
+Every experiment prints its rows (the series the paper's claims
+describe) and also writes them to ``benchmarks/results/<exp>.txt`` so a
+captured pytest run still leaves the tables on disk.  EXPERIMENTS.md is
+written from these files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_fmt(v) for v in row])
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(headers))
+    ]
+    lines = [title]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def emit(
+    exp_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = format_table(f"[{exp_id}] {title}", headers, list(rows))
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return text

@@ -1,0 +1,72 @@
+"""repro — a reproduction of Hoover's Alphonse (PLDI 1992).
+
+Alphonse is a program-transformation system that turns simple exhaustive
+imperative specifications into efficient incremental implementations via
+dynamic dependency analysis, quiescence propagation, and function caching.
+
+Subpackages
+-----------
+``repro.core``
+    The incremental runtime: dependency graph, access/modify/call
+    semantics, propagation, partitioning, cache policies, decorators.
+``repro.lang``
+    Alphonse-L: a Modula-3-like mini-language with the paper's pragmas,
+    the Section 5 source-to-source transformation, and an interpreter.
+``repro.trees``
+    The paper's tree examples: maintained height (Algorithm 1) and
+    self-balancing AVL trees (Algorithm 11), plus hand-written baselines.
+``repro.ag``
+    Attribute grammars as Alphonse data types (Section 7.1).
+``repro.spreadsheet``
+    The Section 7.2 spreadsheet built on the attribute-grammar substrate.
+``repro.baselines``
+    Exhaustive re-evaluation and traditional (combinator-only)
+    memoization, for the benchmark comparisons.
+"""
+
+from .core import (
+    DEMAND,
+    EAGER,
+    FIFO,
+    LRU,
+    AlphonseError,
+    Cell,
+    CycleError,
+    Runtime,
+    RuntimeStats,
+    TrackedArray,
+    TrackedDict,
+    TrackedList,
+    TrackedObject,
+    Unbounded,
+    cached,
+    get_runtime,
+    maintained,
+    reset_default_runtime,
+    unchecked,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphonseError",
+    "Cell",
+    "CycleError",
+    "DEMAND",
+    "EAGER",
+    "FIFO",
+    "LRU",
+    "Runtime",
+    "RuntimeStats",
+    "TrackedArray",
+    "TrackedDict",
+    "TrackedList",
+    "TrackedObject",
+    "Unbounded",
+    "cached",
+    "get_runtime",
+    "maintained",
+    "reset_default_runtime",
+    "unchecked",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Attribute grammars as Alphonse data types (paper Section 7.1).
+
+Two layers:
+
+* :mod:`repro.ag.grammar` + :mod:`repro.ag.translate` — a generic
+  attribute-grammar framework realizing the paper's claim that "all
+  attribute grammars can be represented as Alphonse data types": declare
+  nonterminals, productions, and attribute equations; the translator
+  emits TrackedObject subclasses with maintained methods.
+* :mod:`repro.ag.expr` — the paper's worked example (Algorithms 6–9):
+  let/plus/id/int expression trees with a value attribute (synthesized)
+  and an environment attribute (inherited), written by hand exactly as
+  the paper's translation produces.
+"""
+
+from .grammar import AttributeGrammar, Production
+from .translate import compile_grammar
+from .expr import (
+    Env,
+    Exp,
+    IdExp,
+    IntExp,
+    LetExp,
+    PlusExp,
+    RootExp,
+    UndefinedIdentifier,
+    exp_to_text,
+)
+
+__all__ = [
+    "AttributeGrammar",
+    "Env",
+    "Exp",
+    "IdExp",
+    "IntExp",
+    "LetExp",
+    "PlusExp",
+    "Production",
+    "RootExp",
+    "UndefinedIdentifier",
+    "compile_grammar",
+    "exp_to_text",
+]

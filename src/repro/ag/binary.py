@@ -1,0 +1,171 @@
+"""Knuth's binary-numeral attribute grammar, built with the generic
+framework.
+
+The paper's §7.1 cites Knuth [Knu68], whose motivating example is the
+grammar of binary numerals with a *synthesized* value and an *inherited*
+scale (position weight)::
+
+    N ::= L          N.value = L.value            L.scale = 0
+    N ::= L . L      N.value = L1.value + L2.value
+                     L1.scale = 0
+                     L2.scale = -len(L2)
+    L ::= B          L.value = B.value,  L.len = 1,  B.scale = L.scale
+    L ::= L B        L0.value = L1.value + B.value, L0.len = L1.len + 1
+                     L1.scale = L0.scale + 1,  B.scale = L0.scale
+    B ::= 0          B.value = 0
+    B ::= 1          B.value = 2^B.scale
+
+Values are :class:`fractions.Fraction` so fractional parts are exact.
+Because the grammar is declared through
+:func:`repro.ag.translate.compile_grammar`, every attribute is a
+maintained method: flipping one bit re-derives only that bit's value and
+the sums on its root path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from .grammar import AttributeGrammar
+from .translate import compile_grammar, link_parents
+
+
+def build_binary_grammar() -> AttributeGrammar:
+    """Knuth's grammar, declared for the generic compiler."""
+    ag = AttributeGrammar("knuth-binary")
+    ag.add_nonterminal("NUM", synthesized=("value",))
+    ag.add_nonterminal(
+        "LIST", synthesized=("value", "length"), inherited=("scale",)
+    )
+    ag.add_nonterminal("BIT", synthesized=("value",), inherited=("scale",))
+
+    ag.production(
+        name="Whole",  # N ::= L
+        lhs="NUM",
+        children={"digits": "LIST"},
+        synthesized={"value": lambda o: o.digits.value()},
+        inherited={"scale": lambda o, c: 0},
+    )
+    ag.production(
+        name="Fractional",  # N ::= L . L
+        lhs="NUM",
+        children={"whole": "LIST", "frac": "LIST"},
+        synthesized={"value": lambda o: o.whole.value() + o.frac.value()},
+        inherited={
+            "scale": lambda o, c: (
+                0 if c is o.whole else -o.frac.length()
+            )
+        },
+    )
+    ag.production(
+        name="Single",  # L ::= B
+        lhs="LIST",
+        children={"bit": "BIT"},
+        synthesized={
+            "value": lambda o: o.bit.value(),
+            "length": lambda o: 1,
+        },
+        inherited={"scale": lambda o, c: o.parent.scale(o)},
+    )
+    ag.production(
+        name="Pair",  # L ::= L B
+        lhs="LIST",
+        children={"rest": "LIST", "bit": "BIT"},
+        synthesized={
+            "value": lambda o: o.rest.value() + o.bit.value(),
+            "length": lambda o: o.rest.length() + 1,
+        },
+        inherited={
+            "scale": lambda o, c: (
+                o.parent.scale(o) + 1
+                if c is o.rest
+                else o.parent.scale(o)
+            )
+        },
+    )
+    ag.production(
+        name="Zero",  # B ::= 0
+        lhs="BIT",
+        synthesized={"value": lambda o: Fraction(0)},
+    )
+    ag.production(
+        name="One",  # B ::= 1
+        lhs="BIT",
+        synthesized={
+            "value": lambda o: Fraction(2) ** o.parent.scale(o)
+        },
+    )
+    return ag
+
+
+class BinaryNumeral:
+    """A parsed binary numeral with maintained value — flip bits and the
+    value stays current incrementally."""
+
+    def __init__(self, text: str) -> None:
+        self.classes: Dict[str, type] = compile_grammar(build_binary_grammar())
+        whole_text, dot, frac_text = text.partition(".")
+        if not whole_text or (dot and not frac_text):
+            raise ValueError(f"malformed binary numeral {text!r}")
+        self.bits: List[object] = []
+        whole = self._build_list(whole_text)
+        if dot:
+            frac = self._build_list(frac_text)
+            self.root = self.classes["Fractional"](whole=whole, frac=frac)
+        else:
+            self.root = self.classes["Whole"](digits=whole)
+        link_parents(self.root)
+
+    def _build_bit(self, ch: str):
+        if ch == "0":
+            bit = self.classes["Zero"]()
+        elif ch == "1":
+            bit = self.classes["One"]()
+        else:
+            raise ValueError(f"not a binary digit: {ch!r}")
+        self.bits.append(bit)
+        return bit
+
+    def _build_list(self, text: str):
+        node = self.classes["Single"](bit=self._build_bit(text[0]))
+        for ch in text[1:]:
+            node = self.classes["Pair"](rest=node, bit=self._build_bit(ch))
+        return node
+
+    def value(self) -> Fraction:
+        """The numeral's value (maintained)."""
+        return self.root.value()
+
+    def flip(self, index: int) -> None:
+        """Flip bit ``index`` (0 = leftmost as written, dot skipped).
+
+        Implemented as a production replacement (Zero <-> One), the AG
+        equivalent of an editor keystroke.
+        """
+        old = self.bits[index]
+        replacement_cls = (
+            self.classes["One"]
+            if type(old).__name__ == "Zero"
+            else self.classes["Zero"]
+        )
+        new_bit = replacement_cls()
+        parent = old.parent
+        parent.bit = new_bit
+        new_bit.parent = parent
+        self.bits[index] = new_bit
+
+    def __str__(self) -> str:
+        rendered = []
+        for bit in self.bits:
+            rendered.append("1" if type(bit).__name__ == "One" else "0")
+        return "".join(rendered)
+
+
+def binary_value(text: str) -> Fraction:
+    """One-shot evaluation (reference semantics for tests)."""
+    whole_text, dot, frac_text = text.partition(".")
+    total = Fraction(int(whole_text, 2)) if whole_text else Fraction(0)
+    if dot:
+        total += Fraction(int(frac_text, 2), 2 ** len(frac_text))
+    return total

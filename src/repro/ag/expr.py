@@ -1,0 +1,233 @@
+"""The paper's expression-tree attribute grammar (Algorithms 6–9).
+
+Grammar (paper Algorithm 6)::
+
+    ROOT ::= EXP            ROOT.value = EXP.value
+                            EXP.env    = EmptyEnv()
+    EXP0 ::= EXP1 + EXP2    EXP0.value = EXP1.value + EXP2.value
+                            EXP1.env = EXP0.env ; EXP2.env = EXP0.env
+    EXP0 ::= let ID = EXP1 in EXP2 ni
+                            EXP0.value = EXP2.value
+                            EXP1.env = EXP0.env
+                            EXP2.env = UpdateEnv(EXP0.env, ID, EXP1.value)
+    EXP  ::= ID             EXP.value = LookupEnv(EXP.env, ID)
+    EXP  ::= INT            EXP.value = INT
+
+The classes below are the paper's hand translation (Algorithms 7–9):
+each production is a TrackedObject subclass; ``value`` is a synthesized
+attribute (zero-argument maintained method); ``env`` is inherited (a
+one-argument maintained method on the parent, called as
+``o.parent.env(o)`` with case analysis on the asking child).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..core import TrackedObject, maintained
+from ..core.errors import AlphonseError
+
+
+class UndefinedIdentifier(AlphonseError):
+    """LookupEnv on an identifier with no binding."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"undefined identifier {name!r}")
+        self.name = name
+
+
+class Env:
+    """An immutable environment (the paper's keyed set of
+    (identifier, value) pairs) with EmptyEnv/UpdateEnv/LookupEnv.
+
+    Equality is semantic (same effective bindings), which maximizes
+    quiescence: re-deriving an environment that shadows to the same
+    mapping compares equal and stops propagation.
+    """
+
+    __slots__ = ("_bindings", "_hash")
+
+    EMPTY: "Env"  # assigned below
+
+    def __init__(self, bindings: Tuple[Tuple[str, Any], ...] = ()) -> None:
+        self._bindings = tuple(sorted(bindings))
+        self._hash: Optional[int] = None
+
+    def update(self, name: str, value: Any) -> "Env":
+        """UpdateEnv: a new environment with ``name`` (re)bound."""
+        items = dict(self._bindings)
+        items[name] = value
+        return Env(tuple(items.items()))
+
+    def lookup(self, name: str) -> Any:
+        """LookupEnv: the value bound to ``name``; raises if unbound."""
+        for key, value in self._bindings:
+            if key == name:
+                return value
+        raise UndefinedIdentifier(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Env) and self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._bindings)
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._bindings)
+        return f"Env({inner})"
+
+
+Env.EMPTY = Env()
+
+
+class Exp(TrackedObject):
+    """Base production type (the paper's ``Exp = Prod OBJECT ...``)."""
+
+    _fields_ = ("parent",)
+
+    @maintained
+    def value(self) -> Any:
+        raise NotImplementedError(f"{type(self).__name__} lacks value()")
+
+    @maintained
+    def env(self, c: "Exp") -> Env:
+        raise NotImplementedError(f"{type(self).__name__} lacks env()")
+
+
+class RootExp(Exp):
+    """ROOT ::= EXP — supplies the empty environment (``NullEnv``)."""
+
+    _fields_ = ("exp",)
+
+    @maintained
+    def value(self) -> Any:
+        return self.exp.value()
+
+    @maintained
+    def env(self, c: Exp) -> Env:
+        return Env.EMPTY
+
+
+class PlusExp(Exp):
+    """EXP0 ::= EXP1 + EXP2 (``SumVal`` / ``PassEnv``)."""
+
+    _fields_ = ("exp1", "exp2")
+
+    @maintained
+    def value(self) -> Any:
+        return self.exp1.value() + self.exp2.value()
+
+    @maintained
+    def env(self, c: Exp) -> Env:
+        return self.parent.env(self)
+
+
+class LetExp(Exp):
+    """EXP0 ::= let ID = EXP1 in EXP2 ni (``Exp2Val`` / ``LetEnv``).
+
+    ``LetEnv`` is the paper's worked example of inherited-attribute case
+    analysis: the bound expression sees the outer environment; the body
+    sees it extended with the binding.
+    """
+
+    _fields_ = ("exp1", "exp2", "id")
+
+    @maintained
+    def value(self) -> Any:
+        return self.exp2.value()
+
+    @maintained
+    def env(self, c: Exp) -> Env:
+        if c is self.exp1:
+            return self.parent.env(self)
+        return self.parent.env(self).update(self.id, self.exp1.value())
+
+
+class IdExp(Exp):
+    """EXP ::= ID (``IdVal``)."""
+
+    _fields_ = ("id",)
+
+    @maintained
+    def value(self) -> Any:
+        return self.parent.env(self).lookup(self.id)
+
+
+class IntExp(Exp):
+    """EXP ::= INT (``IntVal``)."""
+
+    _fields_ = ("int",)
+
+    @maintained
+    def value(self) -> Any:
+        return self.int
+
+
+# ----------------------------------------------------------------------
+# Construction helpers: build trees with parent pointers wired, in the
+# style "let x = e1 in e2".
+# ----------------------------------------------------------------------
+
+
+def num(value: int) -> IntExp:
+    return IntExp(int=value)
+
+
+def ident(name: str) -> IdExp:
+    return IdExp(id=name)
+
+
+def plus(left: Exp, right: Exp) -> PlusExp:
+    node = PlusExp(exp1=left, exp2=right)
+    left.parent = node
+    right.parent = node
+    return node
+
+
+def let(name: str, bound: Exp, body: Exp) -> LetExp:
+    node = LetExp(id=name, exp1=bound, exp2=body)
+    bound.parent = node
+    body.parent = node
+    return node
+
+
+def root(exp: Exp) -> RootExp:
+    node = RootExp(exp=exp)
+    exp.parent = node
+    return node
+
+
+def replace_child(parent: Exp, field: str, new_child: Exp) -> Exp:
+    """Splice ``new_child`` into ``parent.field``, rewiring parents.
+
+    This is the mutator-side edit operation the benchmarks use: the
+    runtime notices the pointer change and invalidates exactly the
+    attributes that depended on the old subtree's values.
+    """
+    setattr(parent, field, new_child)
+    new_child.parent = parent
+    return new_child
+
+
+def exp_to_text(node: Exp) -> str:
+    """Render an expression tree as source text (untracked reads)."""
+    peek = lambda o, f: o.field_cell(f).peek()  # noqa: E731 - local alias
+    if isinstance(node, RootExp):
+        return exp_to_text(peek(node, "exp"))
+    if isinstance(node, PlusExp):
+        return f"({exp_to_text(peek(node, 'exp1'))} + {exp_to_text(peek(node, 'exp2'))})"
+    if isinstance(node, LetExp):
+        return (
+            f"let {peek(node, 'id')} = {exp_to_text(peek(node, 'exp1'))} "
+            f"in {exp_to_text(peek(node, 'exp2'))} ni"
+        )
+    if isinstance(node, IdExp):
+        return str(peek(node, "id"))
+    if isinstance(node, IntExp):
+        return str(peek(node, "int"))
+    raise TypeError(f"not an expression node: {node!r}")

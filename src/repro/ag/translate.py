@@ -1,0 +1,146 @@
+"""AG -> Alphonse translation (paper Section 7.1).
+
+"We represent each production P in the grammar with an object type T
+... [containing] a pointer to the parent production, pointers to objects
+of the types representing each right hand side nonterminal, fields
+representing the values of right hand side terminal symbols, and methods
+implementing all attribute equations in production P."
+
+The translation emitted here matches the paper's Algorithms 7–8:
+
+* one base TrackedObject subclass per nonterminal, declaring a ``parent``
+  field and maintained method stubs for each attribute;
+* one subclass per production, declaring child/terminal fields and
+  overriding the attribute methods with the production's equations;
+* synthesized attributes become zero-argument maintained methods;
+* inherited attributes become one-argument maintained methods on the
+  *parent* production ("The object representing the right hand side
+  production is passed as the argument and a case analysis is done to
+  determine the appropriate context").
+
+Tree construction: instantiate production classes with their fields;
+:func:`link_parents` (or the generated classes' keyword constructor)
+wires the parent pointers the equations navigate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core import TrackedObject, maintained
+from ..core.node import NodeKind
+from ..core.strategy import DEMAND
+from .grammar import AttributeGrammar, GrammarError, Production
+
+
+def compile_grammar(
+    grammar: AttributeGrammar, strategy: NodeKind = DEMAND
+) -> Dict[str, type]:
+    """Translate a validated grammar into Alphonse object types.
+
+    Returns a dict mapping each nonterminal name to its (abstract) base
+    class and each production name to its concrete class.
+    """
+    grammar.validate()
+    classes: Dict[str, type] = {}
+    for nt in grammar.nonterminals.values():
+        classes[nt.name] = _make_nonterminal_base(nt.name, nt, strategy)
+    for prod in grammar.productions.values():
+        base = classes[prod.lhs]
+        classes[prod.name] = _make_production_class(
+            prod, base, grammar, strategy
+        )
+    return classes
+
+
+def _make_nonterminal_base(name: str, nt: Any, strategy: NodeKind) -> type:
+    """Base class: parent field + abstract maintained attribute methods."""
+    namespace: Dict[str, Any] = {
+        "_fields_": ("parent",),
+        "__doc__": (
+            f"Base type for nonterminal {name} "
+            f"(synthesized: {list(nt.synthesized)}, "
+            f"inherited: {list(nt.inherited)})."
+        ),
+        "_nonterminal_": name,
+    }
+    for attr in nt.synthesized:
+        namespace[attr] = maintained(strategy=strategy)(
+            _abstract_synthesized(name, attr)
+        )
+    for attr in nt.inherited:
+        namespace[attr] = maintained(strategy=strategy)(
+            _abstract_inherited(name, attr)
+        )
+    return type(name, (TrackedObject,), namespace)
+
+
+def _abstract_synthesized(nt_name: str, attr: str) -> Callable[[Any], Any]:
+    def missing(self: Any) -> Any:
+        raise GrammarError(
+            f"production {type(self).__name__} does not implement "
+            f"synthesized attribute {nt_name}.{attr}"
+        )
+
+    missing.__name__ = attr
+    return missing
+
+
+def _abstract_inherited(nt_name: str, attr: str) -> Callable[[Any, Any], Any]:
+    def missing(self: Any, child: Any) -> Any:
+        raise GrammarError(
+            f"production {type(self).__name__} does not implement "
+            f"inherited attribute {attr} for its children"
+        )
+
+    missing.__name__ = attr
+    return missing
+
+
+def _make_production_class(
+    prod: Production,
+    base: type,
+    grammar: AttributeGrammar,
+    strategy: NodeKind,
+) -> type:
+    fields = tuple(prod.children) + tuple(prod.terminals)
+    namespace: Dict[str, Any] = {
+        "_fields_": fields,
+        "__doc__": f"Production {prod.name}: {prod.lhs} ::= {fields}.",
+        "_production_": prod.name,
+        "_children_": tuple(prod.children),
+    }
+    for attr, equation in prod.synthesized.items():
+        namespace[attr] = maintained(strategy=strategy)(
+            _named(equation, attr)
+        )
+    for attr, equation in prod.inherited.items():
+        namespace[attr] = maintained(strategy=strategy)(
+            _named(equation, attr)
+        )
+    cls = type(prod.name, (base,), namespace)
+    return cls
+
+
+def _named(fn: Callable[..., Any], name: str) -> Callable[..., Any]:
+    # Equations are often lambdas; give them the attribute's name so
+    # dependency-graph labels read "PlusExp.value(...)".
+    try:
+        fn.__name__ = name
+    except (AttributeError, TypeError):  # pragma: no cover - builtins
+        pass
+    return fn
+
+
+def link_parents(node: Any, parent: Optional[Any] = None) -> Any:
+    """Wire ``parent`` pointers through a production-instance tree.
+
+    Children are discovered via each class's ``_children_`` field list.
+    Returns ``node`` for chaining.
+    """
+    node.parent = parent
+    for child_field in getattr(type(node), "_children_", ()):
+        child = getattr(node, child_field)
+        if child is not None:
+            link_parents(child, node)
+    return node

@@ -1,0 +1,25 @@
+"""Comparator implementations for the benchmark harness.
+
+* :mod:`repro.baselines.exhaustive` — run the exhaustive specification
+  from scratch on every query (what a traditional compiler does with an
+  Alphonse program; the paper's motivating strawman).
+* :mod:`repro.baselines.memo` — traditional function caching, which
+  "requires that the functions be deterministic as well as be
+  combinators" (Section 2) and therefore goes stale on global-state
+  readers; Alphonse's §4.2 integration is measured against it in E11.
+"""
+
+from .exhaustive import (
+    ExhaustiveSpreadsheet,
+    OperationCounter,
+    exhaustive_exp_value,
+)
+from .memo import CombinatorMemo, memoize
+
+__all__ = [
+    "CombinatorMemo",
+    "ExhaustiveSpreadsheet",
+    "OperationCounter",
+    "exhaustive_exp_value",
+    "memoize",
+]

@@ -1,0 +1,115 @@
+"""Exhaustive (from-scratch) baselines.
+
+"We could execute the exhaustive algorithm after each change to the
+data, but this would be unnecessarily inefficient." — this module is
+that inefficient execution, instrumented with operation counters so the
+benchmarks can compare work done rather than only wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ag.expr import Env, Exp, IdExp, IntExp, LetExp, PlusExp, RootExp
+
+
+class OperationCounter:
+    """A simple work meter shared by the exhaustive baselines."""
+
+    def __init__(self) -> None:
+        self.operations = 0
+
+    def tick(self, n: int = 1) -> None:
+        self.operations += n
+
+    def reset(self) -> int:
+        count, self.operations = self.operations, 0
+        return count
+
+
+def exhaustive_exp_value(
+    node: Exp, env: Env = Env.EMPTY, counter: Optional[OperationCounter] = None
+) -> Any:
+    """Evaluate an AG expression tree by plain recursion, no caching.
+
+    Uses untracked reads so the comparison against the maintained
+    evaluation is not polluted by dependency bookkeeping.
+    """
+    if counter is not None:
+        counter.tick()
+    peek = lambda f: node.field_cell(f).peek()  # noqa: E731 - local alias
+    if isinstance(node, RootExp):
+        return exhaustive_exp_value(peek("exp"), Env.EMPTY, counter)
+    if isinstance(node, PlusExp):
+        return exhaustive_exp_value(
+            peek("exp1"), env, counter
+        ) + exhaustive_exp_value(peek("exp2"), env, counter)
+    if isinstance(node, LetExp):
+        bound = exhaustive_exp_value(peek("exp1"), env, counter)
+        return exhaustive_exp_value(
+            peek("exp2"), env.update(peek("id"), bound), counter
+        )
+    if isinstance(node, IdExp):
+        return env.lookup(peek("id"))
+    if isinstance(node, IntExp):
+        return peek("int")
+    raise TypeError(f"not an expression node: {node!r}")
+
+
+Formula = Callable[["ExhaustiveSpreadsheet"], Any]
+
+
+class ExhaustiveSpreadsheet:
+    """A spreadsheet that recomputes every referenced cell from scratch.
+
+    Formulas are closures receiving the sheet; :meth:`value` recursion
+    has no memoization, so a chain of n dependent cells costs O(n) per
+    query and O(n^2) to read the whole chain — the quadratic blowup the
+    incremental sheet avoids.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        self.rows = rows
+        self.cols = cols
+        self._formulas: Dict[Tuple[int, int], Formula] = {}
+        self._constants: Dict[Tuple[int, int], Any] = {}
+        self.counter = OperationCounter()
+
+    def set_constant(self, row: int, col: int, value: Any) -> None:
+        self._formulas.pop((row, col), None)
+        self._constants[(row, col)] = value
+
+    def set_formula(self, row: int, col: int, formula: Formula) -> None:
+        self._constants.pop((row, col), None)
+        self._formulas[(row, col)] = formula
+
+    def value(self, row: int, col: int, _depth: int = 0) -> Any:
+        if _depth > self.rows * self.cols + 1:
+            raise RecursionError(f"circular reference at R{row}C{col}")
+        self.counter.tick()
+        key = (row, col)
+        if key in self._constants:
+            return self._constants[key]
+        formula = self._formulas.get(key)
+        if formula is None:
+            return 0
+        return formula(_DepthSheet(self, _depth + 1))
+
+    def values(self) -> List[List[Any]]:
+        return [
+            [self.value(r, c) for c in range(self.cols)]
+            for r in range(self.rows)
+        ]
+
+
+class _DepthSheet:
+    """Proxy threading recursion depth through formula closures."""
+
+    __slots__ = ("_sheet", "_depth")
+
+    def __init__(self, sheet: ExhaustiveSpreadsheet, depth: int) -> None:
+        self._sheet = sheet
+        self._depth = depth
+
+    def value(self, row: int, col: int) -> Any:
+        return self._sheet.value(row, col, self._depth)

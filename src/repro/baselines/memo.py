@@ -1,0 +1,57 @@
+"""Traditional (combinator-only) function caching — paper Section 2.
+
+"Function caching is a technique that captures the computation of
+individual function calls for later reuse. ... The technique requires
+that the functions be deterministic as well as be combinators (that is,
+depend only upon their arguments)."
+
+:func:`memoize` is that classical cache.  Applied to a function that
+reads mutable global state it silently returns stale answers — the
+failure mode Alphonse's §4.2 caching-with-propagation removes.  Bench
+E11 demonstrates both the staleness and its cost.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Tuple, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class CombinatorMemo:
+    """Explicit memo table with hit/miss counters (inspectable)."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+        self.table: Dict[Tuple[Any, ...], Any] = {}
+        self.hits = 0
+        self.misses = 0
+        functools.update_wrapper(self, fn, updated=())
+
+    def __call__(self, *args: Any) -> Any:
+        try:
+            if args in self.table:
+                self.hits += 1
+                return self.table[args]
+        except TypeError:
+            raise TypeError(
+                f"memoized function {self.fn.__name__} requires hashable "
+                f"arguments; got {args!r}"
+            ) from None
+        self.misses += 1
+        result = self.fn(*args)
+        self.table[args] = result
+        return result
+
+    def invalidate_all(self) -> int:
+        """Flush the whole table (the only correct reaction a classical
+        memo has to *any* global-state change).  Returns entries dropped."""
+        count = len(self.table)
+        self.table.clear()
+        return count
+
+
+def memoize(fn: F) -> F:
+    """Classical memoization decorator (combinators only)."""
+    return CombinatorMemo(fn)  # type: ignore[return-value]

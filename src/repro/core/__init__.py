@@ -1,0 +1,82 @@
+"""Core incremental-computation runtime — the paper's primary contribution.
+
+Public surface:
+
+* :class:`Runtime` — one independent Alphonse universe (dependency graph,
+  call stack, inconsistent sets, propagation).
+* :func:`maintained`, :func:`cached`, :func:`unchecked` — the pragma
+  equivalents.
+* :class:`Cell`, :class:`TrackedObject`, :class:`TrackedArray`,
+  :class:`TrackedDict` — tracked storage.
+* :data:`DEMAND`, :data:`EAGER` — evaluation strategies.
+* :class:`LRU`, :class:`FIFO`, :class:`Unbounded` — cache policies.
+"""
+
+from .cache import FIFO, LRU, ArgumentTable, CachePolicy, Unbounded
+from .cells import (
+    MISSING,
+    Cell,
+    TrackedArray,
+    TrackedDict,
+    TrackedList,
+    TrackedObject,
+    tracked_fields,
+)
+from .decorators import MaintainedMethod, cached, maintained, unchecked
+from .errors import (
+    AlphonseError,
+    CycleError,
+    EvaluationLimitError,
+    NotTrackedError,
+    RuntimeStateError,
+    TransformError,
+    UnhashableArgumentsError,
+)
+from .node import NO_VALUE, DepNode, NodeKind
+from .runtime import (
+    IncrementalProcedure,
+    Location,
+    Runtime,
+    get_runtime,
+    reset_default_runtime,
+)
+from .stats import RuntimeStats
+from .strategy import DEMAND, EAGER, parse_strategy
+
+__all__ = [
+    "AlphonseError",
+    "ArgumentTable",
+    "CachePolicy",
+    "Cell",
+    "CycleError",
+    "DEMAND",
+    "DepNode",
+    "EAGER",
+    "EvaluationLimitError",
+    "FIFO",
+    "IncrementalProcedure",
+    "LRU",
+    "Location",
+    "MISSING",
+    "MaintainedMethod",
+    "NO_VALUE",
+    "NodeKind",
+    "NotTrackedError",
+    "Runtime",
+    "RuntimeStateError",
+    "RuntimeStats",
+    "TrackedArray",
+    "TrackedDict",
+    "TrackedList",
+    "TrackedObject",
+    "TransformError",
+    "Unbounded",
+    "UnhashableArgumentsError",
+    "cached",
+    "get_runtime",
+    "maintained",
+    "parse_strategy",
+    "reset_default_runtime",
+    "tracked_fields",
+    "unchecked",
+]

@@ -1,0 +1,162 @@
+"""The Python-embedded Alphonse surface (paper Section 3.3).
+
+The paper marks procedures with pragmas; the Python embedding marks them
+with decorators:
+
+* ``@maintained`` on a method of a :class:`~repro.core.cells.TrackedObject`
+  subclass corresponds to ``(*MAINTAINED*)`` — "these procedures are not
+  to be executed if they produce results identical to their previous
+  executions".
+* ``@cached`` on a top-level function corresponds to ``(*CACHED*)`` — "a
+  procedure whose return value is to be remembered and returned for
+  future calls to the procedure with identical arguments"; unlike
+  classical memoization it remains correct when the function reads
+  mutable tracked state (Section 4.2).
+* ``unchecked()`` corresponds to ``(*UNCHECKED*)`` (Section 6.4) — a
+  region whose reads are asserted irrelevant to maintained results.
+
+Both decorators accept the pragma arguments from Section 3.3: an
+evaluation ``strategy`` (:data:`~repro.core.strategy.DEMAND` or
+:data:`~repro.core.strategy.EAGER`) and, for ``cached``, a cache
+``policy`` factory (:class:`~repro.core.cache.LRU` etc.).
+
+Method overriding works exactly like the paper's OVERRIDES: a subclass
+re-declares the method with its own ``@maintained`` body, and Python's
+normal attribute lookup dispatches to the most derived declaration.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from .cache import CachePolicy
+from .node import NodeKind
+from .runtime import IncrementalProcedure, Runtime, get_runtime
+from .strategy import DEMAND
+
+
+class MaintainedMethod:
+    """Descriptor wrapping a maintained method's body.
+
+    ``obj.method(*args)`` routes through ``Runtime.call`` with the
+    argument vector ``(obj, *args)`` — each (object, args) pair is one
+    incremental procedure instance with its own dependency-graph node,
+    matching the paper's per-object method instances (``t.height()``).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        strategy: NodeKind = DEMAND,
+        policy_factory: Optional[Callable[[], CachePolicy]] = None,
+        static_deps: bool = False,
+    ) -> None:
+        self.proc = IncrementalProcedure(
+            fn,
+            strategy=strategy,
+            policy_factory=policy_factory,
+            static_deps=static_deps,
+        )
+        functools.update_wrapper(self, fn)
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.proc.name = f"{owner.__name__}.{name}"
+
+    def __get__(self, obj: Any, objtype: Optional[type] = None) -> Any:
+        if obj is None:
+            return self
+        return _BoundMaintained(self.proc, obj)
+
+    def __call__(self, obj: Any, *args: Any) -> Any:
+        """Unbound invocation: ``Tree.height(t)``."""
+        return get_runtime().call(self.proc, (obj, *args))
+
+
+class _BoundMaintained:
+    """A maintained method bound to its receiving object."""
+
+    __slots__ = ("proc", "obj")
+
+    def __init__(self, proc: IncrementalProcedure, obj: Any) -> None:
+        self.proc = proc
+        self.obj = obj
+
+    def __call__(self, *args: Any) -> Any:
+        return get_runtime().call(self.proc, (self.obj, *args))
+
+    def node_for(self, *args: Any) -> Any:
+        """This instance's dependency-graph node, if it exists (debugging)."""
+        rt = get_runtime()
+        table = rt._tables.get(self.proc.proc_id)
+        return table.find((self.obj, *args)) if table is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<maintained {self.proc.name} of {self.obj!r}>"
+
+
+def maintained(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    strategy: NodeKind = DEMAND,
+    policy: Optional[Callable[[], CachePolicy]] = None,
+    static_deps: bool = False,
+) -> Any:
+    """Declare a maintained method — the ``(*MAINTAINED*)`` pragma.
+
+    Usable bare (``@maintained``) or with pragma arguments
+    (``@maintained(strategy=EAGER)``).  ``static_deps=True`` enables §6.2
+    static graph construction: the programmer asserts the method reads
+    exactly the same locations on every execution of a given instance,
+    so its dependency subgraph is built once and kept.
+    """
+    if fn is not None:
+        return MaintainedMethod(fn)
+
+    def wrap(inner: Callable[..., Any]) -> MaintainedMethod:
+        return MaintainedMethod(
+            inner,
+            strategy=strategy,
+            policy_factory=policy,
+            static_deps=static_deps,
+        )
+
+    return wrap
+
+
+def cached(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    strategy: NodeKind = DEMAND,
+    policy: Optional[Callable[[], CachePolicy]] = None,
+    static_deps: bool = False,
+) -> Any:
+    """Declare a cached top-level procedure — the ``(*CACHED*)`` pragma.
+
+    ``policy`` is a zero-argument factory producing a
+    :class:`~repro.core.cache.CachePolicy`, e.g. ``lambda: LRU(64)`` —
+    the paper's "cache size and replacement algorithm" pragma arguments.
+    ``static_deps`` enables §6.2 static graph construction (see
+    :func:`maintained`).
+    """
+    if fn is not None:
+        proc = IncrementalProcedure(fn)
+        functools.update_wrapper(proc, fn, updated=())
+        return proc
+
+    def wrap(inner: Callable[..., Any]) -> IncrementalProcedure:
+        proc = IncrementalProcedure(
+            inner,
+            strategy=strategy,
+            policy_factory=policy,
+            static_deps=static_deps,
+        )
+        functools.update_wrapper(proc, inner, updated=())
+        return proc
+
+    return wrap
+
+
+def unchecked(runtime: Optional[Runtime] = None):
+    """Open an ``(*UNCHECKED*)`` region on the (current) runtime."""
+    return (runtime or get_runtime()).unchecked()

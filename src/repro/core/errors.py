@@ -1,0 +1,81 @@
+"""Exception hierarchy for the Alphonse incremental runtime.
+
+The paper (Section 3.5) places three restrictions on Alphonse procedures:
+DET (determinism), TOP (top-level data only), and OBS (eager side effects
+must be unobservable).  The paper does not enforce these automatically;
+neither do we, but the runtime raises the errors below when a violation is
+detectable at run time (for example, a dependency cycle caused by a
+non-deterministic procedure, or an unhashable argument vector that cannot
+index an argument table).
+"""
+
+from __future__ import annotations
+
+
+class AlphonseError(Exception):
+    """Base class for all errors raised by the incremental runtime."""
+
+
+class CycleError(AlphonseError):
+    """A maintained/cached procedure transitively called itself.
+
+    The paper's Algorithm 5 sets ``consistent := TRUE`` before running the
+    procedure body, so a re-entrant call silently returns the stale cached
+    value.  In strict mode (``Runtime(strict_cycles=True)``) we raise this
+    instead, because a genuine cycle nearly always indicates a DET or
+    specification bug.
+    """
+
+    def __init__(self, node_description: str) -> None:
+        super().__init__(
+            f"cycle detected: {node_description} was called while it was "
+            f"already executing; Alphonse procedures must not be "
+            f"(transitively) self-recursive on the same argument vector"
+        )
+
+
+class UnhashableArgumentsError(AlphonseError):
+    """Argument vectors index argument tables, so they must be hashable.
+
+    Section 4.2: "calls to the given method or procedure are stored in a
+    table known as the argument table ... indexed by this vector."
+    """
+
+    def __init__(self, proc_name: str, args: tuple) -> None:
+        super().__init__(
+            f"arguments to incremental procedure {proc_name!r} must be "
+            f"hashable to index its argument table; got {args!r}"
+        )
+
+
+class NotTrackedError(AlphonseError):
+    """An operation expected Alphonse-tracked storage but got plain data."""
+
+
+class RuntimeStateError(AlphonseError):
+    """The runtime was used in an unsupported way.
+
+    Examples: nesting ``unchecked()`` regions incorrectly, or mutating
+    tracked storage from inside an eager procedure in a way that violates
+    the OBS restriction detectably.
+    """
+
+
+class TransformError(AlphonseError):
+    """Raised by the Alphonse-L transformer for untransformable programs."""
+
+
+class EvaluationLimitError(AlphonseError):
+    """Propagation exceeded the configured step limit.
+
+    A safety valve: quiescence propagation over a well-formed Alphonse
+    program always terminates, but a DET violation (a procedure returning
+    different values on identical inputs) can make propagation oscillate.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"quiescence propagation exceeded {limit} steps; this usually "
+            f"means a maintained procedure violates the DET restriction "
+            f"(returns different values for identical inputs)"
+        )

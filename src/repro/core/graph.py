@@ -1,0 +1,115 @@
+"""The Alphonse dependency graph (paper Section 4.1, 4.3).
+
+Ties together nodes, O(1)-removal edges, the incremental topological
+order, and the union-find partitioning.  The runtime calls
+:meth:`DependencyGraph.create_edge` at every tracked read and incremental
+call (Algorithms 3 and 5) and :meth:`remove_pred_edges` before every
+re-execution (Algorithm 5's ``RemovePredEdges``), so these paths are kept
+small and allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from .edges import Edge
+from .node import DepNode, NodeKind
+from .order import TopologicalOrder
+from .partition import PartitionManager
+from .stats import RuntimeStats
+
+
+class DependencyGraph:
+    """Node factory plus edge bookkeeping for one runtime instance."""
+
+    def __init__(
+        self,
+        stats: RuntimeStats,
+        order: TopologicalOrder,
+        partitions: PartitionManager,
+        keep_registry: bool = True,
+    ) -> None:
+        self.stats = stats
+        self.order = order
+        self.partitions = partitions
+        #: All nodes ever created, for diagnostics/debugging (the paper
+        #: §9.1 space analysis counts these).  Disable for unbounded runs.
+        self._registry: Optional[List[DepNode]] = [] if keep_registry else None
+
+    # -- node creation ---------------------------------------------------
+
+    def new_storage_node(self, label: str, ref: Any = None) -> DepNode:
+        """Node for an abstract storage location (first tracked read)."""
+        node = DepNode(NodeKind.STORAGE, label=label, ref=ref)
+        self.stats.storage_nodes_created += 1
+        self._register(node)
+        return node
+
+    def new_procedure_node(
+        self, kind: NodeKind, label: str, ref: Any = None
+    ) -> DepNode:
+        """Node for an incremental procedure instance (argument-table add)."""
+        if kind is NodeKind.STORAGE:
+            raise ValueError("procedure node kind must be DEMAND or EAGER")
+        node = DepNode(kind, label=label, ref=ref)
+        self.stats.procedure_nodes_created += 1
+        self._register(node)
+        return node
+
+    def _register(self, node: DepNode) -> None:
+        self.order.register(node)
+        self.partitions.register(node)
+        if self._registry is not None:
+            self._registry.append(node)
+
+    @property
+    def nodes(self) -> List[DepNode]:
+        """All nodes created so far (empty if the registry is disabled)."""
+        return list(self._registry or [])
+
+    # -- edges -------------------------------------------------------------
+
+    def create_edge(
+        self, src: DepNode, dst: DepNode, dedupe: Optional[Set[int]] = None
+    ) -> bool:
+        """Record that ``dst``'s computation read ``src`` (CreateEdge).
+
+        ``dedupe`` is the per-execution set of source node ids already
+        edged into ``dst``; repeated reads of the same location within one
+        body add only one edge.  Returns True if an edge was added.
+        """
+        if dedupe is not None:
+            if id(src) in dedupe:
+                return False
+            dedupe.add(id(src))
+        Edge(src, dst).attach()
+        self.stats.edges_created += 1
+        before = self.order.shifts
+        self.order.edge_added(src, dst)
+        self.stats.order_shifts += self.order.shifts - before
+        self.partitions.union(src, dst)
+        return True
+
+    def remove_pred_edges(self, node: DepNode) -> int:
+        """Detach every in-edge of ``node`` (before re-execution).
+
+        "If p has been executed previously, it has a set of dependent
+        edges from Alphonse procedures and storage locations that were
+        accessed during the previous execution.  These edges are removed
+        before subsequent executions." (Section 4.3)
+        """
+        removed = 0
+        for edge in node.pred:
+            edge.detach()
+            removed += 1
+        self.stats.edges_removed += removed
+        return removed
+
+    def remove_succ_edges(self, node: DepNode) -> int:
+        """Detach every out-edge of ``node`` (used on cache eviction)."""
+        removed = 0
+        for edge in node.succ:
+            edge.detach()
+            removed += 1
+        self.stats.edges_removed += removed
+        return removed

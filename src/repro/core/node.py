@@ -1,0 +1,156 @@
+"""Dependency-graph nodes.
+
+Section 4.1: "Nodes of this graph are created to represent each
+incremental procedure instance, as well as each global variable location
+accessed by these procedure instances."  Each node carries the cached
+``value`` and the boolean ``consistent`` field, exactly as the paper's
+``value(u)`` and ``consistent(u)``.
+
+Three kinds of node exist:
+
+* ``STORAGE`` — an abstract storage location (a tracked cell, object
+  field, or array slot).  Its ``value`` mirrors the storage contents as
+  last seen by the incremental computation.
+* ``DEMAND`` — an incremental procedure instance with lazy (demand)
+  evaluation.  Propagation only flips its ``consistent`` flag; the body
+  re-runs on the next call (Section 4.5).
+* ``EAGER`` — an incremental procedure instance re-executed during
+  propagation itself (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+from .edges import EdgeList
+
+_node_ids = itertools.count()
+
+#: Sentinel for "this node has never held a value".  Distinct from None
+#: because None is a legitimate cached value.
+NO_VALUE = object()
+
+
+class NodeKind(enum.Enum):
+    """What a dependency-graph node represents."""
+
+    STORAGE = "storage"
+    DEMAND = "demand"
+    EAGER = "eager"
+
+
+class DepNode:
+    """One vertex of the Alphonse dependency graph.
+
+    Attributes mirror the paper's fields: ``value`` is ``value(u)``,
+    ``consistent`` is ``consistent(u)``, ``succ``/``pred`` are the edge
+    lists, and ``ref`` is ``ref(n)`` — a pointer back to the storage
+    location or procedure instance the node represents.
+    """
+
+    __slots__ = (
+        "node_id",
+        "kind",
+        "value",
+        "consistent",
+        "succ",
+        "pred",
+        "ref",
+        "label",
+        "order",
+        "partition_item",
+        "thunk",
+        "executing",
+        "activation_seq",
+        "in_inconsistent_set",
+        "static_edges",
+        "edges_frozen",
+    )
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        *,
+        label: str = "",
+        ref: Any = None,
+        thunk: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.node_id: int = next(_node_ids)
+        self.kind = kind
+        self.value: Any = NO_VALUE
+        #: Storage nodes are always "consistent" in the paper's sense
+        #: (their value *is* the truth); procedure nodes start inconsistent
+        #: so their first call executes the body (Algorithm 5's TableAdd
+        #: path sets consistent(n) := FALSE).
+        self.consistent: bool = kind is NodeKind.STORAGE
+        self.succ = EdgeList("succ")
+        self.pred = EdgeList("pred")
+        self.ref = ref
+        self.label = label or f"{kind.value}#{self.node_id}"
+        #: Topological order key maintained by repro.core.order.
+        self.order: int = 0
+        #: Handle used by repro.core.partition's union-find.
+        self.partition_item: Any = None
+        #: For procedure nodes: a zero-argument callable that re-runs the
+        #: procedure body with this node's bound arguments.  Installed by
+        #: the runtime when the instance is first called; used by eager
+        #: propagation to re-execute without a caller.
+        self.thunk = thunk
+        #: Re-entrancy depth: how many activations of this node's body are
+        #: currently on the call stack.  Re-entrant execution is legal
+        #: Alphonse (Algorithm 11's Balance recursion); see Runtime.
+        self.executing: int = 0
+        #: Monotonic id of the most recently *started* activation.  An
+        #: activation only commits its result to ``value`` if no newer
+        #: activation started while it ran (see Runtime.execute_node).
+        self.activation_seq: int = 0
+        #: Membership flag so set insertion in propagation is O(1) without
+        #: hashing the node twice.
+        self.in_inconsistent_set: bool = False
+        #: §6.2 static graph construction: the procedure declared that its
+        #: referenced-argument set never changes across executions, so the
+        #: dependency subgraph built by the first execution is kept —
+        #: re-executions skip RemovePredEdges and edge re-creation.
+        self.static_edges: bool = False
+        #: True once a static-edge node's first execution built its edges.
+        self.edges_frozen: bool = False
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind is NodeKind.STORAGE
+
+    @property
+    def is_procedure(self) -> bool:
+        return self.kind is not NodeKind.STORAGE
+
+    @property
+    def is_eager(self) -> bool:
+        return self.kind is NodeKind.EAGER
+
+    def has_value(self) -> bool:
+        return self.value is not NO_VALUE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "ok" if self.consistent else "DIRTY"
+        return f"<{self.label} {flag}>"
+
+
+def procedure_instance_label(name: str, args: Tuple[Any, ...]) -> str:
+    """Human-readable label for the node of ``name(*args)``.
+
+    Used by debugging output (the paper lists "sophisticated debugging"
+    as a benefit of the maintained dependency information).
+    """
+    if not args:
+        return f"{name}()"
+    rendered = ", ".join(_short(a) for a in args)
+    return f"{name}({rendered})"
+
+
+def _short(value: Any, limit: int = 24) -> str:
+    text = repr(value)
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text

@@ -1,0 +1,217 @@
+"""Dependency-graph partitioning (paper Section 6.3).
+
+"To avoid waiting in this case, we maintain the dependency graph as a set
+of unconnected components, each representing a separate instance of
+quiescence propagation. ... For each of the above dependency graph
+partitions, we keep disjoint sets of unconnected nodes using the
+union/find algorithm.  New dependency graph nodes are placed in their own
+unique set.  Upon adding an edge from x to y, we perform a union between
+the sets that contain x and y."
+
+Each partition root owns its own inconsistent set, so a call to an
+Alphonse procedure only forces evaluation of inconsistencies in *its own*
+component — changes elsewhere stay batched.  The benchmark
+``bench_e9_partitioning`` measures exactly this effect.
+
+The union-find uses path compression and union by rank, giving the
+paper's quoted O(T x G(M)) bound (G = inverse Ackermann, Section 9.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+#: Global tie-break sequence shared by every InconsistentSet, so heap
+#: entries originating in different sets never compare equal on
+#: (order, seq) and fall through to comparing DepNodes (which would raise).
+_tiebreak = itertools.count()
+
+from .node import DepNode
+from .stats import RuntimeStats
+
+
+class _Item:
+    """One union-find element, attached to a DepNode via partition_item."""
+
+    __slots__ = ("parent", "rank", "node", "payload")
+
+    def __init__(self, node: DepNode) -> None:
+        self.parent: "_Item" = self
+        self.rank = 0
+        self.node = node
+        #: Root-only payload: this partition's inconsistent set.  Non-root
+        #: items carry None after being merged.
+        self.payload: Optional["InconsistentSet"] = InconsistentSet()
+
+
+class InconsistentSet:
+    """A partition's pending-change worklist, drained in topological order.
+
+    Implemented as a binary min-heap keyed by the node's topological
+    order at insertion time, with lazy deletion (the node's
+    ``in_inconsistent_set`` flag is the source of truth for membership).
+    Order keys may go stale when Pearce–Kelly reorders nodes; that only
+    degrades scheduling quality, never correctness, because quiescence
+    propagation re-checks values.
+    """
+
+    __slots__ = ("_heap", "_size")
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def add(self, node: DepNode) -> bool:
+        """Insert ``node``; returns False if it was already a member."""
+        if node.in_inconsistent_set:
+            return False
+        node.in_inconsistent_set = True
+        self._push((node.order, next(_tiebreak), node))
+        self._size += 1
+        return True
+
+    def pop(self) -> Optional[DepNode]:
+        """Remove and return the lowest-order member, or None if empty."""
+        while self._heap:
+            _, _, node = self._pop_heap()
+            if node.in_inconsistent_set:
+                node.in_inconsistent_set = False
+                self._size -= 1
+                return node
+        return None
+
+    def discard(self, node: DepNode) -> None:
+        """Lazily remove ``node`` (heap entry skipped at pop time)."""
+        if node.in_inconsistent_set:
+            node.in_inconsistent_set = False
+            self._size -= 1
+
+    def merge_from(self, other: "InconsistentSet") -> None:
+        """Absorb all members of ``other`` (used when partitions union)."""
+        for entry in other._heap:
+            node = entry[2]
+            if node.in_inconsistent_set:
+                self._push(entry)
+        self._size += other._size
+        other._heap.clear()
+        other._size = 0
+
+    def _push(self, entry: tuple) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def _pop_heap(self) -> tuple:
+        return heapq.heappop(self._heap)
+
+
+class PartitionManager:
+    """Union-find over dependency-graph nodes with per-root worklists.
+
+    With ``enabled=False`` (the ablation baseline, and the paper's default
+    before Section 6.3), every node maps to a single global partition, so
+    any pending inconsistency anywhere forces evaluation at every
+    incremental call.
+    """
+
+    def __init__(self, stats: RuntimeStats, enabled: bool = True) -> None:
+        self._stats = stats
+        self.enabled = enabled
+        self._global = InconsistentSet()
+        #: Registry of inconsistent sets that currently hold members, so
+        #: a global flush can find every pending partition without
+        #: scanning all nodes.  Keyed by id() because sets are unhashable
+        #: by content.
+        self.dirty: Dict[int, InconsistentSet] = {}
+
+    # -- membership ------------------------------------------------------
+
+    def register(self, node: DepNode) -> None:
+        """Place a new node in its own singleton partition (§6.3)."""
+        if self.enabled:
+            node.partition_item = _Item(node)
+
+    def _find(self, item: _Item) -> _Item:
+        self._stats.partition_finds += 1
+        root = item
+        while root.parent is not root:
+            root = root.parent
+        # Path compression.
+        while item.parent is not root:
+            item.parent, item = root, item.parent
+        return root
+
+    def set_of(self, node: DepNode) -> InconsistentSet:
+        """The inconsistent set governing ``node``'s partition."""
+        if not self.enabled:
+            return self._global
+        root = self._find(node.partition_item)
+        assert root.payload is not None
+        return root.payload
+
+    def union(self, a: DepNode, b: DepNode) -> None:
+        """Merge the partitions of ``a`` and ``b`` (on edge creation)."""
+        if not self.enabled:
+            return
+        ra = self._find(a.partition_item)
+        rb = self._find(b.partition_item)
+        if ra is rb:
+            return
+        self._stats.partition_unions += 1
+        if ra.rank < rb.rank:
+            ra, rb = rb, ra
+        rb.parent = ra
+        if ra.rank == rb.rank:
+            ra.rank += 1
+        assert ra.payload is not None and rb.payload is not None
+        ra.payload.merge_from(rb.payload)
+        self.dirty.pop(id(rb.payload), None)
+        if ra.payload:
+            self.dirty[id(ra.payload)] = ra.payload
+        rb.payload = None
+
+    def mark(self, node: DepNode) -> bool:
+        """Add ``node`` to its partition's inconsistent set.
+
+        Returns True if it was newly added.  Keeps the dirty-set registry
+        up to date so :meth:`pending_sets` sees this partition.
+        """
+        target = self.set_of(node)
+        if target.add(node):
+            self.dirty[id(target)] = target
+            return True
+        return False
+
+    def note_drained(self, incset: InconsistentSet) -> None:
+        """Drop an emptied set from the dirty registry."""
+        if not incset:
+            self.dirty.pop(id(incset), None)
+
+    def pending_sets(self) -> List[InconsistentSet]:
+        """Every inconsistent set that may hold members, for a full flush."""
+        return [s for s in list(self.dirty.values()) if s]
+
+    def has_pending(self) -> bool:
+        return any(s for s in self.dirty.values())
+
+    def same_partition(self, a: DepNode, b: DepNode) -> bool:
+        if not self.enabled:
+            return True
+        return self._find(a.partition_item) is self._find(b.partition_item)
+
+    def all_sets(self, nodes: Iterable[DepNode]) -> List[InconsistentSet]:
+        """Distinct inconsistent sets among ``nodes`` (diagnostics)."""
+        if not self.enabled:
+            return [self._global]
+        seen: Dict[int, InconsistentSet] = {}
+        for node in nodes:
+            root = self._find(node.partition_item)
+            assert root.payload is not None
+            seen[id(root)] = root.payload
+        return list(seen.values())

@@ -1,0 +1,485 @@
+"""The Alphonse runtime: access / modify / call (paper Sections 4 and 5).
+
+This module implements the three operations the paper's program
+transformation inserts into every Alphonse program:
+
+* ``access(v)`` — Algorithm 3: on a tracked read inside an executing
+  incremental procedure, ensure the storage has a dependency-graph node
+  and add an edge from it to the top of the call stack.
+* ``modify(l, v)`` — Algorithm 4: a tracked write first *accesses* the
+  location (a write counts as a read: "p is dependent upon storage s that
+  is written as well as read", §4.3), performs the store, and if the new
+  value differs from the cached one adds the storage node to the
+  inconsistent set.
+* ``call(p, a1..ak)`` — Algorithm 5: look up the argument table; on a
+  miss create an inconsistent node; on a hit force pending evaluation
+  first; edge the node to the caller; return the cached value if
+  consistent, otherwise remove stale predecessor edges, push the node on
+  the call stack, mark it consistent, run the body, and cache the result.
+
+In the Python embedding, "tracked storage" is any location from
+:mod:`repro.core.cells` and incremental procedures are created with the
+decorators in :mod:`repro.core.decorators`.  The Alphonse-L interpreter
+(:mod:`repro.lang.interp`) drives the very same runtime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .cache import ArgumentTable, CachePolicy, Unbounded
+from .errors import CycleError, RuntimeStateError
+from .graph import DependencyGraph
+from .node import NO_VALUE, DepNode, NodeKind, procedure_instance_label
+from .order import TopologicalOrder
+from .partition import PartitionManager
+from .propagation import Evaluator
+from .stats import RuntimeStats
+
+
+class _Frame:
+    """One call-stack entry: the executing node plus its edge-dedupe set.
+
+    ``freeze_edges`` implements §6.2 static graph construction: when the
+    node's dependency subgraph is declared static and was already built
+    by a prior execution, reads during this execution skip edge creation
+    entirely.
+    """
+
+    __slots__ = ("node", "deps_seen", "freeze_edges")
+
+    def __init__(self, node: DepNode) -> None:
+        self.node = node
+        self.deps_seen: Set[int] = set()
+        self.freeze_edges = node.static_edges and node.edges_frozen
+
+
+class Runtime:
+    """One independent Alphonse universe.
+
+    Parameters
+    ----------
+    partitioning:
+        Enable Section 6.3 union-find graph partitioning (per-partition
+        inconsistent sets).  Disabling it reproduces the pre-optimization
+        behaviour where any pending change forces evaluation at every
+        incremental call — the ablation measured by bench E9.
+    strict_cycles:
+        If True, a re-entrant call to an already-executing procedure
+        instance raises :class:`CycleError` instead of silently returning
+        the stale cached value (the paper's Algorithm 5 behaviour).
+    eval_limit:
+        Optional ceiling on propagation steps per drain; guards against
+        DET violations that make propagation oscillate.
+    keep_registry:
+        Keep a list of every dependency-graph node for diagnostics.
+    """
+
+    def __init__(
+        self,
+        *,
+        partitioning: bool = True,
+        strict_cycles: bool = False,
+        eval_limit: Optional[int] = None,
+        keep_registry: bool = True,
+        max_reentry: int = 10_000,
+    ) -> None:
+        self.stats = RuntimeStats()
+        self.order = TopologicalOrder()
+        self.partitions = PartitionManager(self.stats, enabled=partitioning)
+        self.graph = DependencyGraph(
+            self.stats, self.order, self.partitions, keep_registry=keep_registry
+        )
+        self.evaluator = Evaluator(self)
+        self.call_stack: List[_Frame] = []
+        self.strict_cycles = strict_cycles
+        self.eval_limit = eval_limit
+        self.max_reentry = max_reentry
+        self._unchecked_depth = 0
+        #: Per-runtime argument tables, keyed by IncrementalProcedure id.
+        self._tables: Dict[int, ArgumentTable] = {}
+        #: Optional observer hook ``(event, node) -> None`` with events
+        #: "execute", "hit", and "change" — the debugging benefit the
+        #: paper's introduction promises from the dependency information.
+        self.on_event: Optional[Callable[[str, DepNode], None]] = None
+
+    # ------------------------------------------------------------------
+    # access / modify  (Algorithms 3 and 4)
+    # ------------------------------------------------------------------
+
+    def on_read(self, location: "Location") -> Any:
+        """Algorithm 3.  Returns the location's current raw value."""
+        self.stats.accesses += 1
+        value = location._value
+        if self.call_stack:
+            if self._unchecked_depth:
+                self.stats.unchecked_suppressions += 1
+            else:
+                frame = self.call_stack[-1]
+                node = self._storage_node(location)
+                node.value = value
+                if not frame.freeze_edges:
+                    self.graph.create_edge(
+                        node, frame.node, dedupe=frame.deps_seen
+                    )
+        return value
+
+    def on_modify(self, location: "Location", value: Any) -> None:
+        """Algorithm 4.  Stores ``value`` and tracks the change."""
+        # "modify(l, v) -> access(l); l := v; ..." — the read side first,
+        # so an executing procedure depends on storage it writes.
+        self.on_read(location)
+        self.stats.modifies += 1
+        location._value = value
+        node = location._node
+        if node is not None:
+            if not self._values_equal(node.value, value):
+                node.value = value
+                self.stats.changes_detected += 1
+                self.partitions.mark(node)
+                if self.on_event is not None:
+                    self.on_event("change", node)
+            else:
+                node.value = value
+
+    def _storage_node(self, location: "Location") -> DepNode:
+        node = location._node
+        if node is None:
+            node = self.graph.new_storage_node(location._label, ref=location)
+            location._node = node
+        return node
+
+    # ------------------------------------------------------------------
+    # call  (Algorithm 5)
+    # ------------------------------------------------------------------
+
+    def call(self, proc: "IncrementalProcedure", args: Tuple[Any, ...]) -> Any:
+        """Invoke incremental procedure ``proc`` with ``args``."""
+        table = self._table_for(proc)
+        node = table.find(args)
+        if node is None:
+            label = procedure_instance_label(proc.name, args)
+            node = self.graph.new_procedure_node(proc.strategy, label, ref=proc)
+            node.thunk = _make_thunk(proc, args, node)
+            node.static_edges = proc.static_deps
+            table.add(args, node)
+            # consistent is already False for fresh procedure nodes.
+        else:
+            # "ELSE IF SetSize(Inconsistent) > 0 THEN Evaluate(Inconsistent)"
+            self._force_evaluation_for(node)
+
+        if self.call_stack and not self._unchecked_depth:
+            frame = self.call_stack[-1]
+            if not frame.freeze_edges:
+                self.graph.create_edge(
+                    node, frame.node, dedupe=frame.deps_seen
+                )
+
+        if node.consistent:
+            if not node.has_value():
+                # Consistent-but-valueless is only possible mid-first-
+                # execution: a genuinely cyclic specification (a body
+                # calling itself with no intervening state change).
+                raise CycleError(node.label)
+            self.stats.cache_hits += 1
+            if self.on_event is not None:
+                self.on_event("hit", node)
+            return node.value
+        self.stats.cache_misses += 1
+        return self.execute_node(node)
+
+    def execute_node(self, node: DepNode) -> Any:
+        """Run a procedure instance's body and cache the result.
+
+        The tail of Algorithm 5: RemovePredEdges, push, set consistent
+        *before* the body, execute, record.
+
+        Re-entrancy: an execution may call the *same* instance again if
+        intervening writes re-marked it inconsistent — the paper's AVL
+        Balance does exactly this (``t := RotateRight(t).balance()``
+        re-enters ``balance`` on nodes of the rotated subtree).  That is
+        ordinary recursion in the conventional semantics, so we run the
+        body again.  Each activation returns its own result to its own
+        caller, but only the most recently *started* activation commits
+        to the cache: an outer activation that was re-entered computed
+        its result from a now-stale view of the store, so letting it
+        overwrite the inner activation's value (and dependency edges)
+        would poison the cache.  A re-entrant call with *no* intervening
+        change is answered from the consistent flag in :meth:`call` and
+        never reaches here.  ``strict_cycles`` turns any re-entry into a
+        :class:`CycleError`; ``max_reentry`` bounds runaway recursion
+        from DET violations.
+        """
+        if node.executing:
+            if self.strict_cycles:
+                raise CycleError(node.label)
+            if node.executing >= self.max_reentry:
+                raise CycleError(
+                    f"{node.label} re-entered {node.executing} times"
+                )
+            # The outer activation's in-edges are about to be removed;
+            # clear its dedupe sets so reads after the inner activation
+            # returns re-create their edges.
+            for outer in self.call_stack:
+                if outer.node is node:
+                    outer.deps_seen.clear()
+        assert node.thunk is not None, "procedure node lost its thunk"
+        if not (node.static_edges and node.edges_frozen):
+            self.graph.remove_pred_edges(node)
+        frame = _Frame(node)
+        self.call_stack.append(frame)
+        node.executing += 1
+        node.activation_seq += 1
+        my_activation = node.activation_seq
+        node.consistent = True
+        # An (*UNCHECKED*) region suppresses dependencies of the
+        # activation that opened it, not of its callees: a procedure
+        # invoked from inside the region is its own incremental instance
+        # and must record its own read set, so tracking resumes here.
+        saved_unchecked = self._unchecked_depth
+        self._unchecked_depth = 0
+        try:
+            result = node.thunk()
+        except BaseException:
+            # A raising body leaves no trustworthy cached value.
+            if node.activation_seq == my_activation:
+                node.consistent = False
+            raise
+        finally:
+            self._unchecked_depth = saved_unchecked
+            node.executing -= 1
+            popped = self.call_stack.pop()
+            assert popped is frame
+        self.stats.executions += 1
+        if node.activation_seq == my_activation:
+            node.value = result
+            if node.static_edges:
+                node.edges_frozen = True
+            if self.on_event is not None:
+                self.on_event("execute", node)
+        return result
+
+    def _force_evaluation_for(self, node: DepNode) -> None:
+        """Flush the inconsistent set governing ``node``'s partition."""
+        if self.evaluator.active:
+            return  # nested call during propagation; outer drain continues
+        forced = False
+        while True:
+            incset = self.partitions.set_of(node)
+            if not incset:
+                break
+            forced = True
+            self.evaluator.drain(incset)
+        if forced:
+            self.stats.forced_evaluations += 1
+
+    # ------------------------------------------------------------------
+    # explicit control
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Propagate every pending change now (eager "spare cycles" hook).
+
+        The paper: "the evaluation routine should be called whenever
+        cycles are available (input/output, etc)".  Returns the number of
+        propagation steps performed.
+        """
+        return self.evaluator.drain_all()
+
+    def idle_tick(self, max_steps: int = 100) -> int:
+        """Spend up to ``max_steps`` of propagation work, preemptibly.
+
+        Call this from an event loop or between requests — the paper's
+        eager "computation cycles available due to input/output" mode.
+        Returns the number of propagation steps performed; 0 means the
+        system is fully quiescent (or a drain is already running).
+        """
+        return self.evaluator.drain_budget(max_steps)
+
+    def pending_changes(self) -> bool:
+        """True if any partition has unpropagated changes."""
+        return self.partitions.has_pending()
+
+    @contextlib.contextmanager
+    def unchecked(self):
+        """Suppress dependency recording (the ``(*UNCHECKED*)`` pragma, §6.4).
+
+        Reads and incremental calls inside the region do not create
+        edges; writes are still change-tracked (correctness requires it).
+        The programmer asserts, as in the paper, that the suppressed
+        dependencies cannot affect maintained results.
+        """
+        self._unchecked_depth += 1
+        try:
+            yield self
+        finally:
+            self._unchecked_depth -= 1
+
+    @contextlib.contextmanager
+    def active(self):
+        """Make this the current runtime within the ``with`` block."""
+        token = _push_runtime(self)
+        try:
+            yield self
+        finally:
+            _pop_runtime(token)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _table_for(self, proc: "IncrementalProcedure") -> ArgumentTable:
+        table = self._tables.get(proc.proc_id)
+        if table is None:
+            table = ArgumentTable(
+                proc.name, policy=proc.make_policy(), on_evict=self._dispose_node
+            )
+            self._tables[proc.proc_id] = table
+        return table
+
+    def _dispose_node(self, node: DepNode) -> None:
+        """Tear down an evicted cache entry."""
+        self.graph.remove_pred_edges(node)
+        self.graph.remove_succ_edges(node)
+        incset = self.partitions.set_of(node)
+        incset.discard(node)
+        node.thunk = None
+        self.stats.cache_evictions += 1
+
+    def table_size(self, proc: "IncrementalProcedure") -> int:
+        """Number of live cache entries for ``proc`` in this runtime."""
+        table = self._tables.get(proc.proc_id)
+        return len(table) if table is not None else 0
+
+    @staticmethod
+    def _values_equal(a: Any, b: Any) -> bool:
+        if a is NO_VALUE or b is NO_VALUE:
+            return False
+        try:
+            return bool(a == b)
+        except Exception:
+            return a is b
+
+
+class Location:
+    """Minimal protocol for tracked storage: a raw value, an optional
+    dependency-graph node, and a debug label.
+
+    :mod:`repro.core.cells` provides the user-facing containers; this base
+    class exists so the runtime, the Alphonse-L interpreter, and tests can
+    share one storage representation.
+    """
+
+    __slots__ = ("_value", "_node", "_label", "__weakref__")
+
+    def __init__(self, value: Any = None, label: str = "loc") -> None:
+        self._value = value
+        self._node: Optional[DepNode] = None
+        self._label = label
+
+
+class IncrementalProcedure:
+    """A ``(*CACHED*)`` procedure or ``(*MAINTAINED*)`` method body.
+
+    Stateless with respect to any particular runtime: the per-runtime
+    argument tables live on the runtime, so independent runtimes never
+    share cached results.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        *,
+        strategy: NodeKind = NodeKind.DEMAND,
+        policy_factory: Optional[Callable[[], CachePolicy]] = None,
+        name: Optional[str] = None,
+        static_deps: bool = False,
+    ) -> None:
+        if strategy is NodeKind.STORAGE:
+            raise ValueError("strategy must be DEMAND or EAGER")
+        self.fn = fn
+        self.strategy = strategy
+        self.name = name or getattr(fn, "__name__", "proc")
+        self.proc_id = next(self._ids)
+        self._policy_factory = policy_factory
+        #: §6.2 static graph construction: the programmer asserts this
+        #: procedure's referenced-argument set is identical on every
+        #: execution of a given instance, so its dependency subgraph is
+        #: built once and reused (no RemovePredEdges / edge re-creation).
+        self.static_deps = static_deps
+
+    def make_policy(self) -> CachePolicy:
+        return self._policy_factory() if self._policy_factory else Unbounded()
+
+    def __call__(self, *args: Any) -> Any:
+        return get_runtime().call(self, args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IncrementalProcedure {self.name} [{self.strategy.value}]>"
+
+
+def _make_thunk(
+    proc: IncrementalProcedure, args: Tuple[Any, ...], node: DepNode
+) -> Callable[[], Any]:
+    def thunk() -> Any:
+        return proc.fn(*args)
+
+    return thunk
+
+
+# ----------------------------------------------------------------------
+# Current-runtime management.  A thread-local stack with a process-wide
+# default, so simple scripts can use the library without ever creating a
+# Runtime explicitly while tests get full isolation via ``rt.active()``.
+# ----------------------------------------------------------------------
+
+_tls = threading.local()
+_default_runtime: Optional[Runtime] = None
+_default_lock = threading.Lock()
+
+
+def _stack() -> List[Runtime]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def _push_runtime(rt: Runtime) -> int:
+    stack = _stack()
+    stack.append(rt)
+    return len(stack)
+
+
+def _pop_runtime(token: int) -> None:
+    stack = _stack()
+    if len(stack) != token or not stack:
+        raise RuntimeStateError("runtime activation stack corrupted")
+    stack.pop()
+
+
+def get_runtime() -> Runtime:
+    """The innermost active runtime, or the shared process default."""
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    global _default_runtime
+    if _default_runtime is None:
+        with _default_lock:
+            if _default_runtime is None:
+                _default_runtime = Runtime()
+    return _default_runtime
+
+
+def reset_default_runtime() -> Runtime:
+    """Replace the process-default runtime with a fresh one (tests)."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = Runtime()
+        return _default_runtime

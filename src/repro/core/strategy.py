@@ -1,0 +1,40 @@
+"""Evaluation strategies (paper Section 3.3).
+
+"An optional argument to the maintained and cached pragmas allows the
+programmer to specify the evaluation strategy.  With DEMAND evaluation,
+the value of a procedure is updated lazily upon calls to that procedure.
+EAGER evaluation updates values before subsequent procedure call
+requests, and is useful in applications with computation cycles available
+due to input/output, etc."
+
+A strategy is just the node kind an incremental procedure instance's
+dependency-graph node gets, which in turn selects how quiescence
+propagation treats the node (Section 4.5):
+
+* DEMAND nodes are only *marked* inconsistent during propagation; their
+  bodies re-run on the next call.
+* EAGER nodes are *re-executed* during propagation, and propagation stops
+  (quiesces) along paths where the recomputed value equals the cached one.
+"""
+
+from __future__ import annotations
+
+from .node import NodeKind
+
+#: Lazy strategy: recompute on next call (the default, as in the paper's
+#: examples).
+DEMAND = NodeKind.DEMAND
+
+#: Eager strategy: recompute during propagation, enabling quiescence cuts
+#: and background updating.  Subject to the OBS restriction (§3.5).
+EAGER = NodeKind.EAGER
+
+
+def parse_strategy(name: str) -> NodeKind:
+    """Map a pragma argument string ("DEMAND"/"EAGER") to a strategy."""
+    normalized = name.strip().upper()
+    if normalized == "DEMAND":
+        return DEMAND
+    if normalized == "EAGER":
+        return EAGER
+    raise ValueError(f"unknown evaluation strategy {name!r}")

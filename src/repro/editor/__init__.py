@@ -1,0 +1,15 @@
+"""An incremental editing environment (paper §10's comparison point).
+
+The paper positions Alphonse against the Synthesizer Generator and
+other language-based editors: those systems maintain semantic
+information under program edits but "use an editing paradigm" that is
+"difficult to embed ... inside conventional ones".  This package builds
+that use case *on* Alphonse: a structured editor over the §7.1
+expression trees whose diagnostics (undefined identifiers, unused
+bindings) and evaluation results are maintained methods — every edit
+re-derives exactly the affected information.
+"""
+
+from .exprcheck import Diagnostic, ExpressionEditor, ScopeChecker
+
+__all__ = ["Diagnostic", "ExpressionEditor", "ScopeChecker"]

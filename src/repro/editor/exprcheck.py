@@ -1,0 +1,204 @@
+"""Incrementally maintained semantic checking for expression programs.
+
+A :class:`ScopeChecker` owns a family of maintained analyses over the
+§7.1 expression trees (which are TrackedObjects, so edits to them are
+change-tracked):
+
+* ``errors(node)`` — scope diagnostics for the subtree: undefined
+  identifiers (an IdExp whose name is unbound in its inherited
+  environment) and unused let-bindings;
+* ``free_vars(node)`` — the identifiers a subtree reads from outside;
+* ``size(node)`` — subtree node count (an outline/metrics attribute).
+
+All three are maintained *methods of the checker* taking the node as an
+argument — each (checker, node) pair is one incremental instance, so a
+single checker serves a whole document and edits re-execute only the
+instances on affected paths.
+
+:class:`ExpressionEditor` is the editor façade: structural and textual
+edit operations plus always-current diagnostics — the Synthesizer-
+Generator use case (§10) embedded in a conventional program, which is
+exactly the paper's pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Tuple, Union
+
+from ..core import TrackedObject, maintained
+from ..ag.expr import (
+    Env,
+    Exp,
+    IdExp,
+    IntExp,
+    LetExp,
+    PlusExp,
+    RootExp,
+    UndefinedIdentifier,
+    exp_to_text,
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One maintained finding.  Frozen + ordered fields so diagnostic
+    tuples compare by value (quiescence works on them)."""
+
+    kind: str  # "undefined-identifier" | "unused-binding"
+    name: str
+    node_id: int  # id() of the offending node, for editor navigation
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.name}"
+
+
+class ScopeChecker(TrackedObject):
+    """Maintained analyses over expression trees.
+
+    One checker instance per document; analyses are maintained methods,
+    so results for untouched subtrees are cache hits across edits.
+    """
+
+    _fields_ = ()
+
+    @maintained
+    def free_vars(self, node: Exp) -> FrozenSet[str]:
+        """Identifiers read by ``node``'s subtree from enclosing scope."""
+        if isinstance(node, RootExp):
+            return self.free_vars(node.exp)
+        if isinstance(node, PlusExp):
+            return self.free_vars(node.exp1) | self.free_vars(node.exp2)
+        if isinstance(node, LetExp):
+            body = self.free_vars(node.exp2) - frozenset([node.id])
+            return self.free_vars(node.exp1) | body
+        if isinstance(node, IdExp):
+            return frozenset([node.id])
+        if isinstance(node, IntExp):
+            return frozenset()
+        raise TypeError(f"not an expression node: {node!r}")
+
+    @maintained
+    def errors(
+        self, node: Exp, scope: FrozenSet[str] = frozenset()
+    ) -> Tuple[Diagnostic, ...]:
+        """Scope diagnostics for ``node``'s subtree, document order.
+
+        ``scope`` is the set of bound names — an explicit argument
+        rather than the value environment, so checking never evaluates
+        (a broken program must yield diagnostics, not exceptions).  Each
+        (node, scope) pair is its own incremental instance; renaming an
+        enclosing binding naturally re-derives the subtree under the new
+        scope while the old instances age out.
+        """
+        if isinstance(node, RootExp):
+            return self.errors(node.exp, scope)
+        if isinstance(node, PlusExp):
+            return self.errors(node.exp1, scope) + self.errors(
+                node.exp2, scope
+            )
+        if isinstance(node, LetExp):
+            found = self.errors(node.exp1, scope) + self.errors(
+                node.exp2, scope | frozenset([node.id])
+            )
+            if node.id not in self.free_vars(node.exp2):
+                found = found + (
+                    Diagnostic("unused-binding", node.id, id(node)),
+                )
+            return found
+        if isinstance(node, IdExp):
+            if node.id not in scope:
+                return (
+                    Diagnostic("undefined-identifier", node.id, id(node)),
+                )
+            return ()
+        if isinstance(node, IntExp):
+            return ()
+        raise TypeError(f"not an expression node: {node!r}")
+
+    @maintained
+    def size(self, node: Exp) -> int:
+        """Subtree node count (outline metric)."""
+        if isinstance(node, RootExp):
+            return 1 + self.size(node.exp)
+        if isinstance(node, (PlusExp, LetExp)):
+            return 1 + self.size(node.exp1) + self.size(node.exp2)
+        return 1
+
+
+class ExpressionEditor:
+    """Editor façade: edits plus always-current semantic information."""
+
+    def __init__(self, program: Exp) -> None:
+        if not isinstance(program, RootExp):
+            from ..ag.expr import root
+
+            program = root(program)
+        self.root: RootExp = program
+        self.checker = ScopeChecker()
+
+    # -- queries (all incrementally maintained) -----------------------------
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return list(self.checker.errors(self.root))
+
+    def is_valid(self) -> bool:
+        return not any(
+            d.kind == "undefined-identifier" for d in self.diagnostics()
+        )
+
+    def value(self) -> Union[int, str]:
+        """The program's value, or the first blocking diagnostic."""
+        blocking = [
+            d for d in self.diagnostics() if d.kind == "undefined-identifier"
+        ]
+        if blocking:
+            return f"error: {blocking[0]}"
+        return self.root.value()
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.checker.free_vars(self.root)
+
+    def size(self) -> int:
+        return self.checker.size(self.root)
+
+    def text(self) -> str:
+        return exp_to_text(self.root)
+
+    # -- edit operations -------------------------------------------------
+
+    def replace(self, parent: Exp, field: str, new_child: Exp) -> Exp:
+        """Splice ``new_child`` into ``parent.field``."""
+        setattr(parent, field, new_child)
+        new_child.parent = parent
+        return new_child
+
+    def set_literal(self, node: IntExp, value: int) -> None:
+        node.int = value
+
+    def rename_use(self, node: IdExp, name: str) -> None:
+        node.id = name
+
+    def rename_binding(self, node: LetExp, name: str) -> None:
+        """Rename the binding only (uses are separate edits — leaving
+        them behind surfaces undefined-identifier diagnostics, as a real
+        editor would)."""
+        node.id = name
+
+    def find_nodes(self, predicate) -> List[Exp]:
+        """All nodes satisfying ``predicate``, preorder (untracked)."""
+        out: List[Exp] = []
+
+        def walk(node: Exp) -> None:
+            if predicate(node):
+                out.append(node)
+            for field_name in ("exp", "exp1", "exp2"):
+                try:
+                    child = node.field_cell(field_name).peek()
+                except Exception:
+                    continue
+                if isinstance(child, Exp):
+                    walk(child)
+
+        walk(self.root)
+        return out

@@ -1,0 +1,19 @@
+"""Maintained properties over DAGs (paper §1's motivating setting).
+
+"In most computer applications there are numerous properties that the
+underlying algorithms maintain as the program data changes."  Trees
+(Algorithm 1) show path-proportional updates; DAGs add *sharing*: an
+exhaustive recursive property over a DAG with n nodes can visit
+exponentially many paths, while the maintained version executes each
+instance once — the same economy that makes cached Fib linear (§2's
+function caching), now over mutable pointer structures.
+"""
+
+from .dag import DagNode, Sink, critical_path_exhaustive, diamond_chain
+
+__all__ = [
+    "DagNode",
+    "Sink",
+    "critical_path_exhaustive",
+    "diamond_chain",
+]

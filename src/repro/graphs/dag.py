@@ -1,0 +1,104 @@
+"""Maintained critical-path length over a mutable DAG.
+
+Each node has two tracked successor pointers and a tracked ``cost``.
+The exhaustive specification of the critical path (longest cost path to
+a sink) is the obvious recursion::
+
+    cost + max(critical(succ_a), critical(succ_b))
+
+Run conventionally on a DAG of diamonds, that recursion visits every
+*path* — exponentially many.  Maintained, each node's instance executes
+once and is shared by all its predecessors, so the first query is O(n)
+and subsequent edits are path-proportional: the §2 function-caching
+economy on top of §4's change tracking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import TrackedObject, maintained
+
+
+class DagNode(TrackedObject):
+    """A DAG vertex with up to two successors and a cost."""
+
+    _fields_ = ("succ_a", "succ_b", "cost", "name")
+
+    @maintained
+    def critical(self) -> int:
+        """Length of the costliest path from here to a sink."""
+        best = 0
+        a = self.succ_a
+        if a is not None:
+            best = a.critical()
+        b = self.succ_b
+        if b is not None:
+            best = max(best, b.critical())
+        return self.cost + best
+
+    @maintained
+    def reaches_sink(self) -> bool:
+        """True if some path from here ends at a Sink node."""
+        a = self.succ_a
+        b = self.succ_b
+        if a is None and b is None:
+            return isinstance(self, Sink)
+        if a is not None and a.reaches_sink():
+            return True
+        return b is not None and b.reaches_sink()
+
+
+class Sink(DagNode):
+    """A terminal vertex (no successors)."""
+
+    @maintained
+    def critical(self) -> int:
+        return self.cost
+
+    @maintained
+    def reaches_sink(self) -> bool:
+        return True
+
+
+def diamond_chain(depth: int, cost: int = 1) -> List[DagNode]:
+    """A chain of ``depth`` diamonds sharing their joins.
+
+    Layer i has two middle nodes that both point at layer i+1's head —
+    the classic structure with 2^depth source-to-sink paths but only
+    3*depth + 1 nodes.  Returns the node list; element 0 is the source.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    sink = Sink(cost=cost, name="sink")
+    head: DagNode = sink
+    nodes: List[DagNode] = [sink]
+    for i in reversed(range(depth)):
+        left = DagNode(cost=cost, succ_a=head, name=f"L{i}")
+        right = DagNode(cost=cost, succ_b=head, name=f"R{i}")
+        split = DagNode(cost=cost, succ_a=left, succ_b=right, name=f"S{i}")
+        nodes.extend([left, right, split])
+        head = split
+    nodes.reverse()
+    return nodes
+
+
+def critical_path_exhaustive(
+    node: Optional[DagNode], budget: Optional[List[int]] = None
+) -> int:
+    """The conventional recursion: visits every path (untracked reads).
+
+    ``budget`` is an optional single-element visit counter; it raises
+    RuntimeError when exhausted so callers can demonstrate the
+    exponential blowup without actually paying for it.
+    """
+    if node is None:
+        return 0
+    if budget is not None:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise RuntimeError("visit budget exhausted")
+    peek = lambda f: node.field_cell(f).peek()  # noqa: E731 - local alias
+    a = critical_path_exhaustive(peek("succ_a"), budget)
+    b = critical_path_exhaustive(peek("succ_b"), budget)
+    return peek("cost") + max(a, b)

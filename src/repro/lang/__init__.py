@@ -1,0 +1,55 @@
+"""Alphonse-L: a Modula-3-like imperative language with Alphonse pragmas.
+
+This package is the reproduction of the paper's source-to-source system
+(Section 8): "The program is parsed and an abstract syntax tree is
+generated containing nodes for the Alphonse pragmas.  Program
+transformations are then applied to the tree to insert the call, access,
+and modify operations as described in Section 5, while removing the
+Alphonse pragmas."
+
+Pipeline::
+
+    source text
+      -> lexer.tokenize           tokens (pragma comments preserved)
+      -> parser.parse_module      AST with pragma nodes
+      -> sema.analyze             symbol table + restriction checks
+      -> dataflow.classify_sites  which sites statically skip checks (§6.1)
+      -> transform.transform      Access/Modify/CallOp wrappers inserted (§5)
+      -> unparse.unparse          transformed source text, or
+      -> interp.Interpreter       execution (conventional or Alphonse mode)
+"""
+
+from .tokens import Token, TokenKind
+from .lexer import LexError, tokenize
+from . import ast as ast
+from .parser import ParseError, parse_module
+from .sema import SemaError, analyze
+from .transform import transform
+from .unparse import unparse
+from .dataflow import classify_sites, SiteClass
+from .typecheck import typecheck
+from .connectivity import connectivity_components
+from .interp import Interpreter, InterpError, LArray, LObject, run_source
+
+__all__ = [
+    "Interpreter",
+    "InterpError",
+    "LArray",
+    "LObject",
+    "LexError",
+    "ParseError",
+    "SemaError",
+    "SiteClass",
+    "Token",
+    "TokenKind",
+    "analyze",
+    "ast",
+    "classify_sites",
+    "connectivity_components",
+    "parse_module",
+    "run_source",
+    "tokenize",
+    "transform",
+    "typecheck",
+    "unparse",
+]

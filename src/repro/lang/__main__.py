@@ -1,0 +1,126 @@
+"""Command-line driver: run, transform, or analyze Alphonse-L programs.
+
+Usage::
+
+    python -m repro.lang program.alf                 # incremental run
+    python -m repro.lang program.alf --mode conventional
+    python -m repro.lang program.alf --show-transformed
+    python -m repro.lang program.alf --stats --sites --warnings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.errors import AlphonseError
+from .dataflow import classify_sites
+from .interp import run_source
+from .parser import parse_module
+from .sema import analyze
+from .transform import transform
+from .unparse import unparse
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lang",
+        description="Run or transform an Alphonse-L program.",
+    )
+    parser.add_argument("file", help="Alphonse-L source file")
+    parser.add_argument(
+        "--mode",
+        choices=["alphonse", "conventional"],
+        default="alphonse",
+        help="execution mode (default: alphonse)",
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="apply the Section 5 transformation uniformly (skip §6.1)",
+    )
+    parser.add_argument(
+        "--show-transformed",
+        action="store_true",
+        help="print the transformed program instead of running it",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime operation counters after the run",
+    )
+    parser.add_argument(
+        "--sites",
+        action="store_true",
+        help="print the §6.1 site-classification summary",
+    )
+    parser.add_argument(
+        "--warnings",
+        action="store_true",
+        help="print §3.5 restriction warnings (TOP/OBS)",
+    )
+    parser.add_argument(
+        "--typecheck",
+        action="store_true",
+        help="run the static type checker; findings abort the run",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="abort after this many interpreter statements",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_argparser().parse_args(argv)
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.typecheck:
+            from .typecheck import typecheck
+
+            findings = typecheck(analyze(parse_module(source)))
+            for finding in findings:
+                print(f"type error: {finding}", file=sys.stderr)
+            if findings:
+                return 1
+        if args.show_transformed or args.sites or args.warnings:
+            info = analyze(parse_module(source))
+            if args.warnings:
+                for warning in info.warnings:
+                    print(f"warning: {warning}", file=sys.stderr)
+            if args.sites:
+                print(classify_sites(info).summary(), file=sys.stderr)
+            if args.show_transformed:
+                result = transform(info, optimize=not args.no_optimize)
+                print(unparse(result.module))
+                return 0
+        interp = run_source(
+            source,
+            mode=args.mode,
+            optimize=not args.no_optimize,
+            max_steps=args.max_steps,
+        )
+    except AlphonseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for line in interp.output:
+        print(line)
+    if args.stats:
+        print(f"steps: {interp.steps}", file=sys.stderr)
+        print(f"dynamic checks: {interp.dynamic_checks}", file=sys.stderr)
+        if interp.runtime is not None:
+            print(interp.runtime.stats.summary(), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

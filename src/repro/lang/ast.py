@@ -1,0 +1,341 @@
+"""Abstract syntax tree for Alphonse-L.
+
+Ordinary declaration/statement/expression nodes plus the three wrapper
+nodes the Section 5 transformation inserts (:class:`AccessOp`,
+:class:`ModifyOp`, :class:`CallOp`).  Untransformed programs never
+contain wrappers; the transformer produces a new tree containing them,
+and the unparser renders both forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    """Base AST node with a source position (0:0 for synthesized nodes)."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Pragma(Node):
+    """An Alphonse pragma: head MAINTAINED/CACHED/UNCHECKED plus args.
+
+    Argument forms (paper §3.3): an evaluation strategy word (DEMAND or
+    EAGER) and, for CACHED, a replacement policy ``LRU n`` / ``FIFO n``.
+    """
+
+    head: str = ""
+    args: Tuple[str, ...] = ()
+
+    @property
+    def strategy(self) -> Optional[str]:
+        for word in self.args:
+            if word.upper() in ("DEMAND", "EAGER"):
+                return word.upper()
+        return None
+
+    @property
+    def policy(self) -> Optional[Tuple[str, int]]:
+        words = [w.upper() for w in self.args]
+        for i, word in enumerate(words):
+            if word in ("LRU", "FIFO"):
+                if i + 1 >= len(words) or not words[i + 1].isdigit():
+                    raise ValueError(f"pragma {self.head}: {word} needs a size")
+                return (word, int(words[i + 1]))
+        return None
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class TextLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class NilLit(Expr):
+    pass
+
+
+@dataclass
+class NameExpr(Expr):
+    """A bare identifier: local, parameter, top-level var, or procedure."""
+
+    name: str = ""
+
+
+@dataclass
+class FieldExpr(Expr):
+    """``obj.field`` — a pointer dereference + field selection."""
+
+    obj: Expr = None  # type: ignore[assignment]
+    field_name: str = ""
+
+
+@dataclass
+class CallExpr(Expr):
+    """``fn(args)`` where fn is a NameExpr (procedure) or FieldExpr
+    (method — ``o.m(a1, ...)``)."""
+
+    fn: Expr = None  # type: ignore[assignment]
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewExpr(Expr):
+    """``NEW(Type, field := expr, ...)`` — dynamic allocation (§3.1)."""
+
+    type_name: str = ""
+    inits: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""  # "-" | "NOT"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinExpr(Expr):
+    op: str = ""  # + - * DIV MOD = # < <= > >= AND OR
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``arr[i]`` — array element access."""
+
+    obj: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UncheckedExpr(Expr):
+    """``(*UNCHECKED*) expr`` — suppress dependency recording (§6.4)."""
+
+    inner: Expr = None  # type: ignore[assignment]
+
+
+# -- transformation wrappers (inserted by transform.py) -----------------
+
+
+@dataclass
+class AccessOp(Expr):
+    """``access(e)`` — a tracked read site (Algorithm 3)."""
+
+    inner: Expr = None  # type: ignore[assignment]
+    site_id: int = -1
+
+
+@dataclass
+class CallOp(Expr):
+    """``call(p, a1..ak)`` — a tracked call site (Algorithm 5)."""
+
+    call: CallExpr = None  # type: ignore[assignment]
+    site_id: int = -1
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr = None  # type: ignore[assignment]  # NameExpr | FieldExpr
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ModifyOp(Stmt):
+    """``modify(l, v)`` — a tracked write site (Algorithm 4)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+    site_id: int = -1
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A call in statement position (result discarded)."""
+
+    call: Expr = None  # type: ignore[assignment]  # CallExpr | CallOp
+
+
+@dataclass
+class IfStmt(Stmt):
+    #: (condition, body) pairs: the IF arm followed by ELSIF arms.
+    arms: List[Tuple[Expr, List[Stmt]]] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``FOR v := lo TO hi [BY step] DO ... END`` (v is a fresh local)."""
+
+    var: str = ""
+    lo: Expr = None  # type: ignore[assignment]
+    hi: Expr = None  # type: ignore[assignment]
+    by: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type_name: str = ""
+    by_var: bool = False  # VAR parameter (by reference)
+
+
+@dataclass
+class FieldGroup(Node):
+    """``a, b : T;`` inside an OBJECT declaration."""
+
+    names: List[str] = field(default_factory=list)
+    type_name: str = ""
+
+
+@dataclass
+class MethodDecl(Node):
+    """``(*MAINTAINED*) name(params) : T := ImplProc;`` in METHODS."""
+
+    pragma: Optional[Pragma] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[str] = None
+    impl_name: str = ""
+
+
+@dataclass
+class OverrideDecl(Node):
+    """``(*MAINTAINED*) name := ImplProc;`` in OVERRIDES."""
+
+    pragma: Optional[Pragma] = None
+    name: str = ""
+    impl_name: str = ""
+
+
+@dataclass
+class TypeDecl(Node):
+    """``TYPE Sub = Super OBJECT fields METHODS ... OVERRIDES ... END;``"""
+
+    name: str = ""
+    super_name: Optional[str] = None
+    fields: List[FieldGroup] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+    overrides: List[OverrideDecl] = field(default_factory=list)
+
+
+@dataclass
+class ArrayTypeDecl(Node):
+    """``TYPE Name = ARRAY n OF T;`` — a fixed-length array type.
+
+    The paper's spreadsheet uses ``cells : ARRAY [1..100],[1..100] OF
+    Cell``; we provide named 0-based 1-D array types (nest them for
+    higher rank).
+    """
+
+    name: str = ""
+    length: int = 0
+    elem_type: str = ""
+
+
+@dataclass
+class VarDecl(Node):
+    """``VAR a, b : T [:= init];`` — top-level or procedure-local."""
+
+    names: List[str] = field(default_factory=list)
+    type_name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ProcDecl(Node):
+    """``(*CACHED*) PROCEDURE Name(params) : T = VAR... BEGIN ... END Name;``"""
+
+    pragma: Optional[Pragma] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    return_type: Optional[str] = None
+    locals: List[VarDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+Decl = Union[TypeDecl, ArrayTypeDecl, VarDecl, ProcDecl]
+
+
+@dataclass
+class Module(Node):
+    """A complete Alphonse-L compilation unit."""
+
+    name: str = ""
+    decls: List[Decl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+    def types(self) -> List[TypeDecl]:
+        return [d for d in self.decls if isinstance(d, TypeDecl)]
+
+    def array_types(self) -> List[ArrayTypeDecl]:
+        return [d for d in self.decls if isinstance(d, ArrayTypeDecl)]
+
+    def procedures(self) -> List[ProcDecl]:
+        return [d for d in self.decls if isinstance(d, ProcDecl)]
+
+    def variables(self) -> List[VarDecl]:
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+
+#: Built-in type names (everything else must be a declared OBJECT or
+#: ARRAY type).  PROC is the type of procedure values, usable for the
+#: paper's §3.1 procedure-valued fields; it defaults to NIL.
+BUILTIN_TYPES = ("INTEGER", "BOOLEAN", "TEXT", "PROC")

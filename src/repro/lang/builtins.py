@@ -1,0 +1,78 @@
+"""Built-in procedures available to every Alphonse-L program.
+
+Kept deliberately small and pure (DET-compatible) except for ``Print``,
+which models the paper's output convention: "Traditional output is
+modeled as the concatenation to a top-level stream variable containing
+the output string" — the interpreter owns that stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.errors import AlphonseError
+
+
+class BuiltinError(AlphonseError):
+    """A builtin was called with bad arguments."""
+
+
+def _check_arity(name: str, args: Tuple[Any, ...], lo: int, hi: int) -> None:
+    if not (lo <= len(args) <= hi):
+        expected = str(lo) if lo == hi else f"{lo}..{hi}"
+        raise BuiltinError(
+            f"{name} expects {expected} argument(s), got {len(args)}"
+        )
+
+
+def _builtin_max(*args: Any) -> Any:
+    _check_arity("Max", args, 2, 2)
+    return max(args[0], args[1])
+
+
+def _builtin_min(*args: Any) -> Any:
+    _check_arity("Min", args, 2, 2)
+    return min(args[0], args[1])
+
+
+def _builtin_abs(*args: Any) -> Any:
+    _check_arity("Abs", args, 1, 1)
+    return abs(args[0])
+
+
+def _builtin_ord(*args: Any) -> Any:
+    _check_arity("Ord", args, 1, 1)
+    return ord(args[0])
+
+
+def _builtin_text(*args: Any) -> Any:
+    """Text(v): render any value as TEXT (for Print formatting)."""
+    _check_arity("Text", args, 1, 1)
+    value = args[0]
+    if value is None:
+        return "NIL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return str(value)
+
+
+#: Pure builtins: name -> (callable, (min_arity, max_arity)).
+#: ``Print`` and ``Assert`` are installed by the interpreter because they
+#: touch interpreter state (the output stream / failure reporting).
+PURE_BUILTINS: Dict[str, Tuple[Callable[..., Any], Tuple[int, int]]] = {
+    "Max": (_builtin_max, (2, 2)),
+    "Min": (_builtin_min, (2, 2)),
+    "Abs": (_builtin_abs, (1, 1)),
+    "Ord": (_builtin_ord, (1, 1)),
+    "Text": (_builtin_text, (1, 1)),
+}
+
+#: All builtin names, including interpreter-installed ones, for sema.
+BUILTIN_NAMES = tuple(PURE_BUILTINS) + ("Print", "Assert")
+
+#: name -> (min_arity, max_arity) for arity checking in sema.
+BUILTIN_ARITIES: Dict[str, Tuple[int, int]] = {
+    **{name: arity for name, (_, arity) in PURE_BUILTINS.items()},
+    "Print": (1, 1),
+    "Assert": (1, 2),
+}

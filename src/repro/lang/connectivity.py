@@ -1,0 +1,176 @@
+"""Static type-connectivity analysis (paper Section 6.3).
+
+"First, we construct a connectivity graph of types declared by the
+program.  Each type t is represented by a node C(t), and directed edges
+are added from nodes C(t1) to C(t2) if t1 has a pointer field that can
+point to an object of type t2.  Second, we augment this graph [with]
+nodes C(p) for each procedure call site that could be an incremental
+procedure instance.  Edges are then added from C(p) to C(t) for each
+type t that could be potentially accessed by p.  The resulting
+connectivity graph is separated into disconnected components."
+
+The component map seeds dependency-graph partitioning: storage of types
+in different components can never interact, so their partitions need
+never be checked together.  Our runtime's dynamic union-find (§6.3's
+second refinement) subsumes the static division — it discovers the same
+or finer separations at run time — so this analysis is exposed as a
+report (and exercised by tests/benches) rather than wired into
+evaluation; DESIGN.md records that decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from . import ast
+from .symbols import ModuleInfo
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        self.parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        self.add(item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def connectivity_components(info: ModuleInfo) -> Dict[str, int]:
+    """Weakly connected components of the §6.3 connectivity graph.
+
+    Returns a map from node name (type names, and ``proc:<name>`` for
+    incremental procedures) to a dense component id.
+    """
+    uf = _UnionFind()
+
+    # C(t) nodes and pointer-field edges; subtyping also connects (an
+    # object of the subtype may be stored where the supertype is named).
+    for ti in info.types.values():
+        uf.add(ti.name)
+        if ti.superclass is not None:
+            uf.union(ti.name, ti.superclass.name)
+        for field_type in ti.own_fields.values():
+            if field_type in info.types or field_type in info.arrays:
+                uf.union(ti.name, field_type)
+    # array types connect to their element types
+    for ainfo in info.arrays.values():
+        uf.add(ainfo.name)
+        if ainfo.elem_type in info.types or ainfo.elem_type in info.arrays:
+            uf.union(ainfo.name, ainfo.elem_type)
+
+    # C(p) nodes for incremental procedures, edged to every type they
+    # could access (approximated by parameter types, NEW sites, and
+    # local-variable types — a sound overapproximation for this
+    # pointer-arithmetic-free language).
+    for proc in info.procedures.values():
+        if not proc.is_incremental:
+            continue
+        pnode = f"proc:{proc.name}"
+        uf.add(pnode)
+        for type_name in _accessed_types(proc.decl, info):
+            uf.union(pnode, type_name)
+
+    roots: Dict[str, int] = {}
+    components: Dict[str, int] = {}
+    for name in list(uf.parent):
+        root = uf.find(name)
+        if root not in roots:
+            roots[root] = len(roots)
+        components[name] = roots[root]
+    return components
+
+
+def component_count(info: ModuleInfo) -> int:
+    """Number of disconnected components (1 = everything may interact)."""
+    components = connectivity_components(info)
+    return len(set(components.values())) if components else 0
+
+
+def _accessed_types(decl: ast.ProcDecl, info: ModuleInfo) -> Set[str]:
+    touched: Set[str] = set()
+    declared = set(info.types) | set(info.arrays)
+    for param in decl.params:
+        if param.type_name in declared:
+            touched.add(param.type_name)
+    for var in decl.locals:
+        if var.type_name in declared:
+            touched.add(var.type_name)
+    _scan_stmts(decl.body, info, touched)
+    return touched
+
+
+def _scan_stmts(stmts: List[ast.Stmt], info: ModuleInfo, out: Set[str]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.AssignStmt, ast.ModifyOp)):
+            _scan_expr(stmt.target, info, out)
+            _scan_expr(stmt.value, info, out)
+        elif isinstance(stmt, ast.CallStmt):
+            _scan_expr(stmt.call, info, out)
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, body in stmt.arms:
+                _scan_expr(cond, info, out)
+                _scan_stmts(body, info, out)
+            _scan_stmts(stmt.else_body, info, out)
+        elif isinstance(stmt, (ast.WhileStmt,)):
+            _scan_expr(stmt.cond, info, out)
+            _scan_stmts(stmt.body, info, out)
+        elif isinstance(stmt, ast.ForStmt):
+            _scan_expr(stmt.lo, info, out)
+            _scan_expr(stmt.hi, info, out)
+            if stmt.by is not None:
+                _scan_expr(stmt.by, info, out)
+            _scan_stmts(stmt.body, info, out)
+        elif isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+            _scan_expr(stmt.value, info, out)
+
+
+def _scan_expr(expr: ast.Expr, info: ModuleInfo, out: Set[str]) -> None:
+    declared = set(info.types) | set(info.arrays)
+    if isinstance(expr, ast.NewExpr):
+        if expr.type_name in declared:
+            out.add(expr.type_name)
+        for _, value in expr.inits:
+            _scan_expr(value, info, out)
+    elif isinstance(expr, ast.NameExpr):
+        global_type = info.global_vars.get(expr.name)
+        if global_type and global_type in declared:
+            out.add(global_type)
+    elif isinstance(expr, ast.FieldExpr):
+        _scan_expr(expr.obj, info, out)
+    elif isinstance(expr, ast.IndexExpr):
+        _scan_expr(expr.obj, info, out)
+        _scan_expr(expr.index, info, out)
+    elif isinstance(expr, ast.CallExpr):
+        _scan_expr(expr.fn, info, out)
+        for arg in expr.args:
+            _scan_expr(arg, info, out)
+        # A call pulls in the callee's accessed types, one level deep
+        # (transitive closure via the union-find union with proc nodes).
+        if isinstance(expr.fn, ast.NameExpr):
+            callee = info.procedures.get(expr.fn.name)
+            if callee is not None:
+                for param in callee.decl.params:
+                    if param.type_name in info.types:
+                        out.add(param.type_name)
+    elif isinstance(expr, (ast.UnaryExpr,)):
+        _scan_expr(expr.operand, info, out)
+    elif isinstance(expr, ast.BinExpr):
+        _scan_expr(expr.left, info, out)
+        _scan_expr(expr.right, info, out)
+    elif isinstance(expr, (ast.UncheckedExpr, ast.AccessOp)):
+        _scan_expr(expr.inner, info, out)
+    elif isinstance(expr, ast.CallOp):
+        _scan_expr(expr.call, info, out)

@@ -1,0 +1,248 @@
+"""Static limiting of runtime checks (paper Section 6.1).
+
+"Each access, modify, and call operation ... performs several checks to
+determine whether or not a variable or procedure is involved in an
+Alphonse computation.  The uniform application of these tests would
+result in a substantial performance decrease.  We use dataflow analysis
+to identify the many variables and procedures where the results of these
+tests are statically known."
+
+The analysis here classifies every read, write, and call *site*:
+
+* reads/writes of procedure-local scalars (parameters, locals, FOR
+  variables) can never touch Alphonse-tracked storage — their wrapper is
+  statically removable;
+* reads/writes of top-level variables and of object fields (pointer
+  dereferences) must stay instrumented;
+* calls to builtins and to statically known non-incremental procedures
+  skip the ``tableptr`` check; calls to incremental procedures and all
+  method calls (dynamically dispatched) stay wrapped.
+
+VAR parameters are the soundness caveat: a VAR parameter may alias
+tracked storage, so reads/writes *through* a VAR parameter stay
+instrumented even though the name is local.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from . import ast
+from .builtins import BUILTIN_ARITIES
+from .symbols import ModuleInfo, ProcInfo
+
+
+class SiteClass(enum.Enum):
+    """Static classification of one access/modify/call site."""
+
+    #: Must stay instrumented: top-level variable or heap field.
+    TRACKED = "tracked"
+    #: Local scalar — wrapper statically removable.
+    LOCAL_SKIP = "local-skip"
+    #: VAR parameter — local name but may alias tracked storage.
+    VAR_PARAM = "var-param"
+    #: Call to a statically known non-incremental procedure.
+    PLAIN_CALL = "plain-call"
+    #: Call to a builtin.
+    BUILTIN_CALL = "builtin-call"
+    #: Call to a (*CACHED*) procedure or maintained-method implementation.
+    INCREMENTAL_CALL = "incremental-call"
+    #: Method call — dispatch target unknown statically.
+    DYNAMIC_CALL = "dynamic-call"
+
+    @property
+    def removable(self) -> bool:
+        """True if the §6.1 optimization removes this site's wrapper."""
+        return self in (
+            SiteClass.LOCAL_SKIP,
+            SiteClass.PLAIN_CALL,
+            SiteClass.BUILTIN_CALL,
+        )
+
+
+@dataclass
+class SiteReport:
+    """Classification of every site in a module, keyed by AST node id."""
+
+    classes: Dict[int, SiteClass] = field(default_factory=dict)
+
+    def classify(self, node: ast.Node, site_class: SiteClass) -> None:
+        self.classes[id(node)] = site_class
+
+    def of(self, node: ast.Node) -> Optional[SiteClass]:
+        return self.classes.get(id(node))
+
+    def counts(self) -> Dict[SiteClass, int]:
+        out: Dict[SiteClass, int] = {cls: 0 for cls in SiteClass}
+        for site_class in self.classes.values():
+            out[site_class] += 1
+        return out
+
+    @property
+    def total_sites(self) -> int:
+        return len(self.classes)
+
+    @property
+    def removed_sites(self) -> int:
+        return sum(1 for c in self.classes.values() if c.removable)
+
+    def summary(self) -> str:
+        parts = [
+            f"{cls.value}={count}"
+            for cls, count in self.counts().items()
+            if count
+        ]
+        ratio = (
+            self.removed_sites / self.total_sites if self.total_sites else 0.0
+        )
+        return (
+            f"sites={self.total_sites} removed={self.removed_sites} "
+            f"({ratio:.0%}) [{', '.join(parts)}]"
+        )
+
+
+class _Classifier:
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self.report = SiteReport()
+        #: Names that are plain locals in the current procedure.
+        self.locals: Set[str] = set()
+        #: Names that are VAR parameters in the current procedure.
+        self.var_params: Set[str] = set()
+
+    # -- scope ----------------------------------------------------------
+
+    def run(self) -> SiteReport:
+        for proc in self.info.procedures.values():
+            self.locals = {
+                p.name for p in proc.decl.params if not p.by_var
+            }
+            self.var_params = {
+                p.name for p in proc.decl.params if p.by_var
+            }
+            for var in proc.decl.locals:
+                self.locals.update(var.names)
+                if var.init is not None:
+                    self.read(var.init)
+            self.stmts(proc.decl.body)
+        self.locals = set()
+        self.var_params = set()
+        for var in self.info.module.variables():
+            if var.init is not None:
+                self.read(var.init)
+        self.stmts(self.info.module.body)
+        return self.report
+
+    # -- classification ----------------------------------------------------
+
+    def name_class(self, name: str) -> SiteClass:
+        if name in self.var_params:
+            return SiteClass.VAR_PARAM
+        if name in self.locals:
+            return SiteClass.LOCAL_SKIP
+        if name in self.info.procedures or name in BUILTIN_ARITIES:
+            # A procedure constant used as a value: immutable, never
+            # tracked storage — statically removable.
+            return SiteClass.LOCAL_SKIP
+        return SiteClass.TRACKED  # top-level variable
+
+    def read(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.NameExpr):
+            self.report.classify(expr, self.name_class(expr.name))
+        elif isinstance(expr, ast.FieldExpr):
+            self.report.classify(expr, SiteClass.TRACKED)
+            self.read(expr.obj)
+        elif isinstance(expr, ast.IndexExpr):
+            self.report.classify(expr, SiteClass.TRACKED)
+            self.read(expr.obj)
+            self.read(expr.index)
+        elif isinstance(expr, ast.CallExpr):
+            self.call(expr)
+        elif isinstance(expr, ast.NewExpr):
+            for _, value in expr.inits:
+                self.read(value)
+        elif isinstance(expr, ast.UnaryExpr):
+            self.read(expr.operand)
+        elif isinstance(expr, ast.BinExpr):
+            self.read(expr.left)
+            self.read(expr.right)
+        elif isinstance(expr, ast.UncheckedExpr):
+            self.read(expr.inner)
+        # literals: nothing to classify
+
+    def call(self, call: ast.CallExpr) -> None:
+        fn = call.fn
+        if isinstance(fn, ast.NameExpr):
+            proc = self.info.procedures.get(fn.name)
+            if proc is not None:
+                cls = (
+                    SiteClass.INCREMENTAL_CALL
+                    if proc.is_incremental
+                    else SiteClass.PLAIN_CALL
+                )
+            elif fn.name in BUILTIN_ARITIES:
+                cls = SiteClass.BUILTIN_CALL
+            else:  # unresolvable: sema would have rejected; be safe
+                cls = SiteClass.DYNAMIC_CALL
+            self.report.classify(call, cls)
+        else:
+            # Method call: receiver is read; dispatch is dynamic.
+            self.report.classify(call, SiteClass.DYNAMIC_CALL)
+            inner = fn.obj if isinstance(fn, ast.FieldExpr) else fn
+            self.read(inner)
+        for arg in call.args:
+            self.read(arg)
+
+    def write_target(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.NameExpr):
+            self.report.classify(target, self.name_class(target.name))
+        elif isinstance(target, ast.FieldExpr):
+            self.report.classify(target, SiteClass.TRACKED)
+            self.read(target.obj)
+        elif isinstance(target, ast.IndexExpr):
+            self.report.classify(target, SiteClass.TRACKED)
+            self.read(target.obj)
+            self.read(target.index)
+
+    # -- statements ---------------------------------------------------------
+
+    def stmts(self, body: List[ast.Stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            self.write_target(stmt.target)
+            self.read(stmt.value)
+        elif isinstance(stmt, ast.CallStmt):
+            assert isinstance(stmt.call, ast.CallExpr)
+            self.call(stmt.call)
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, body in stmt.arms:
+                self.read(cond)
+                self.stmts(body)
+            self.stmts(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.read(stmt.cond)
+            self.stmts(stmt.body)
+        elif isinstance(stmt, ast.ForStmt):
+            self.read(stmt.lo)
+            self.read(stmt.hi)
+            if stmt.by is not None:
+                self.read(stmt.by)
+            added = stmt.var not in self.locals
+            if added:
+                self.locals.add(stmt.var)
+            self.stmts(stmt.body)
+            if added:
+                self.locals.discard(stmt.var)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.read(stmt.value)
+
+
+def classify_sites(info: ModuleInfo) -> SiteReport:
+    """Classify every access/modify/call site of an analyzed module."""
+    return _Classifier(info).run()

@@ -1,0 +1,842 @@
+"""Tree-walking interpreter for Alphonse-L.
+
+Two execution modes:
+
+* ``mode="conventional"`` — execute the untransformed AST with plain
+  storage.  This is "a conventional execution of P" from Theorem 5.1 and
+  the baseline for the overhead experiment (E8).
+* ``mode="alphonse"`` — run the Section 5 transformation and execute the
+  wrapped AST against a :class:`repro.core.Runtime`: AccessOp/ModifyOp/
+  CallOp drive Algorithm 3/4/5 and incremental procedures go through
+  argument tables and quiescence propagation.
+
+The interpreter counts executed statements (``steps``) and wrapper
+checks (``dynamic_checks``) so benches can compare work across modes
+without wall-clock noise.
+
+Storage model: top-level variables and object fields live in
+:class:`repro.core.cells.Cell` (trackable abstract locations); procedure
+locals and parameters live in :class:`LocalSlot` (never trackable — the
+paper's TOP restriction exists precisely because stack storage dies).
+VAR parameters alias the caller's location, so a write through a VAR
+parameter to a tracked cell is tracked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..core import LRU, FIFO, Runtime
+from ..core.cache import CachePolicy
+from ..core.cells import Cell
+from ..core.errors import AlphonseError
+from ..core.node import NodeKind
+from ..core.runtime import IncrementalProcedure
+from ..core.strategy import DEMAND, EAGER
+from . import ast
+from .builtins import PURE_BUILTINS, BuiltinError
+from .parser import parse_module
+from .sema import analyze
+from .symbols import MethodBinding, ModuleInfo, ProcInfo, TypeInfo
+from .transform import TransformResult, transform
+
+
+class InterpError(AlphonseError):
+    """A runtime error in the interpreted program."""
+
+    def __init__(self, message: str, node: Optional[ast.Node] = None) -> None:
+        if node is not None and node.line:
+            message = f"{node.line}:{node.column}: {message}"
+        super().__init__(message)
+
+
+class _Return(Exception):
+    """Internal control flow for RETURN statements."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class LProcValue:
+    """A first-class procedure value (paper §3.1's procedure-valued
+    fields).  Stored in tracked storage and applied to the containing
+    object: ``o.handler(args)`` invokes ``handler_proc(o, args...)``."""
+
+    __slots__ = ("proc_name",)
+
+    def __init__(self, proc_name: str) -> None:
+        self.proc_name = proc_name
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LProcValue) and other.proc_name == self.proc_name
+        )
+
+    def __hash__(self) -> int:
+        return hash(("LProcValue", self.proc_name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<procedure {self.proc_name}>"
+
+
+class LocalSlot:
+    """A procedure-local storage location (never dependency-tracked)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+
+Location = Union[Cell, LocalSlot]
+
+
+class LObject:
+    """A heap object: its type plus one tracked cell per field."""
+
+    __slots__ = ("type_info", "cells")
+
+    def __init__(self, type_info: TypeInfo, cells: Dict[str, Cell]) -> None:
+        self.type_info = type_info
+        self.cells = cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type_info.name}@{id(self):x}>"
+
+
+class LArray:
+    """A heap array: one tracked cell per element (fixed length)."""
+
+    __slots__ = ("type_name", "cells")
+
+    def __init__(self, type_name: str, cells: List[Cell]) -> None:
+        self.type_name = type_name
+        self.cells = cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.type_name}[{len(self.cells)}]@{id(self):x}>"
+
+
+_DEFAULTS = {"INTEGER": 0, "BOOLEAN": False, "TEXT": ""}
+
+
+def _default_for(type_name: str) -> Any:
+    return _DEFAULTS.get(type_name)  # object types default to NIL (None)
+
+
+class _Env:
+    """One activation record: name -> LocalSlot (or aliased location)."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: Dict[str, Location] = {}
+
+
+class Interpreter:
+    """Executes one Alphonse-L module.
+
+    Parameters
+    ----------
+    source:
+        Alphonse-L source text or an already-parsed Module.
+    mode:
+        "alphonse" (transformed, incremental) or "conventional".
+    runtime:
+        Runtime for alphonse mode; a fresh one is created if omitted.
+    optimize:
+        Apply the §6.1 dataflow wrapper removal (alphonse mode only).
+    max_steps:
+        Optional ceiling on executed statements (guards tests against
+        accidental infinite loops).
+    """
+
+    def __init__(
+        self,
+        source: Union[str, ast.Module],
+        *,
+        mode: str = "alphonse",
+        runtime: Optional[Runtime] = None,
+        optimize: bool = True,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        if mode not in ("alphonse", "conventional"):
+            raise ValueError(f"unknown mode {mode!r}")
+        module = parse_module(source) if isinstance(source, str) else source
+        self.info: ModuleInfo = analyze(module)
+        self.mode = mode
+        self.max_steps = max_steps
+        self.steps = 0
+        self.dynamic_checks = 0
+        self.output: List[str] = []
+        self.tx: Optional[TransformResult] = None
+        if mode == "alphonse":
+            self.tx = transform(self.info, optimize=optimize)
+            code_module = self.tx.module
+            self.runtime: Optional[Runtime] = runtime or Runtime()
+        else:
+            code_module = module
+            self.runtime = None
+        self.code_module = code_module
+        self._proc_decls: Dict[str, ast.ProcDecl] = {
+            p.name: p for p in code_module.procedures()
+        }
+        self.globals: Dict[str, Cell] = {}
+        #: IncrementalProcedure per cached procedure name and per
+        #: (type, method) maintained binding.
+        self._iprocs: Dict[Any, IncrementalProcedure] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # top-level control
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[str]:
+        """Initialize globals and execute the module body; returns output."""
+        if self._ran:
+            raise InterpError("module already ran; create a new Interpreter")
+        self._ran = True
+        with self._activation():
+            module_env = _Env()
+            for decl in self.code_module.variables():
+                for name in decl.names:
+                    self.globals[name] = Cell(
+                        _default_for(decl.type_name), label=f"var {name}"
+                    )
+                if decl.init is not None:
+                    value = self.eval(decl.init, module_env)
+                    for name in decl.names:
+                        self.globals[name]._value = value
+            self.exec_stmts(self.code_module.body, module_env)
+        return self.output
+
+    def call_procedure(self, name: str, *args: Any) -> Any:
+        """Mutator-side entry point: call a top-level procedure by name.
+
+        Incremental procedures go through the runtime (argument table,
+        propagation); plain procedures execute directly.
+        """
+        proc = self.info.procedures.get(name)
+        if proc is None:
+            raise InterpError(f"no procedure {name!r}")
+        with self._activation():
+            if self.mode == "alphonse" and proc.is_incremental:
+                return self.runtime.call(self._iproc_for(proc), tuple(args))
+            return self._invoke_plain(proc.name, list(args))
+
+    def call_method(self, obj: LObject, method: str, *args: Any) -> Any:
+        """Mutator-side method call with dynamic dispatch."""
+        binding = obj.type_info.methods.get(method)
+        if binding is None:
+            raise InterpError(
+                f"{obj.type_info.name} has no method {method!r}"
+            )
+        with self._activation():
+            return self._dispatch_method(obj, binding, list(args))
+
+    def global_value(self, name: str) -> Any:
+        """Untracked read of a top-level variable (test/diagnostic)."""
+        return self._global_cell(name)._value
+
+    def set_global(self, name: str, value: Any) -> None:
+        """Mutator-side tracked write to a top-level variable."""
+        cell = self._global_cell(name)
+        with self._activation():
+            if self.mode == "alphonse":
+                assert self.runtime is not None
+                self.runtime.on_modify(cell, value)
+            else:
+                cell._value = value
+
+    def new_object(self, type_name: str, **field_values: Any) -> LObject:
+        """Mutator-side NEW (for driving programs from Python)."""
+        ti = self.info.types.get(type_name)
+        if ti is None:
+            raise InterpError(f"unknown type {type_name!r}")
+        return self._allocate(ti, field_values)
+
+    def set_field(self, obj: LObject, field_name: str, value: Any) -> None:
+        """Mutator-side tracked field write."""
+        cell = self._field_cell(obj, field_name)
+        with self._activation():
+            if self.mode == "alphonse":
+                assert self.runtime is not None
+                self.runtime.on_modify(cell, value)
+            else:
+                cell._value = value
+
+    def get_field(self, obj: LObject, field_name: str) -> Any:
+        return self._field_cell(obj, field_name)._value
+
+    def new_array(self, type_name: str) -> LArray:
+        """Mutator-side allocation of a declared array type."""
+        if type_name not in self.info.arrays:
+            raise InterpError(f"unknown array type {type_name!r}")
+        return self._allocate_array(type_name)
+
+    def set_element(self, array: LArray, index: int, value: Any) -> None:
+        """Mutator-side tracked write to an array element."""
+        cell = self._element_cell(array, index)
+        with self._activation():
+            if self.mode == "alphonse":
+                assert self.runtime is not None
+                self.runtime.on_modify(cell, value)
+            else:
+                cell._value = value
+
+    def get_element(self, array: LArray, index: int) -> Any:
+        return self._element_cell(array, index)._value
+
+    def _element_cell(self, array: LArray, index: int) -> Cell:
+        if not isinstance(array, LArray):
+            raise InterpError(f"not an array: {array!r}")
+        if not (0 <= index < len(array.cells)):
+            raise InterpError(
+                f"index {index} out of range 0..{len(array.cells) - 1}"
+            )
+        return array.cells[index]
+
+    def _global_cell(self, name: str) -> Cell:
+        cell = self.globals.get(name)
+        if cell is None:
+            raise InterpError(f"no top-level variable {name!r}")
+        return cell
+
+    def _field_cell(self, obj: LObject, field_name: str) -> Cell:
+        cell = obj.cells.get(field_name)
+        if cell is None:
+            raise InterpError(
+                f"{obj.type_info.name} has no field {field_name!r}"
+            )
+        return cell
+
+    def _activation(self):
+        if self.runtime is not None:
+            return self.runtime.active()
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    # ------------------------------------------------------------------
+    # procedure invocation
+    # ------------------------------------------------------------------
+
+    def _invoke_plain(self, name: str, args: List[Any]) -> Any:
+        decl = self._proc_decls.get(name)
+        if decl is None:
+            raise InterpError(f"no procedure {name!r}")
+        if len(args) != len(decl.params):
+            raise InterpError(
+                f"{name}: expected {len(decl.params)} argument(s), got "
+                f"{len(args)}"
+            )
+        env = _Env()
+        for param, arg in zip(decl.params, args):
+            if param.by_var:
+                if not isinstance(arg, (Cell, LocalSlot)):
+                    raise InterpError(
+                        f"{name}: VAR parameter {param.name!r} needs a "
+                        f"location argument"
+                    )
+                env.slots[param.name] = arg  # alias the caller's location
+            else:
+                env.slots[param.name] = LocalSlot(arg)
+        for var in decl.locals:
+            for vname in var.names:
+                env.slots[vname] = LocalSlot(_default_for(var.type_name))
+            if var.init is not None:
+                value = self.eval(var.init, env)
+                for vname in var.names:
+                    slot = env.slots[vname]
+                    assert isinstance(slot, LocalSlot)
+                    slot.value = value
+        try:
+            self.exec_stmts(decl.body, env)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def _iproc_for(self, proc: ProcInfo) -> IncrementalProcedure:
+        iproc = self._iprocs.get(proc.name)
+        if iproc is None:
+            strategy, policy_factory = _pragma_options(proc.cached_pragma)
+            iproc = IncrementalProcedure(
+                lambda *args, _n=proc.name: self._invoke_plain(_n, list(args)),
+                strategy=strategy,
+                policy_factory=policy_factory,
+                name=proc.name,
+            )
+            self._iprocs[proc.name] = iproc
+        return iproc
+
+    def _iproc_for_method(self, binding: MethodBinding) -> IncrementalProcedure:
+        key = (binding.bound_by, binding.name)
+        iproc = self._iprocs.get(key)
+        if iproc is None:
+            strategy, policy_factory = _pragma_options(binding.pragma)
+            iproc = IncrementalProcedure(
+                lambda *args, _n=binding.impl_name: self._invoke_plain(
+                    _n, list(args)
+                ),
+                strategy=strategy,
+                policy_factory=policy_factory,
+                name=f"{binding.bound_by}.{binding.name}",
+            )
+            self._iprocs[key] = iproc
+        return iproc
+
+    def _dispatch_method(
+        self, obj: LObject, binding: MethodBinding, args: List[Any]
+    ) -> Any:
+        if self.mode == "alphonse" and binding.is_maintained:
+            assert self.runtime is not None
+            return self.runtime.call(
+                self._iproc_for_method(binding), (obj, *args)
+            )
+        return self._invoke_plain(binding.impl_name, [obj] + args)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_stmts(self, stmts: List[ast.Stmt], env: _Env) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.Stmt, env: _Env) -> None:
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise InterpError(f"exceeded max_steps={self.max_steps}")
+        if isinstance(stmt, ast.AssignStmt):
+            location = self.eval_location(stmt.target, env)
+            value = self.eval(stmt.value, env)
+            self._store_plain(location, value)
+        elif isinstance(stmt, ast.ModifyOp):
+            self.dynamic_checks += 1
+            location = self.eval_location(stmt.target, env)
+            value = self.eval(stmt.value, env)
+            if isinstance(location, Cell) and self.runtime is not None:
+                self.runtime.on_modify(location, value)
+            else:
+                self._store_plain(location, value)
+        elif isinstance(stmt, ast.CallStmt):
+            self.eval(stmt.call, env)
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, body in stmt.arms:
+                if self._truthy(self.eval(cond, env), cond):
+                    self.exec_stmts(body, env)
+                    return
+            self.exec_stmts(stmt.else_body, env)
+        elif isinstance(stmt, ast.WhileStmt):
+            while self._truthy(self.eval(stmt.cond, env), stmt.cond):
+                self.exec_stmts(stmt.body, env)
+                self.steps += 1
+                if self.max_steps is not None and self.steps > self.max_steps:
+                    raise InterpError(f"exceeded max_steps={self.max_steps}")
+        elif isinstance(stmt, ast.ForStmt):
+            lo = self.eval(stmt.lo, env)
+            hi = self.eval(stmt.hi, env)
+            step = self.eval(stmt.by, env) if stmt.by is not None else 1
+            if not isinstance(step, int) or step == 0:
+                raise InterpError("FOR step must be a nonzero integer", stmt)
+            slot = LocalSlot(lo)
+            saved = env.slots.get(stmt.var)
+            env.slots[stmt.var] = slot
+            try:
+                value = lo
+                while (step > 0 and value <= hi) or (step < 0 and value >= hi):
+                    slot.value = value
+                    self.exec_stmts(stmt.body, env)
+                    value += step
+            finally:
+                if saved is None:
+                    env.slots.pop(stmt.var, None)
+                else:
+                    env.slots[stmt.var] = saved
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self.eval(stmt.value, env) if stmt.value is not None else None
+            )
+            raise _Return(value)
+        else:
+            raise InterpError(f"cannot execute {type(stmt).__name__}", stmt)
+
+    @staticmethod
+    def _store_plain(location: Location, value: Any) -> None:
+        if isinstance(location, Cell):
+            location._value = value
+        else:
+            location.value = value
+
+    @staticmethod
+    def _truthy(value: Any, node: ast.Node) -> bool:
+        if not isinstance(value, bool):
+            raise InterpError(
+                f"condition evaluated to {value!r}, expected BOOLEAN", node
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, env: _Env) -> Any:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.TextLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.NilLit):
+            return None
+        if isinstance(expr, ast.NameExpr):
+            return self._read_plain(self.eval_location(expr, env))
+        if isinstance(expr, ast.FieldExpr):
+            return self._read_plain(self.eval_location(expr, env))
+        if isinstance(expr, ast.IndexExpr):
+            return self._read_plain(self.eval_location(expr, env))
+        if isinstance(expr, ast.AccessOp):
+            self.dynamic_checks += 1
+            location = self.eval_location(expr.inner, env)
+            if isinstance(location, Cell) and self.runtime is not None:
+                return self.runtime.on_read(location)
+            return self._read_plain(location)  # nodeptr is nil: plain read
+        if isinstance(expr, ast.CallExpr):
+            return self.eval_call(expr, env, wrapped=False)
+        if isinstance(expr, ast.CallOp):
+            self.dynamic_checks += 1
+            return self.eval_call(expr.call, env, wrapped=True)
+        if isinstance(expr, ast.NewExpr):
+            return self.eval_new(expr, env)
+        if isinstance(expr, ast.UnaryExpr):
+            return self.eval_unary(expr, env)
+        if isinstance(expr, ast.BinExpr):
+            return self.eval_binary(expr, env)
+        if isinstance(expr, ast.UncheckedExpr):
+            if self.runtime is not None:
+                with self.runtime.unchecked():
+                    return self.eval(expr.inner, env)
+            return self.eval(expr.inner, env)
+        raise InterpError(f"cannot evaluate {type(expr).__name__}", expr)
+
+    @staticmethod
+    def _read_plain(location: Location) -> Any:
+        return location._value if isinstance(location, Cell) else location.value
+
+    def eval_location(self, expr: ast.Expr, env: _Env) -> Location:
+        if isinstance(expr, ast.AccessOp):
+            # VAR-argument passthrough: the location, not the value.
+            return self.eval_location(expr.inner, env)
+        if isinstance(expr, ast.NameExpr):
+            slot = env.slots.get(expr.name)
+            if slot is not None:
+                return slot
+            cell = self.globals.get(expr.name)
+            if cell is not None:
+                return cell
+            if expr.name in self.info.procedures:
+                # Procedure constant used as a value (§3.1 procedure-
+                # valued fields): a read-only pseudo-location.
+                return LocalSlot(LProcValue(expr.name))
+            raise InterpError(f"unknown variable {expr.name!r}", expr)
+        if isinstance(expr, ast.FieldExpr):
+            obj = self.eval(expr.obj, env)
+            if obj is None:
+                raise InterpError(
+                    f"NIL dereference reading field {expr.field_name!r}", expr
+                )
+            if not isinstance(obj, LObject):
+                raise InterpError(
+                    f"field access on non-object {obj!r}", expr
+                )
+            cell = obj.cells.get(expr.field_name)
+            if cell is None:
+                raise InterpError(
+                    f"{obj.type_info.name} has no field "
+                    f"{expr.field_name!r}",
+                    expr,
+                )
+            return cell
+        if isinstance(expr, ast.IndexExpr):
+            array = self.eval(expr.obj, env)
+            if array is None:
+                raise InterpError("NIL dereference indexing array", expr)
+            if not isinstance(array, LArray):
+                raise InterpError(f"indexing non-array {array!r}", expr)
+            index = self.eval(expr.index, env)
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise InterpError(f"array index {index!r} is not INTEGER", expr)
+            if not (0 <= index < len(array.cells)):
+                raise InterpError(
+                    f"index {index} out of range 0..{len(array.cells) - 1}",
+                    expr,
+                )
+            return array.cells[index]
+        raise InterpError(
+            f"{type(expr).__name__} is not a storage designator", expr
+        )
+
+    # -- calls ------------------------------------------------------------
+
+    def eval_call(self, call: ast.CallExpr, env: _Env, wrapped: bool) -> Any:
+        fn = call.fn
+        if isinstance(fn, ast.NameExpr):
+            proc = self.info.procedures.get(fn.name)
+            if proc is not None:
+                args = self._eval_args(call.args, proc.decl.params, env)
+                if (
+                    wrapped
+                    and self.mode == "alphonse"
+                    and proc.is_incremental
+                ):
+                    assert self.runtime is not None
+                    return self.runtime.call(self._iproc_for(proc), tuple(args))
+                return self._invoke_plain(proc.name, args)
+            return self._call_builtin(fn.name, call, env)
+        if isinstance(fn, ast.FieldExpr):
+            obj = self.eval(fn.obj, env)
+            if obj is None:
+                raise InterpError(
+                    f"NIL dereference calling method {fn.field_name!r}", fn
+                )
+            if not isinstance(obj, LObject):
+                raise InterpError(f"method call on non-object {obj!r}", fn)
+            binding = obj.type_info.methods.get(fn.field_name)
+            if binding is None:
+                return self._call_procedure_field(obj, fn, call, env, wrapped)
+            impl = self.info.procedures[binding.impl_name]
+            args = self._eval_args(call.args, impl.decl.params[1:], env)
+            return self._dispatch_method(obj, binding, args)
+        raise InterpError("call target must be a procedure or method", call)
+
+    def _call_procedure_field(
+        self,
+        obj: LObject,
+        fn: ast.FieldExpr,
+        call: ast.CallExpr,
+        env: _Env,
+        wrapped: bool,
+    ) -> Any:
+        """§3.1 procedure-valued fields: ``o.f(args)`` where ``f`` is a
+        data field holding a procedure value.  The field read is tracked,
+        so *re-targeting the field* invalidates dependents exactly like
+        any other data change."""
+        cell = obj.cells.get(fn.field_name)
+        if cell is None:
+            raise InterpError(
+                f"{obj.type_info.name} has no method or field "
+                f"{fn.field_name!r}",
+                fn,
+            )
+        if self.mode == "alphonse":
+            assert self.runtime is not None
+            value = self.runtime.on_read(cell)
+        else:
+            value = cell._value
+        if not isinstance(value, LProcValue):
+            raise InterpError(
+                f"field {fn.field_name!r} holds {value!r}, not a procedure",
+                fn,
+            )
+        proc = self.info.procedures.get(value.proc_name)
+        if proc is None:  # pragma: no cover - values only name real procs
+            raise InterpError(f"dangling procedure {value.proc_name!r}", fn)
+        expected = len(proc.decl.params)
+        if expected != len(call.args) + 1:
+            raise InterpError(
+                f"procedure field {fn.field_name!r}: {value.proc_name} "
+                f"takes {expected} parameter(s) (object + "
+                f"{expected - 1}), got {len(call.args)} argument(s)",
+                call,
+            )
+        args = self._eval_args(call.args, proc.decl.params[1:], env)
+        if wrapped and self.mode == "alphonse" and proc.is_incremental:
+            assert self.runtime is not None
+            return self.runtime.call(self._iproc_for(proc), (obj, *args))
+        return self._invoke_plain(proc.name, [obj] + args)
+
+    def _eval_args(
+        self, args: List[ast.Expr], params: List[ast.Param], env: _Env
+    ) -> List[Any]:
+        values: List[Any] = []
+        for i, arg in enumerate(args):
+            by_var = i < len(params) and params[i].by_var
+            if by_var:
+                values.append(self.eval_location(arg, env))
+            else:
+                values.append(self.eval(arg, env))
+        return values
+
+    def _call_builtin(self, name: str, call: ast.CallExpr, env: _Env) -> Any:
+        args = [self.eval(a, env) for a in call.args]
+        if name == "Print":
+            from .builtins import _builtin_text
+
+            self.output.append(_builtin_text(args[0]))
+            return None
+        if name == "Assert":
+            if not args[0]:
+                message = args[1] if len(args) > 1 else "assertion failed"
+                raise InterpError(f"Assert: {message}", call)
+            return None
+        entry = PURE_BUILTINS.get(name)
+        if entry is None:
+            raise InterpError(f"unknown procedure {name!r}", call)
+        fn, _arity = entry
+        try:
+            return fn(*args)
+        except BuiltinError as exc:
+            raise InterpError(str(exc), call) from None
+
+    # -- allocation ---------------------------------------------------------
+
+    def eval_new(self, expr: ast.NewExpr, env: _Env) -> Any:
+        ti = self.info.types.get(expr.type_name)
+        if ti is None:
+            ainfo = self.info.arrays.get(expr.type_name)
+            if ainfo is not None:
+                return self._allocate_array(ainfo.name)
+            raise InterpError(f"NEW of unknown type {expr.type_name!r}", expr)
+        inits = {name: self.eval(value, env) for name, value in expr.inits}
+        return self._allocate(ti, inits)
+
+    def _allocate_array(self, type_name: str) -> LArray:
+        ainfo = self.info.arrays[type_name]
+        default = _default_for(ainfo.elem_type)
+        cells = [
+            Cell(default, label=f"{type_name}[{i}]")
+            for i in range(ainfo.length)
+        ]
+        return LArray(type_name, cells)
+
+    def _allocate(self, ti: TypeInfo, inits: Dict[str, Any]) -> LObject:
+        cells: Dict[str, Cell] = {}
+        for field_name, type_name in ti.all_fields().items():
+            initial = inits.pop(field_name, _default_for(type_name))
+            cells[field_name] = Cell(
+                initial, label=f"{ti.name}.{field_name}"
+            )
+        if inits:
+            unknown = ", ".join(sorted(inits))
+            raise InterpError(f"NEW({ti.name}): no field(s) {unknown}")
+        return LObject(ti, cells)
+
+    # -- operators ---------------------------------------------------------
+
+    def eval_unary(self, expr: ast.UnaryExpr, env: _Env) -> Any:
+        if expr.op == "NOT":
+            value = self.eval(expr.operand, env)
+            if not isinstance(value, bool):
+                raise InterpError(f"NOT applied to {value!r}", expr)
+            return not value
+        value = self.eval(expr.operand, env)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise InterpError(f"unary - applied to {value!r}", expr)
+        return -value
+
+    def eval_binary(self, expr: ast.BinExpr, env: _Env) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.eval(expr.left, env)
+            if not self._truthy(left, expr):
+                return False
+            return self._truthy(self.eval(expr.right, env), expr)
+        if op == "OR":
+            left = self.eval(expr.left, env)
+            if self._truthy(left, expr):
+                return True
+            return self._truthy(self.eval(expr.right, env), expr)
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op == "=":
+            return left == right if not _both_objects(left, right) else left is right
+        if op == "#":
+            return left != right if not _both_objects(left, right) else left is not right
+        if op in ("+", "-", "*", "DIV", "MOD"):
+            if op == "+" and isinstance(left, str) and isinstance(right, str):
+                return left + right
+            _require_ints(op, left, right, expr)
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise InterpError(f"{op} by zero", expr)
+            if op == "DIV":
+                return left // right
+            return left % right
+        if op in ("<", "<=", ">", ">="):
+            if not (
+                (isinstance(left, int) and isinstance(right, int))
+                or (isinstance(left, str) and isinstance(right, str))
+            ):
+                raise InterpError(
+                    f"{op} applied to {left!r} and {right!r}", expr
+                )
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        raise InterpError(f"unknown operator {op!r}", expr)
+
+
+def _both_objects(a: Any, b: Any) -> bool:
+    return isinstance(a, LObject) and isinstance(b, LObject)
+
+
+def _require_ints(op: str, left: Any, right: Any, node: ast.Node) -> None:
+    ok = (
+        isinstance(left, int)
+        and isinstance(right, int)
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    )
+    if not ok:
+        raise InterpError(f"{op} applied to {left!r} and {right!r}", node)
+
+
+def _pragma_options(
+    pragma: Optional[ast.Pragma],
+) -> Tuple[NodeKind, Optional[Callable[[], CachePolicy]]]:
+    strategy = DEMAND
+    policy_factory: Optional[Callable[[], CachePolicy]] = None
+    if pragma is not None:
+        if pragma.strategy == "EAGER":
+            strategy = EAGER
+        policy = pragma.policy
+        if policy is not None:
+            kind, size = policy
+            if kind == "LRU":
+                policy_factory = lambda: LRU(size)  # noqa: E731
+            else:
+                policy_factory = lambda: FIFO(size)  # noqa: E731
+    return strategy, policy_factory
+
+
+def run_source(
+    source: str,
+    *,
+    mode: str = "alphonse",
+    runtime: Optional[Runtime] = None,
+    optimize: bool = True,
+    max_steps: Optional[int] = None,
+) -> Interpreter:
+    """Parse, analyze, (transform,) and run a module; returns the
+    Interpreter for inspection (output, globals, stats)."""
+    interp = Interpreter(
+        source,
+        mode=mode,
+        runtime=runtime,
+        optimize=optimize,
+        max_steps=max_steps,
+    )
+    interp.run()
+    return interp

@@ -1,0 +1,184 @@
+"""Lexer for Alphonse-L.
+
+Handles nested ``(* ... *)`` comments (Modula-3 style); a comment whose
+first word is MAINTAINED, CACHED, or UNCHECKED is emitted as a PRAGMA
+token instead of being discarded.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.errors import AlphonseError
+from .tokens import KEYWORDS, PRAGMA_HEADS, Token, TokenKind
+
+
+class LexError(AlphonseError):
+    """Invalid character or malformed literal/comment."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class _Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: List[Token] = []
+
+    # -- character helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _emit(self, kind: TokenKind, value: object, line: int, column: int,
+              pragma_args: tuple = ()) -> None:
+        self.tokens.append(Token(kind, value, line, column, pragma_args))
+
+    # -- scanning ---------------------------------------------------------
+
+    def run(self) -> List[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._comment_or_pragma()
+            elif ch.isdigit():
+                self._number()
+            elif ch.isalpha() or ch == "_":
+                self._word()
+            elif ch == '"':
+                self._text_literal()
+            else:
+                self._operator()
+        self._emit(TokenKind.EOF, None, self.line, self.column)
+        return self.tokens
+
+    def _comment_or_pragma(self) -> None:
+        line, column = self.line, self.column
+        self._advance()  # (
+        self._advance()  # *
+        depth = 1
+        body_chars: List[str] = []
+        while depth > 0:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated comment", line, column)
+            if self._peek() == "*" and self._peek(1) == ")":
+                self._advance()
+                self._advance()
+                depth -= 1
+                if depth > 0:
+                    body_chars.append("*)")
+            elif self._peek() == "(" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                depth += 1
+                body_chars.append("(*")
+            else:
+                body_chars.append(self._advance())
+        words = "".join(body_chars).split()
+        if words and words[0].upper() in PRAGMA_HEADS:
+            self._emit(
+                TokenKind.PRAGMA,
+                words[0].upper(),
+                line,
+                column,
+                pragma_args=tuple(words[1:]),
+            )
+        # otherwise: ordinary comment, dropped
+
+    def _number(self) -> None:
+        line, column = self.line, self.column
+        digits: List[str] = []
+        while self._peek().isdigit():
+            digits.append(self._advance())
+        self._emit(TokenKind.INT, int("".join(digits)), line, column)
+
+    def _word(self) -> None:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        word = "".join(chars)
+        kind = KEYWORDS.get(word)
+        if kind is not None:
+            self._emit(kind, word, line, column)
+        else:
+            self._emit(TokenKind.IDENT, word, line, column)
+
+    def _text_literal(self) -> None:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated text literal", line, column)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                escape = self._advance()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise LexError(
+                        f"unknown escape \\{escape}", self.line, self.column
+                    )
+                chars.append(mapping[escape])
+            else:
+                chars.append(ch)
+        self._emit(TokenKind.TEXT, "".join(chars), line, column)
+
+    _TWO_CHAR = {":=": TokenKind.ASSIGN, "<=": TokenKind.LE, ">=": TokenKind.GE}
+    _ONE_CHAR = {
+        ";": TokenKind.SEMI,
+        ":": TokenKind.COLON,
+        ",": TokenKind.COMMA,
+        ".": TokenKind.DOT,
+        "=": TokenKind.EQ,
+        "#": TokenKind.NE,
+        "<": TokenKind.LT,
+        ">": TokenKind.GT,
+        "+": TokenKind.PLUS,
+        "-": TokenKind.MINUS,
+        "*": TokenKind.STAR,
+        "(": TokenKind.LPAREN,
+        ")": TokenKind.RPAREN,
+        "[": TokenKind.LBRACKET,
+        "]": TokenKind.RBRACKET,
+    }
+
+    def _operator(self) -> None:
+        line, column = self.line, self.column
+        two = self._peek() + self._peek(1)
+        if two in self._TWO_CHAR:
+            self._advance()
+            self._advance()
+            self._emit(self._TWO_CHAR[two], two, line, column)
+            return
+        one = self._peek()
+        kind = self._ONE_CHAR.get(one)
+        if kind is None:
+            raise LexError(f"unexpected character {one!r}", line, column)
+        self._advance()
+        self._emit(kind, one, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Alphonse-L source text, preserving pragma comments."""
+    return _Lexer(source).run()

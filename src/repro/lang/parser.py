@@ -1,0 +1,561 @@
+"""Recursive-descent parser for Alphonse-L.
+
+Grammar (EBNF; ``{}`` repetition, ``[]`` option)::
+
+    module      = MODULE ident ";" { decl } [ BEGIN stmts END ] ident "." EOF
+                  | MODULE ident ";" { decl } EOF        (library module)
+    decl        = type_decl | proc_decl | var_decl
+    type_decl   = TYPE ident "=" [ ident ] OBJECT { field_group }
+                  [ METHODS { method_decl } ]
+                  [ OVERRIDES { override_decl } ] END ";"
+    field_group = identlist ":" ident ";"
+    method_decl = [ pragma ] ident "(" [ params ] ")" [ ":" ident ]
+                  ":=" ident ";"
+    override_decl = [ pragma ] ident ":=" ident ";"
+    proc_decl   = [ pragma ] PROCEDURE ident "(" [ params ] ")"
+                  [ ":" ident ] "=" { var_decl } BEGIN stmts END ident ";"
+    var_decl    = VAR identlist ":" ident [ ":=" expr ] ";"
+    params      = param { ";" param }
+    param       = [ VAR ] identlist ":" ident
+    stmts       = [ stmt { ";" [ stmt ] } ]
+    stmt        = designator ":=" expr | call | if | while | for | return
+    if          = IF expr THEN stmts { ELSIF expr THEN stmts }
+                  [ ELSE stmts ] END
+    while       = WHILE expr DO stmts END
+    for         = FOR ident ":=" expr TO expr [ BY expr ] DO stmts END
+    return      = RETURN [ expr ]
+    expr        = conjunct { OR conjunct }
+    conjunct    = relation { AND relation }
+    relation    = sum [ relop sum ]           relop: = # < <= > >=
+    sum         = term { (+|-) term }
+    term        = factor { (*|DIV|MOD) factor }
+    factor      = "-" factor | NOT factor | postfix
+    postfix     = primary { "." ident | "(" [ args ] ")" }
+    primary     = INT | TEXT | TRUE | FALSE | NIL | ident
+                  | NEW "(" ident { "," ident ":=" expr } ")"
+                  | "(" expr ")" | pragma(UNCHECKED) factor
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import AlphonseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+class ParseError(AlphonseError):
+    """Syntax error with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{token.line}:{token.column}: {message}")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            expected = what or kind.value
+            raise ParseError(
+                f"expected {expected}, found {token.kind.value!r}", token
+            )
+        return self.advance()
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    def _pos_of(self, token: Token) -> dict:
+        return {"line": token.line, "column": token.column}
+
+    # -- module ------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        start = self.expect(TokenKind.MODULE)
+        name = self.expect(TokenKind.IDENT).value
+        self.expect(TokenKind.SEMI)
+        decls: List[ast.Decl] = []
+        while True:
+            if self.at(TokenKind.TYPE):
+                decls.append(self.parse_type_decl())
+            elif self.at(TokenKind.VAR):
+                decls.append(self.parse_var_decl())
+            elif self.at(TokenKind.PROCEDURE) or (
+                self.at(TokenKind.PRAGMA)
+                and self.peek(1).kind is TokenKind.PROCEDURE
+            ):
+                decls.append(self.parse_proc_decl())
+            else:
+                break
+        body: List[ast.Stmt] = []
+        if self.accept(TokenKind.BEGIN):
+            body = self.parse_stmts((TokenKind.END,))
+        self.expect(TokenKind.END)
+        end_name = self.expect(TokenKind.IDENT, "module name after END")
+        if end_name.value != name:
+            raise ParseError(
+                f"module ends with {end_name.value!r}, expected {name!r}",
+                end_name,
+            )
+        self.expect(TokenKind.DOT)
+        self.expect(TokenKind.EOF)
+        return ast.Module(
+            name=str(name), decls=decls, body=body, **self._pos_of(start)
+        )
+
+    # -- declarations --------------------------------------------------------
+
+    def parse_type_decl(self) -> "ast.Decl":
+        start = self.expect(TokenKind.TYPE)
+        name = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.EQ)
+        if self.at(TokenKind.ARRAY):
+            return self.parse_array_type(name, start)
+        super_name: Optional[str] = None
+        if self.at(TokenKind.IDENT):
+            super_name = str(self.advance().value)
+        self.expect(TokenKind.OBJECT)
+        fields: List[ast.FieldGroup] = []
+        while self.at(TokenKind.IDENT):
+            fields.append(self.parse_field_group())
+        methods: List[ast.MethodDecl] = []
+        if self.accept(TokenKind.METHODS):
+            while self.at(TokenKind.IDENT) or self.at(TokenKind.PRAGMA):
+                methods.append(self.parse_method_decl())
+        overrides: List[ast.OverrideDecl] = []
+        if self.accept(TokenKind.OVERRIDES):
+            while self.at(TokenKind.IDENT) or self.at(TokenKind.PRAGMA):
+                overrides.append(self.parse_override_decl())
+        self.expect(TokenKind.END)
+        self.expect(TokenKind.SEMI)
+        return ast.TypeDecl(
+            name=name,
+            super_name=super_name,
+            fields=fields,
+            methods=methods,
+            overrides=overrides,
+            **self._pos_of(start),
+        )
+
+    def parse_array_type(self, name: str, start: Token) -> ast.ArrayTypeDecl:
+        self.expect(TokenKind.ARRAY)
+        length_token = self.expect(TokenKind.INT, "array length")
+        self.expect(TokenKind.OF)
+        elem = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.SEMI)
+        return ast.ArrayTypeDecl(
+            name=name,
+            length=int(length_token.value),
+            elem_type=elem,
+            **self._pos_of(start),
+        )
+
+    def parse_field_group(self) -> ast.FieldGroup:
+        start = self.peek()
+        names = self.parse_ident_list()
+        self.expect(TokenKind.COLON)
+        type_name = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.SEMI)
+        return ast.FieldGroup(
+            names=names, type_name=type_name, **self._pos_of(start)
+        )
+
+    def parse_pragma(self) -> Optional[ast.Pragma]:
+        token = self.accept(TokenKind.PRAGMA)
+        if token is None:
+            return None
+        return ast.Pragma(
+            head=str(token.value),
+            args=token.pragma_args,
+            **self._pos_of(token),
+        )
+
+    def parse_method_decl(self) -> ast.MethodDecl:
+        pragma = self.parse_pragma()
+        start = self.peek()
+        name = str(self.expect(TokenKind.IDENT).value)
+        params: List[ast.Param] = []
+        if self.accept(TokenKind.LPAREN):
+            if not self.at(TokenKind.RPAREN):
+                params = self.parse_params()
+            self.expect(TokenKind.RPAREN)
+        return_type: Optional[str] = None
+        if self.accept(TokenKind.COLON):
+            return_type = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.ASSIGN)
+        impl = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.SEMI)
+        return ast.MethodDecl(
+            pragma=pragma,
+            name=name,
+            params=params,
+            return_type=return_type,
+            impl_name=impl,
+            **self._pos_of(start),
+        )
+
+    def parse_override_decl(self) -> ast.OverrideDecl:
+        pragma = self.parse_pragma()
+        start = self.peek()
+        name = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.ASSIGN)
+        impl = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.SEMI)
+        return ast.OverrideDecl(
+            pragma=pragma, name=name, impl_name=impl, **self._pos_of(start)
+        )
+
+    def parse_proc_decl(self) -> ast.ProcDecl:
+        pragma = self.parse_pragma()
+        start = self.expect(TokenKind.PROCEDURE)
+        name = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.LPAREN)
+        params: List[ast.Param] = []
+        if not self.at(TokenKind.RPAREN):
+            params = self.parse_params()
+        self.expect(TokenKind.RPAREN)
+        return_type: Optional[str] = None
+        if self.accept(TokenKind.COLON):
+            return_type = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.EQ)
+        local_vars: List[ast.VarDecl] = []
+        while self.at(TokenKind.VAR):
+            local_vars.append(self.parse_var_decl())
+        self.expect(TokenKind.BEGIN)
+        body = self.parse_stmts((TokenKind.END,))
+        self.expect(TokenKind.END)
+        end_name = self.expect(TokenKind.IDENT, "procedure name after END")
+        if end_name.value != name:
+            raise ParseError(
+                f"procedure {name!r} ends with {end_name.value!r}", end_name
+            )
+        self.expect(TokenKind.SEMI)
+        return ast.ProcDecl(
+            pragma=pragma,
+            name=name,
+            params=params,
+            return_type=return_type,
+            locals=local_vars,
+            body=body,
+            **self._pos_of(start),
+        )
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        start = self.expect(TokenKind.VAR)
+        names = self.parse_ident_list()
+        self.expect(TokenKind.COLON)
+        type_name = str(self.expect(TokenKind.IDENT).value)
+        init: Optional[ast.Expr] = None
+        if self.accept(TokenKind.ASSIGN):
+            init = self.parse_expr()
+        self.expect(TokenKind.SEMI)
+        return ast.VarDecl(
+            names=names, type_name=type_name, init=init, **self._pos_of(start)
+        )
+
+    def parse_params(self) -> List[ast.Param]:
+        params: List[ast.Param] = []
+        while True:
+            by_var = self.accept(TokenKind.VAR) is not None
+            names = self.parse_ident_list()
+            self.expect(TokenKind.COLON)
+            type_name = str(self.expect(TokenKind.IDENT).value)
+            for pname in names:
+                params.append(
+                    ast.Param(name=pname, type_name=type_name, by_var=by_var)
+                )
+            if not self.accept(TokenKind.SEMI):
+                break
+        return params
+
+    def parse_ident_list(self) -> List[str]:
+        names = [str(self.expect(TokenKind.IDENT).value)]
+        while self.accept(TokenKind.COMMA):
+            names.append(str(self.expect(TokenKind.IDENT).value))
+        return names
+
+    # -- statements -----------------------------------------------------------
+
+    _STMT_TERMINATORS = (
+        TokenKind.END,
+        TokenKind.ELSE,
+        TokenKind.ELSIF,
+        TokenKind.EOF,
+    )
+
+    def parse_stmts(self, terminators: Tuple[TokenKind, ...]) -> List[ast.Stmt]:
+        stop = terminators + self._STMT_TERMINATORS
+        stmts: List[ast.Stmt] = []
+        while True:
+            while self.accept(TokenKind.SEMI):
+                pass
+            if self.peek().kind in stop:
+                return stmts
+            stmts.append(self.parse_stmt())
+            if self.peek().kind in stop:
+                return stmts
+            self.expect(TokenKind.SEMI, "';' between statements")
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind is TokenKind.IF:
+            return self.parse_if()
+        if token.kind is TokenKind.WHILE:
+            return self.parse_while()
+        if token.kind is TokenKind.FOR:
+            return self.parse_for()
+        if token.kind is TokenKind.RETURN:
+            return self.parse_return()
+        # assignment or call: parse a postfix expression, then decide
+        expr = self.parse_postfix()
+        if self.accept(TokenKind.ASSIGN):
+            if not isinstance(
+                expr, (ast.NameExpr, ast.FieldExpr, ast.IndexExpr)
+            ):
+                raise ParseError("assignment target must be a designator", token)
+            value = self.parse_expr()
+            return ast.AssignStmt(
+                target=expr, value=value, **self._pos_of(token)
+            )
+        if isinstance(expr, ast.CallExpr):
+            return ast.CallStmt(call=expr, **self._pos_of(token))
+        raise ParseError("expected ':=' or a procedure call", token)
+
+    def parse_if(self) -> ast.IfStmt:
+        start = self.expect(TokenKind.IF)
+        arms: List[Tuple[ast.Expr, List[ast.Stmt]]] = []
+        cond = self.parse_expr()
+        self.expect(TokenKind.THEN)
+        arms.append((cond, self.parse_stmts(())))
+        while self.accept(TokenKind.ELSIF):
+            cond = self.parse_expr()
+            self.expect(TokenKind.THEN)
+            arms.append((cond, self.parse_stmts(())))
+        else_body: List[ast.Stmt] = []
+        if self.accept(TokenKind.ELSE):
+            else_body = self.parse_stmts(())
+        self.expect(TokenKind.END)
+        return ast.IfStmt(arms=arms, else_body=else_body, **self._pos_of(start))
+
+    def parse_while(self) -> ast.WhileStmt:
+        start = self.expect(TokenKind.WHILE)
+        cond = self.parse_expr()
+        self.expect(TokenKind.DO)
+        body = self.parse_stmts(())
+        self.expect(TokenKind.END)
+        return ast.WhileStmt(cond=cond, body=body, **self._pos_of(start))
+
+    def parse_for(self) -> ast.ForStmt:
+        start = self.expect(TokenKind.FOR)
+        var = str(self.expect(TokenKind.IDENT).value)
+        self.expect(TokenKind.ASSIGN)
+        lo = self.parse_expr()
+        self.expect(TokenKind.TO)
+        hi = self.parse_expr()
+        by: Optional[ast.Expr] = None
+        if self.accept(TokenKind.BY):
+            by = self.parse_expr()
+        self.expect(TokenKind.DO)
+        body = self.parse_stmts(())
+        self.expect(TokenKind.END)
+        return ast.ForStmt(
+            var=var, lo=lo, hi=hi, by=by, body=body, **self._pos_of(start)
+        )
+
+    def parse_return(self) -> ast.ReturnStmt:
+        start = self.expect(TokenKind.RETURN)
+        value: Optional[ast.Expr] = None
+        if self.peek().kind not in (
+            TokenKind.SEMI,
+            TokenKind.END,
+            TokenKind.ELSE,
+            TokenKind.ELSIF,
+        ):
+            value = self.parse_expr()
+        return ast.ReturnStmt(value=value, **self._pos_of(start))
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        expr = self.parse_conjunct()
+        while self.at(TokenKind.OR):
+            token = self.advance()
+            expr = ast.BinExpr(
+                op="OR",
+                left=expr,
+                right=self.parse_conjunct(),
+                **self._pos_of(token),
+            )
+        return expr
+
+    def parse_conjunct(self) -> ast.Expr:
+        expr = self.parse_relation()
+        while self.at(TokenKind.AND):
+            token = self.advance()
+            expr = ast.BinExpr(
+                op="AND",
+                left=expr,
+                right=self.parse_relation(),
+                **self._pos_of(token),
+            )
+        return expr
+
+    _RELOPS = {
+        TokenKind.EQ: "=",
+        TokenKind.NE: "#",
+        TokenKind.LT: "<",
+        TokenKind.LE: "<=",
+        TokenKind.GT: ">",
+        TokenKind.GE: ">=",
+    }
+
+    def parse_relation(self) -> ast.Expr:
+        expr = self.parse_sum()
+        if self.peek().kind in self._RELOPS:
+            token = self.advance()
+            expr = ast.BinExpr(
+                op=self._RELOPS[token.kind],
+                left=expr,
+                right=self.parse_sum(),
+                **self._pos_of(token),
+            )
+        return expr
+
+    def parse_sum(self) -> ast.Expr:
+        expr = self.parse_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self.advance()
+            expr = ast.BinExpr(
+                op=token.kind.value,
+                left=expr,
+                right=self.parse_term(),
+                **self._pos_of(token),
+            )
+        return expr
+
+    def parse_term(self) -> ast.Expr:
+        expr = self.parse_factor()
+        while self.peek().kind in (TokenKind.STAR, TokenKind.DIV, TokenKind.MOD):
+            token = self.advance()
+            op = "*" if token.kind is TokenKind.STAR else token.kind.value
+            expr = ast.BinExpr(
+                op=op, left=expr, right=self.parse_factor(), **self._pos_of(token)
+            )
+        return expr
+
+    def parse_factor(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.MINUS:
+            self.advance()
+            return ast.UnaryExpr(
+                op="-", operand=self.parse_factor(), **self._pos_of(token)
+            )
+        if token.kind is TokenKind.NOT:
+            self.advance()
+            return ast.UnaryExpr(
+                op="NOT", operand=self.parse_factor(), **self._pos_of(token)
+            )
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at(TokenKind.DOT):
+                token = self.advance()
+                name = str(self.expect(TokenKind.IDENT).value)
+                expr = ast.FieldExpr(
+                    obj=expr, field_name=name, **self._pos_of(token)
+                )
+            elif self.at(TokenKind.LPAREN):
+                token = self.advance()
+                args: List[ast.Expr] = []
+                if not self.at(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self.accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                self.expect(TokenKind.RPAREN)
+                expr = ast.CallExpr(fn=expr, args=args, **self._pos_of(token))
+            elif self.at(TokenKind.LBRACKET):
+                token = self.advance()
+                index = self.parse_expr()
+                self.expect(TokenKind.RBRACKET)
+                expr = ast.IndexExpr(
+                    obj=expr, index=index, **self._pos_of(token)
+                )
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(value=int(token.value), **self._pos_of(token))
+        if token.kind is TokenKind.TEXT:
+            self.advance()
+            return ast.TextLit(value=str(token.value), **self._pos_of(token))
+        if token.kind is TokenKind.TRUE:
+            self.advance()
+            return ast.BoolLit(value=True, **self._pos_of(token))
+        if token.kind is TokenKind.FALSE:
+            self.advance()
+            return ast.BoolLit(value=False, **self._pos_of(token))
+        if token.kind is TokenKind.NIL:
+            self.advance()
+            return ast.NilLit(**self._pos_of(token))
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return ast.NameExpr(name=str(token.value), **self._pos_of(token))
+        if token.kind is TokenKind.NEW:
+            return self.parse_new()
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.PRAGMA and token.value == "UNCHECKED":
+            self.advance()
+            inner = self.parse_factor()
+            return ast.UncheckedExpr(inner=inner, **self._pos_of(token))
+        raise ParseError(f"unexpected token {token.kind.value!r}", token)
+
+    def parse_new(self) -> ast.NewExpr:
+        start = self.expect(TokenKind.NEW)
+        self.expect(TokenKind.LPAREN)
+        type_name = str(self.expect(TokenKind.IDENT).value)
+        inits: List[Tuple[str, ast.Expr]] = []
+        while self.accept(TokenKind.COMMA):
+            field_name = str(self.expect(TokenKind.IDENT).value)
+            self.expect(TokenKind.ASSIGN)
+            inits.append((field_name, self.parse_expr()))
+        self.expect(TokenKind.RPAREN)
+        return ast.NewExpr(
+            type_name=type_name, inits=inits, **self._pos_of(start)
+        )
+
+
+def parse_module(source: str) -> ast.Module:
+    """Parse Alphonse-L source text into a Module AST."""
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,585 @@
+"""Semantic analysis for Alphonse-L.
+
+Builds the symbol tables (:mod:`repro.lang.symbols`), resolves
+inheritance and method overriding, validates pragma placement and
+arguments, resolves every name used in procedure bodies, and performs
+the conservative restriction checks of paper Section 3.5:
+
+* **TOP**: an incremental procedure taking VAR parameters may receive
+  stack storage — flagged as a warning ("We can relax this restriction
+  if the compiler generates the code necessary to perform cache
+  invalidation"; we do not, so the programmer is warned).
+* **OBS**: an EAGER incremental procedure whose body contains writes to
+  globals or fields gets a warning — the paper requires the programmer
+  to prove such side effects unobservable.
+* **DET** is undecidable and not checked, exactly as in the paper: "we
+  require the programmer to prove that the Alphonse procedures are
+  compliant."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import AlphonseError
+from . import ast
+from .builtins import BUILTIN_ARITIES, BUILTIN_NAMES
+from .symbols import (
+    ArrayTypeInfo,
+    MethodBinding,
+    ModuleInfo,
+    ProcInfo,
+    TypeInfo,
+)
+
+
+class SemaError(AlphonseError):
+    """A semantic error, with source position when available."""
+
+    def __init__(self, message: str, node: Optional[ast.Node] = None) -> None:
+        if node is not None and node.line:
+            message = f"{node.line}:{node.column}: {message}"
+        super().__init__(message)
+
+
+def analyze(module: ast.Module) -> ModuleInfo:
+    """Analyze ``module``; returns ModuleInfo or raises SemaError."""
+    info = ModuleInfo(module=module)
+    _collect_procedures(module, info)
+    _collect_array_types(module, info)
+    _collect_types(module, info)
+    _check_proc_signatures(info)
+    _collect_globals(module, info)
+    _bind_methods(module, info)
+    _check_bodies(module, info)
+    _restriction_checks(info)
+    return info
+
+
+# ----------------------------------------------------------------------
+# collection
+# ----------------------------------------------------------------------
+
+
+def _collect_procedures(module: ast.Module, info: ModuleInfo) -> None:
+    for decl in module.procedures():
+        if decl.name in info.procedures:
+            raise SemaError(f"duplicate procedure {decl.name!r}", decl)
+        if decl.name in BUILTIN_NAMES:
+            raise SemaError(
+                f"procedure {decl.name!r} shadows a builtin", decl
+            )
+        pragma = decl.pragma
+        if pragma is not None:
+            if pragma.head != "CACHED":
+                raise SemaError(
+                    f"procedure {decl.name!r}: only (*CACHED*) is valid on "
+                    f"procedures, got (*{pragma.head}*)",
+                    decl,
+                )
+            _validate_pragma_args(pragma, decl)
+        info.procedures[decl.name] = ProcInfo(
+            decl=decl, name=decl.name, cached_pragma=pragma
+        )
+
+
+def _collect_array_types(module: ast.Module, info: ModuleInfo) -> None:
+    object_names = {d.name for d in module.types()}
+    for decl in module.array_types():
+        if decl.name in info.arrays or decl.name in object_names:
+            raise SemaError(f"duplicate type {decl.name!r}", decl)
+        if decl.length < 1:
+            raise SemaError(
+                f"array type {decl.name!r}: length must be >= 1", decl
+            )
+        info.arrays[decl.name] = ArrayTypeInfo(
+            decl=decl,
+            name=decl.name,
+            length=decl.length,
+            elem_type=decl.elem_type,
+        )
+    # element types may be objects, builtins, or other arrays
+    declared = object_names | set(info.arrays) | set(ast.BUILTIN_TYPES)
+    for ainfo in info.arrays.values():
+        if ainfo.elem_type not in declared:
+            raise SemaError(
+                f"array type {ainfo.name!r}: unknown element type "
+                f"{ainfo.elem_type!r}",
+                ainfo.decl,
+            )
+        if ainfo.elem_type == ainfo.name:
+            raise SemaError(
+                f"array type {ainfo.name!r} cannot contain itself",
+                ainfo.decl,
+            )
+
+
+def _collect_types(module: ast.Module, info: ModuleInfo) -> None:
+    decls = {d.name: d for d in module.types()}
+    if len(decls) != len(module.types()):
+        seen: Set[str] = set()
+        for d in module.types():
+            if d.name in seen:
+                raise SemaError(f"duplicate type {d.name!r}", d)
+            seen.add(d.name)
+    resolving: Set[str] = set()
+
+    def resolve(name: str) -> TypeInfo:
+        existing = info.types.get(name)
+        if existing is not None:
+            return existing
+        decl = decls.get(name)
+        if decl is None:
+            raise SemaError(f"unknown type {name!r}")
+        if name in resolving:
+            raise SemaError(f"inheritance cycle through type {name!r}", decl)
+        resolving.add(name)
+        superclass: Optional[TypeInfo] = None
+        if decl.super_name is not None:
+            if decl.super_name in ast.BUILTIN_TYPES:
+                raise SemaError(
+                    f"type {name!r} cannot extend builtin "
+                    f"{decl.super_name!r}",
+                    decl,
+                )
+            superclass = resolve(decl.super_name)
+        ti = TypeInfo(decl=decl, name=name, superclass=superclass)
+        inherited_fields = (
+            superclass.all_fields() if superclass is not None else {}
+        )
+        declared = set(decls) | set(info.arrays)
+        for group in decl.fields:
+            _check_type_ref(group.type_name, declared, group)
+            for field_name in group.names:
+                if field_name in ti.own_fields or field_name in inherited_fields:
+                    raise SemaError(
+                        f"type {name!r}: duplicate/shadowed field "
+                        f"{field_name!r}",
+                        group,
+                    )
+                ti.own_fields[field_name] = group.type_name
+        info.types[name] = ti
+        resolving.discard(name)
+        return ti
+
+    for type_name in decls:
+        resolve(type_name)
+
+
+def _check_type_ref(type_name: str, declared: Set[str], node: ast.Node) -> None:
+    if type_name not in ast.BUILTIN_TYPES and type_name not in declared:
+        raise SemaError(f"unknown type {type_name!r}", node)
+
+
+def _check_proc_signatures(info: ModuleInfo) -> None:
+    declared = set(info.types) | set(info.arrays)
+    for proc in info.procedures.values():
+        for param in proc.decl.params:
+            _check_type_ref(param.type_name, declared, proc.decl)
+        if proc.decl.return_type is not None:
+            _check_type_ref(proc.decl.return_type, declared, proc.decl)
+        for var in proc.decl.locals:
+            _check_type_ref(var.type_name, declared, var)
+
+
+def _collect_globals(module: ast.Module, info: ModuleInfo) -> None:
+    for decl in module.variables():
+        for name in decl.names:
+            if name in info.global_vars:
+                raise SemaError(f"duplicate variable {name!r}", decl)
+            if name in info.procedures or name in BUILTIN_NAMES:
+                raise SemaError(
+                    f"variable {name!r} shadows a procedure/builtin", decl
+                )
+            _check_type_ref(
+                decl.type_name,
+                {t.name for t in module.types()} | set(info.arrays),
+                decl,
+            )
+            info.global_vars[name] = decl.type_name
+
+
+# ----------------------------------------------------------------------
+# method binding (inheritance + overrides)
+# ----------------------------------------------------------------------
+
+
+def _bind_methods(module: ast.Module, info: ModuleInfo) -> None:
+    # Process supertypes before subtypes (ancestry ordering).
+    ordered = sorted(info.types.values(), key=lambda t: len(t.ancestry()))
+    for ti in ordered:
+        if ti.superclass is not None:
+            ti.methods.update(ti.superclass.methods)
+        for mdecl in ti.decl.methods:
+            if mdecl.name in ti.methods:
+                raise SemaError(
+                    f"type {ti.name!r}: method {mdecl.name!r} already "
+                    f"exists (use OVERRIDES)",
+                    mdecl,
+                )
+            _validate_method_pragma(mdecl.pragma, ti, mdecl.name, mdecl)
+            impl = _impl_proc(info, mdecl.impl_name, ti, mdecl)
+            _check_impl_arity(impl, len(mdecl.params), ti, mdecl.name, mdecl)
+            binding = MethodBinding(
+                name=mdecl.name,
+                params=mdecl.params,
+                return_type=mdecl.return_type,
+                impl_name=mdecl.impl_name,
+                pragma=mdecl.pragma,
+                introduced_by=ti.name,
+                bound_by=ti.name,
+            )
+            ti.methods[mdecl.name] = binding
+            _note_binding(impl, binding, ti)
+        for odecl in ti.decl.overrides:
+            inherited = ti.methods.get(odecl.name)
+            if inherited is None:
+                raise SemaError(
+                    f"type {ti.name!r}: override of unknown method "
+                    f"{odecl.name!r}",
+                    odecl,
+                )
+            _validate_method_pragma(odecl.pragma, ti, odecl.name, odecl)
+            impl = _impl_proc(info, odecl.impl_name, ti, odecl)
+            _check_impl_arity(
+                impl, len(inherited.params), ti, odecl.name, odecl
+            )
+            binding = MethodBinding(
+                name=odecl.name,
+                params=inherited.params,
+                return_type=inherited.return_type,
+                impl_name=odecl.impl_name,
+                pragma=odecl.pragma if odecl.pragma else inherited.pragma,
+                introduced_by=inherited.introduced_by,
+                bound_by=ti.name,
+            )
+            ti.methods[odecl.name] = binding
+            _note_binding(impl, binding, ti)
+
+
+def _validate_method_pragma(
+    pragma: Optional[ast.Pragma], ti: TypeInfo, mname: str, node: ast.Node
+) -> None:
+    if pragma is None:
+        return
+    if pragma.head != "MAINTAINED":
+        raise SemaError(
+            f"type {ti.name!r}: only (*MAINTAINED*) is valid on methods, "
+            f"got (*{pragma.head}*) on {mname!r}",
+            node,
+        )
+    _validate_pragma_args(pragma, node)
+
+
+def _validate_pragma_args(pragma: ast.Pragma, node: ast.Node) -> None:
+    try:
+        pragma.strategy
+        pragma.policy
+    except ValueError as exc:
+        raise SemaError(str(exc), node) from None
+    recognized = {"DEMAND", "EAGER", "LRU", "FIFO"}
+    for word in pragma.args:
+        if word.upper() not in recognized and not word.isdigit():
+            raise SemaError(
+                f"pragma (*{pragma.head}*): unknown argument {word!r}", node
+            )
+
+
+def _impl_proc(
+    info: ModuleInfo, impl_name: str, ti: TypeInfo, node: ast.Node
+) -> ProcInfo:
+    impl = info.procedures.get(impl_name)
+    if impl is None:
+        raise SemaError(
+            f"type {ti.name!r}: implementation procedure {impl_name!r} "
+            f"not found",
+            node,
+        )
+    return impl
+
+
+def _check_impl_arity(
+    impl: ProcInfo, method_arity: int, ti: TypeInfo, mname: str, node: ast.Node
+) -> None:
+    expected = method_arity + 1  # the receiving object
+    if len(impl.decl.params) != expected:
+        raise SemaError(
+            f"type {ti.name!r}: method {mname!r} implementation "
+            f"{impl.name!r} takes {len(impl.decl.params)} parameter(s); "
+            f"expected {expected} (object + {method_arity})",
+            node,
+        )
+
+
+def _note_binding(impl: ProcInfo, binding: MethodBinding, ti: TypeInfo) -> None:
+    impl.bound_as.append((ti.name, binding.name))
+    if binding.is_maintained:
+        impl.implements_maintained = True
+        if impl.cached_pragma is not None:
+            raise SemaError(
+                f"procedure {impl.name!r} is both (*CACHED*) and the "
+                f"implementation of maintained method "
+                f"{ti.name}.{binding.name}",
+                impl.decl,
+            )
+
+
+# ----------------------------------------------------------------------
+# body checking: name resolution + arity
+# ----------------------------------------------------------------------
+
+
+class _Scope:
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self.locals: List[Set[str]] = []
+
+    def push(self, names: Set[str]) -> None:
+        self.locals.append(names)
+
+    def pop(self) -> None:
+        self.locals.pop()
+
+    def is_local(self, name: str) -> bool:
+        return any(name in frame for frame in self.locals)
+
+    def resolves(self, name: str) -> bool:
+        return (
+            self.is_local(name)
+            or name in self.info.global_vars
+            or name in self.info.procedures
+            or name in BUILTIN_NAMES
+        )
+
+
+def _check_bodies(module: ast.Module, info: ModuleInfo) -> None:
+    for proc in info.procedures.values():
+        scope = _Scope(info)
+        names: Set[str] = set()
+        for param in proc.decl.params:
+            if param.name in names:
+                raise SemaError(
+                    f"procedure {proc.name!r}: duplicate parameter "
+                    f"{param.name!r}",
+                    proc.decl,
+                )
+            names.add(param.name)
+        for var in proc.decl.locals:
+            for vname in var.names:
+                if vname in names:
+                    raise SemaError(
+                        f"procedure {proc.name!r}: duplicate local "
+                        f"{vname!r}",
+                        var,
+                    )
+                names.add(vname)
+        scope.push(names)
+        for var in proc.decl.locals:
+            if var.init is not None:
+                _check_expr(var.init, scope, info)
+        _check_stmts(proc.decl.body, scope, info)
+        scope.pop()
+    # module body: its own scope is just globals
+    scope = _Scope(info)
+    for var in module.variables():
+        if var.init is not None:
+            _check_expr(var.init, scope, info)
+    _check_stmts(module.body, scope, info)
+
+
+def _check_stmts(stmts: List[ast.Stmt], scope: _Scope, info: ModuleInfo) -> None:
+    for stmt in stmts:
+        _check_stmt(stmt, scope, info)
+
+
+def _check_stmt(stmt: ast.Stmt, scope: _Scope, info: ModuleInfo) -> None:
+    if isinstance(stmt, ast.AssignStmt):
+        target = stmt.target
+        if isinstance(target, ast.NameExpr):
+            if target.name in info.procedures or target.name in BUILTIN_NAMES:
+                raise SemaError(
+                    f"cannot assign to procedure {target.name!r}", stmt
+                )
+            if not scope.resolves(target.name):
+                raise SemaError(f"unknown variable {target.name!r}", target)
+        else:
+            _check_expr(target, scope, info)
+        _check_expr(stmt.value, scope, info)
+    elif isinstance(stmt, ast.CallStmt):
+        _check_expr(stmt.call, scope, info)
+    elif isinstance(stmt, ast.IfStmt):
+        for cond, body in stmt.arms:
+            _check_expr(cond, scope, info)
+            _check_stmts(body, scope, info)
+        _check_stmts(stmt.else_body, scope, info)
+    elif isinstance(stmt, ast.WhileStmt):
+        _check_expr(stmt.cond, scope, info)
+        _check_stmts(stmt.body, scope, info)
+    elif isinstance(stmt, ast.ForStmt):
+        _check_expr(stmt.lo, scope, info)
+        _check_expr(stmt.hi, scope, info)
+        if stmt.by is not None:
+            _check_expr(stmt.by, scope, info)
+        scope.push({stmt.var})
+        _check_stmts(stmt.body, scope, info)
+        scope.pop()
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is not None:
+            _check_expr(stmt.value, scope, info)
+    elif isinstance(stmt, ast.ModifyOp):
+        _check_expr(stmt.target, scope, info)
+        _check_expr(stmt.value, scope, info)
+    else:
+        raise SemaError(f"unsupported statement {type(stmt).__name__}", stmt)
+
+
+def _check_expr(expr: ast.Expr, scope: _Scope, info: ModuleInfo) -> None:
+    if isinstance(expr, (ast.IntLit, ast.TextLit, ast.BoolLit, ast.NilLit)):
+        return
+    if isinstance(expr, ast.NameExpr):
+        if not scope.resolves(expr.name):
+            raise SemaError(f"unknown name {expr.name!r}", expr)
+        return
+    if isinstance(expr, ast.FieldExpr):
+        _check_expr(expr.obj, scope, info)
+        return
+    if isinstance(expr, ast.IndexExpr):
+        _check_expr(expr.obj, scope, info)
+        _check_expr(expr.index, scope, info)
+        return
+    if isinstance(expr, ast.CallExpr):
+        _check_call(expr, scope, info)
+        return
+    if isinstance(expr, ast.NewExpr):
+        ti = info.types.get(expr.type_name)
+        if ti is None:
+            ainfo = info.arrays.get(expr.type_name)
+            if ainfo is None:
+                raise SemaError(
+                    f"NEW of unknown type {expr.type_name!r}", expr
+                )
+            if expr.inits:
+                raise SemaError(
+                    f"NEW({expr.type_name}): array types take no field "
+                    f"initializers",
+                    expr,
+                )
+            return
+        visible = ti.all_fields()
+        for field_name, value in expr.inits:
+            if field_name not in visible:
+                raise SemaError(
+                    f"NEW({expr.type_name}): no field {field_name!r}", expr
+                )
+            _check_expr(value, scope, info)
+        return
+    if isinstance(expr, ast.UnaryExpr):
+        _check_expr(expr.operand, scope, info)
+        return
+    if isinstance(expr, ast.BinExpr):
+        _check_expr(expr.left, scope, info)
+        _check_expr(expr.right, scope, info)
+        return
+    if isinstance(expr, ast.UncheckedExpr):
+        _check_expr(expr.inner, scope, info)
+        return
+    if isinstance(expr, ast.AccessOp):
+        _check_expr(expr.inner, scope, info)
+        return
+    if isinstance(expr, ast.CallOp):
+        _check_call(expr.call, scope, info)
+        return
+    raise SemaError(f"unsupported expression {type(expr).__name__}", expr)
+
+
+def _check_call(call: ast.CallExpr, scope: _Scope, info: ModuleInfo) -> None:
+    fn = call.fn
+    if isinstance(fn, ast.NameExpr):
+        if scope.is_local(fn.name) or fn.name in info.global_vars:
+            raise SemaError(
+                f"{fn.name!r} is a variable, not a procedure (procedure"
+                f"-valued variables are not supported)",
+                fn,
+            )
+        proc = info.procedures.get(fn.name)
+        if proc is not None:
+            if len(call.args) != len(proc.decl.params):
+                raise SemaError(
+                    f"call to {fn.name!r}: {len(call.args)} argument(s), "
+                    f"procedure takes {len(proc.decl.params)}",
+                    call,
+                )
+            for arg, param in zip(call.args, proc.decl.params):
+                if param.by_var and not isinstance(
+                    arg,
+                    (ast.NameExpr, ast.FieldExpr, ast.IndexExpr, ast.AccessOp),
+                ):
+                    raise SemaError(
+                        f"call to {fn.name!r}: VAR parameter "
+                        f"{param.name!r} needs a designator argument",
+                        call,
+                    )
+        elif fn.name in BUILTIN_ARITIES:
+            lo, hi = BUILTIN_ARITIES[fn.name]
+            if not (lo <= len(call.args) <= hi):
+                raise SemaError(
+                    f"builtin {fn.name!r} takes {lo}..{hi} argument(s), "
+                    f"got {len(call.args)}",
+                    call,
+                )
+        else:
+            raise SemaError(f"unknown procedure {fn.name!r}", fn)
+    elif isinstance(fn, (ast.FieldExpr, ast.AccessOp)):
+        # Method call: receiver checked; method resolution is dynamic.
+        inner = fn.inner if isinstance(fn, ast.AccessOp) else fn
+        _check_expr(inner, scope, info)
+    else:
+        raise SemaError("call target must be a procedure or method", call)
+    for arg in call.args:
+        _check_expr(arg, scope, info)
+
+
+# ----------------------------------------------------------------------
+# restriction checks (Section 3.5) — warnings, not errors
+# ----------------------------------------------------------------------
+
+
+def _restriction_checks(info: ModuleInfo) -> None:
+    for proc in info.procedures.values():
+        if not proc.is_incremental:
+            continue
+        for param in proc.decl.params:
+            if param.by_var:
+                info.warnings.append(
+                    f"TOP: incremental procedure {proc.name!r} takes VAR "
+                    f"parameter {param.name!r}; storage it points to must "
+                    f"be top-level (paper §3.5)"
+                )
+        strategy = None
+        if proc.cached_pragma is not None:
+            strategy = proc.cached_pragma.strategy
+        if strategy == "EAGER" and _has_side_effects(proc.decl.body):
+            info.warnings.append(
+                f"OBS: eager procedure {proc.name!r} performs writes; the "
+                f"programmer must prove they are unobservable (paper §3.5)"
+            )
+
+
+def _has_side_effects(stmts: List[ast.Stmt]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.AssignStmt, ast.ModifyOp)):
+            target = stmt.target
+            if isinstance(target, (ast.FieldExpr, ast.IndexExpr, ast.AccessOp)):
+                return True
+            # assignment to a bare name could be a global; conservative
+            if isinstance(target, ast.NameExpr):
+                return True
+        elif isinstance(stmt, ast.IfStmt):
+            if any(_has_side_effects(body) for _, body in stmt.arms):
+                return True
+            if _has_side_effects(stmt.else_body):
+                return True
+        elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+            if _has_side_effects(stmt.body):
+                return True
+    return False

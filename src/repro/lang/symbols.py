@@ -1,0 +1,120 @@
+"""Symbol-table structures produced by semantic analysis.
+
+These are the "compiled" view of a module: types with their inheritance
+chains and effective method bindings (overrides applied), procedures
+with their pragma status, and the top-level variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+
+
+@dataclass
+class MethodBinding:
+    """One method as visible on a type: signature + effective impl.
+
+    ``pragma`` is the effective pragma: an override's pragma replaces the
+    inherited declaration's (the paper re-states the pragma at override
+    sites, e.g. TreeNil's ``(*MAINTAINED*) height := HeightNil``).
+    """
+
+    name: str
+    params: List[ast.Param]
+    return_type: Optional[str]
+    impl_name: str
+    pragma: Optional[ast.Pragma]
+    #: The type that introduced the method (METHODS section).
+    introduced_by: str
+    #: The type whose METHODS/OVERRIDES chose this impl.
+    bound_by: str
+
+    @property
+    def is_maintained(self) -> bool:
+        return self.pragma is not None and self.pragma.head == "MAINTAINED"
+
+
+@dataclass
+class TypeInfo:
+    """A declared OBJECT type with resolved inheritance."""
+
+    decl: ast.TypeDecl
+    name: str
+    superclass: Optional["TypeInfo"] = None
+    #: Fields declared by THIS type only: name -> type name.
+    own_fields: Dict[str, str] = field(default_factory=dict)
+    #: Effective method bindings visible on this type (inherited +
+    #: introduced + overridden), name -> binding.
+    methods: Dict[str, MethodBinding] = field(default_factory=dict)
+
+    def all_fields(self) -> Dict[str, str]:
+        """Every field visible on this type, superclass-first order."""
+        merged: Dict[str, str] = {}
+        if self.superclass is not None:
+            merged.update(self.superclass.all_fields())
+        merged.update(self.own_fields)
+        return merged
+
+    def is_subtype_of(self, other: "TypeInfo") -> bool:
+        node: Optional[TypeInfo] = self
+        while node is not None:
+            if node is other:
+                return True
+            node = node.superclass
+        return False
+
+    def ancestry(self) -> List["TypeInfo"]:
+        chain: List[TypeInfo] = []
+        node: Optional[TypeInfo] = self
+        while node is not None:
+            chain.append(node)
+            node = node.superclass
+        return chain
+
+
+@dataclass
+class ArrayTypeInfo:
+    """A declared fixed-length array type (``TYPE G = ARRAY n OF T;``)."""
+
+    decl: "ast.ArrayTypeDecl"
+    name: str
+    length: int
+    elem_type: str
+
+
+@dataclass
+class ProcInfo:
+    """A top-level procedure with its Alphonse status."""
+
+    decl: ast.ProcDecl
+    name: str
+    #: CACHED pragma on the declaration itself.
+    cached_pragma: Optional[ast.Pragma] = None
+    #: True if some type binds this procedure as a MAINTAINED method impl.
+    implements_maintained: bool = False
+    #: Types/methods that bind this procedure (for diagnostics).
+    bound_as: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def is_incremental(self) -> bool:
+        return self.cached_pragma is not None or self.implements_maintained
+
+
+@dataclass
+class ModuleInfo:
+    """Everything sema learned about a module."""
+
+    module: ast.Module
+    types: Dict[str, TypeInfo] = field(default_factory=dict)
+    arrays: Dict[str, ArrayTypeInfo] = field(default_factory=dict)
+    procedures: Dict[str, ProcInfo] = field(default_factory=dict)
+    #: Top-level variables: name -> declared type name.
+    global_vars: Dict[str, str] = field(default_factory=dict)
+    #: Non-fatal restriction diagnostics (TOP/OBS conservative checks).
+    warnings: List[str] = field(default_factory=list)
+
+    def type_of_global(self, name: str) -> Optional[str]:
+        return self.global_vars.get(name)

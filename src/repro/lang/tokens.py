@@ -1,0 +1,130 @@
+"""Token definitions for Alphonse-L.
+
+Pragmas ride in comment syntax, as in the paper: ``(*MAINTAINED*)``,
+``(*CACHED LRU 64*)``, ``(*MAINTAINED EAGER*)``, ``(*UNCHECKED*)``.
+Ordinary ``(* ... *)`` comments are skipped by the lexer; pragma
+comments become PRAGMA tokens carrying their argument words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class TokenKind(enum.Enum):
+    # literals / identifiers
+    INT = "INT"
+    TEXT = "TEXT"
+    IDENT = "IDENT"
+    PRAGMA = "PRAGMA"
+
+    # keywords
+    MODULE = "MODULE"
+    TYPE = "TYPE"
+    OBJECT = "OBJECT"
+    METHODS = "METHODS"
+    OVERRIDES = "OVERRIDES"
+    PROCEDURE = "PROCEDURE"
+    VAR = "VAR"
+    BEGIN = "BEGIN"
+    END = "END"
+    IF = "IF"
+    THEN = "THEN"
+    ELSIF = "ELSIF"
+    ELSE = "ELSE"
+    WHILE = "WHILE"
+    DO = "DO"
+    FOR = "FOR"
+    TO = "TO"
+    BY = "BY"
+    RETURN = "RETURN"
+    NEW = "NEW"
+    NIL = "NIL"
+    ARRAY = "ARRAY"
+    OF = "OF"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    NOT = "NOT"
+    AND = "AND"
+    OR = "OR"
+    DIV = "DIV"
+    MOD = "MOD"
+
+    # punctuation / operators
+    SEMI = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    ASSIGN = ":="
+    EQ = "="
+    NE = "#"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    kind.value: kind
+    for kind in (
+        TokenKind.MODULE,
+        TokenKind.TYPE,
+        TokenKind.OBJECT,
+        TokenKind.METHODS,
+        TokenKind.OVERRIDES,
+        TokenKind.PROCEDURE,
+        TokenKind.VAR,
+        TokenKind.BEGIN,
+        TokenKind.END,
+        TokenKind.IF,
+        TokenKind.THEN,
+        TokenKind.ELSIF,
+        TokenKind.ELSE,
+        TokenKind.WHILE,
+        TokenKind.DO,
+        TokenKind.FOR,
+        TokenKind.TO,
+        TokenKind.BY,
+        TokenKind.RETURN,
+        TokenKind.NEW,
+        TokenKind.NIL,
+        TokenKind.ARRAY,
+        TokenKind.OF,
+        TokenKind.TRUE,
+        TokenKind.FALSE,
+        TokenKind.NOT,
+        TokenKind.AND,
+        TokenKind.OR,
+        TokenKind.DIV,
+        TokenKind.MOD,
+    )
+}
+
+#: Words allowed as the first word of a pragma comment.
+PRAGMA_HEADS = ("MAINTAINED", "CACHED", "UNCHECKED")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    value: object
+    line: int
+    column: int
+    #: For PRAGMA tokens: the argument words after the head, e.g.
+    #: ("EAGER",) or ("LRU", "64").
+    pragma_args: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r} @{self.line}:{self.column})"

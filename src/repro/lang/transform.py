@@ -1,0 +1,384 @@
+"""The Section 5 program transformation.
+
+"Program transformations are used to insert these operations into the
+base language program as follows:
+
+* Each read access to storage l is replaced by access(v), if l is
+  top-level (or cannot be statically determined to not be top-level).
+  Pointer dereferencing counts as a read access to the pointer storage.
+* Each assignment to storage l of value v is replaced by modify(l, v).
+* Each non-method procedure call p(a1..ak) is replaced with
+  call(p, a1..ak), if p is top-level (...).
+* Each method call o.m(a1..ak) is replaced with call(o.m, a1..ak)."
+
+With ``optimize=True`` the §6.1 dataflow classification removes the
+wrappers whose outcome is statically known (local scalars, builtin and
+plain-procedure calls); ``optimize=False`` applies the transformation
+uniformly — the paper's strawman whose overhead bench E12 measures.
+
+The transformation returns a *new* module tree; the input is unchanged.
+Pragmas are consumed into the symbol table by sema and do not appear in
+the transformed output (the paper: "while removing the Alphonse
+pragmas").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import TransformError
+from . import ast
+from .dataflow import SiteClass, SiteReport, classify_sites
+from .symbols import ModuleInfo
+
+
+@dataclass
+class TransformResult:
+    """The transformed module plus bookkeeping for tests/benches."""
+
+    module: ast.Module
+    info: ModuleInfo
+    sites: SiteReport
+    optimize: bool
+    #: Wrapper nodes inserted, by operation.
+    access_sites: int = 0
+    modify_sites: int = 0
+    call_sites: int = 0
+    #: Wrappers the optimizer removed (sites left as plain AST).
+    removed_sites: int = 0
+
+    @property
+    def total_wrapped(self) -> int:
+        return self.access_sites + self.modify_sites + self.call_sites
+
+    def summary(self) -> str:
+        return (
+            f"access={self.access_sites} modify={self.modify_sites} "
+            f"call={self.call_sites} removed={self.removed_sites} "
+            f"(optimize={'on' if self.optimize else 'off'})"
+        )
+
+
+class _Transformer:
+    def __init__(self, info: ModuleInfo, optimize: bool) -> None:
+        self.info = info
+        self.optimize = optimize
+        self.sites = classify_sites(info)
+        self.site_ids = itertools.count()
+        self.result: Optional[TransformResult] = None
+        self._access = 0
+        self._modify = 0
+        self._call = 0
+        self._removed = 0
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> TransformResult:
+        module = self.info.module
+        new_decls: List[ast.Decl] = []
+        for decl in module.decls:
+            if isinstance(decl, ast.TypeDecl):
+                new_decls.append(self.tx_type(decl))
+            elif isinstance(decl, ast.ArrayTypeDecl):
+                new_decls.append(
+                    ast.ArrayTypeDecl(
+                        name=decl.name,
+                        length=decl.length,
+                        elem_type=decl.elem_type,
+                        line=decl.line,
+                        column=decl.column,
+                    )
+                )
+            elif isinstance(decl, ast.VarDecl):
+                new_decls.append(self.tx_vardecl(decl))
+            elif isinstance(decl, ast.ProcDecl):
+                new_decls.append(self.tx_proc(decl))
+            else:  # pragma: no cover - parser produces only these
+                raise TransformError(f"unknown decl {type(decl).__name__}")
+        new_module = ast.Module(
+            name=module.name,
+            decls=new_decls,
+            body=self.tx_stmts(module.body),
+            line=module.line,
+            column=module.column,
+        )
+        return TransformResult(
+            module=new_module,
+            info=self.info,
+            sites=self.sites,
+            optimize=self.optimize,
+            access_sites=self._access,
+            modify_sites=self._modify,
+            call_sites=self._call,
+            removed_sites=self._removed,
+        )
+
+    # -- declarations -------------------------------------------------------
+
+    def tx_type(self, decl: ast.TypeDecl) -> ast.TypeDecl:
+        """Types pass through; pragmas are stripped from method decls
+        (they live in the symbol table now)."""
+        return ast.TypeDecl(
+            name=decl.name,
+            super_name=decl.super_name,
+            fields=list(decl.fields),
+            methods=[
+                ast.MethodDecl(
+                    pragma=None,
+                    name=m.name,
+                    params=list(m.params),
+                    return_type=m.return_type,
+                    impl_name=m.impl_name,
+                    line=m.line,
+                    column=m.column,
+                )
+                for m in decl.methods
+            ],
+            overrides=[
+                ast.OverrideDecl(
+                    pragma=None,
+                    name=o.name,
+                    impl_name=o.impl_name,
+                    line=o.line,
+                    column=o.column,
+                )
+                for o in decl.overrides
+            ],
+            line=decl.line,
+            column=decl.column,
+        )
+
+    def tx_vardecl(self, decl: ast.VarDecl) -> ast.VarDecl:
+        return ast.VarDecl(
+            names=list(decl.names),
+            type_name=decl.type_name,
+            init=self.tx_expr(decl.init) if decl.init is not None else None,
+            line=decl.line,
+            column=decl.column,
+        )
+
+    def tx_proc(self, decl: ast.ProcDecl) -> ast.ProcDecl:
+        return ast.ProcDecl(
+            pragma=None,  # pragmas removed; symbol table remembers them
+            name=decl.name,
+            params=list(decl.params),
+            return_type=decl.return_type,
+            locals=[self.tx_vardecl(v) for v in decl.locals],
+            body=self.tx_stmts(decl.body),
+            line=decl.line,
+            column=decl.column,
+        )
+
+    # -- statements -----------------------------------------------------------
+
+    def tx_stmts(self, stmts: List[ast.Stmt]) -> List[ast.Stmt]:
+        return [self.tx_stmt(s) for s in stmts]
+
+    def tx_stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.AssignStmt):
+            return self.tx_assign(stmt)
+        if isinstance(stmt, ast.CallStmt):
+            assert isinstance(stmt.call, ast.CallExpr)
+            return ast.CallStmt(
+                call=self.tx_call(stmt.call),
+                line=stmt.line,
+                column=stmt.column,
+            )
+        if isinstance(stmt, ast.IfStmt):
+            return ast.IfStmt(
+                arms=[
+                    (self.tx_expr(cond), self.tx_stmts(body))
+                    for cond, body in stmt.arms
+                ],
+                else_body=self.tx_stmts(stmt.else_body),
+                line=stmt.line,
+                column=stmt.column,
+            )
+        if isinstance(stmt, ast.WhileStmt):
+            return ast.WhileStmt(
+                cond=self.tx_expr(stmt.cond),
+                body=self.tx_stmts(stmt.body),
+                line=stmt.line,
+                column=stmt.column,
+            )
+        if isinstance(stmt, ast.ForStmt):
+            return ast.ForStmt(
+                var=stmt.var,
+                lo=self.tx_expr(stmt.lo),
+                hi=self.tx_expr(stmt.hi),
+                by=self.tx_expr(stmt.by) if stmt.by is not None else None,
+                body=self.tx_stmts(stmt.body),
+                line=stmt.line,
+                column=stmt.column,
+            )
+        if isinstance(stmt, ast.ReturnStmt):
+            return ast.ReturnStmt(
+                value=(
+                    self.tx_expr(stmt.value)
+                    if stmt.value is not None
+                    else None
+                ),
+                line=stmt.line,
+                column=stmt.column,
+            )
+        raise TransformError(f"cannot transform {type(stmt).__name__}")
+
+    def tx_assign(self, stmt: ast.AssignStmt) -> ast.Stmt:
+        """``l := v`` -> ``modify(l, v)`` when the site needs tracking."""
+        target = stmt.target
+        value = self.tx_expr(stmt.value)
+        site = self.sites.of(target)
+        needs_wrapper = not (
+            self.optimize and site is not None and site is SiteClass.LOCAL_SKIP
+        )
+        if isinstance(target, ast.FieldExpr):
+            # The pointer part of the designator is a read; the field
+            # store is the modify.  ("pointers must be accessed twice")
+            new_target: ast.Expr = ast.FieldExpr(
+                obj=self.tx_expr(target.obj),
+                field_name=target.field_name,
+                line=target.line,
+                column=target.column,
+            )
+        elif isinstance(target, ast.IndexExpr):
+            # Same rule for arrays: the array reference and the index
+            # expression are reads; the element store is the modify.
+            new_target = ast.IndexExpr(
+                obj=self.tx_expr(target.obj),
+                index=self.tx_expr(target.index),
+                line=target.line,
+                column=target.column,
+            )
+        else:
+            new_target = ast.NameExpr(
+                name=target.name, line=target.line, column=target.column  # type: ignore[union-attr]
+            )
+        if not needs_wrapper:
+            self._removed += 1
+            return ast.AssignStmt(
+                target=new_target, value=value, line=stmt.line, column=stmt.column
+            )
+        self._modify += 1
+        return ast.ModifyOp(
+            target=new_target,
+            value=value,
+            site_id=next(self.site_ids),
+            line=stmt.line,
+            column=stmt.column,
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def tx_expr(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, (ast.IntLit, ast.TextLit, ast.BoolLit, ast.NilLit)):
+            return expr
+        if isinstance(expr, ast.NameExpr):
+            return self.wrap_access(
+                ast.NameExpr(name=expr.name, line=expr.line, column=expr.column),
+                self.sites.of(expr),
+            )
+        if isinstance(expr, ast.FieldExpr):
+            inner = ast.FieldExpr(
+                obj=self.tx_expr(expr.obj),
+                field_name=expr.field_name,
+                line=expr.line,
+                column=expr.column,
+            )
+            return self.wrap_access(inner, self.sites.of(expr))
+        if isinstance(expr, ast.IndexExpr):
+            inner = ast.IndexExpr(
+                obj=self.tx_expr(expr.obj),
+                index=self.tx_expr(expr.index),
+                line=expr.line,
+                column=expr.column,
+            )
+            return self.wrap_access(inner, self.sites.of(expr))
+        if isinstance(expr, ast.CallExpr):
+            return self.tx_call(expr)
+        if isinstance(expr, ast.NewExpr):
+            return ast.NewExpr(
+                type_name=expr.type_name,
+                inits=[(f, self.tx_expr(v)) for f, v in expr.inits],
+                line=expr.line,
+                column=expr.column,
+            )
+        if isinstance(expr, ast.UnaryExpr):
+            return ast.UnaryExpr(
+                op=expr.op,
+                operand=self.tx_expr(expr.operand),
+                line=expr.line,
+                column=expr.column,
+            )
+        if isinstance(expr, ast.BinExpr):
+            return ast.BinExpr(
+                op=expr.op,
+                left=self.tx_expr(expr.left),
+                right=self.tx_expr(expr.right),
+                line=expr.line,
+                column=expr.column,
+            )
+        if isinstance(expr, ast.UncheckedExpr):
+            return ast.UncheckedExpr(
+                inner=self.tx_expr(expr.inner),
+                line=expr.line,
+                column=expr.column,
+            )
+        raise TransformError(f"cannot transform {type(expr).__name__}")
+
+    def wrap_access(
+        self, inner: ast.Expr, site: Optional[SiteClass]
+    ) -> ast.Expr:
+        if self.optimize and site is not None and site is SiteClass.LOCAL_SKIP:
+            self._removed += 1
+            return inner
+        self._access += 1
+        return ast.AccessOp(
+            inner=inner,
+            site_id=next(self.site_ids),
+            line=inner.line,
+            column=inner.column,
+        )
+
+    def tx_call(self, call: ast.CallExpr) -> ast.Expr:
+        site = self.sites.of(call)
+        fn = call.fn
+        if isinstance(fn, ast.NameExpr):
+            # Procedure constant: the name itself is not a storage read.
+            new_fn: ast.Expr = ast.NameExpr(
+                name=fn.name, line=fn.line, column=fn.column
+            )
+        else:
+            assert isinstance(fn, ast.FieldExpr)
+            # Method call o.m: the receiver o is read storage; m is
+            # resolved dynamically, so the FieldExpr itself stays bare.
+            new_fn = ast.FieldExpr(
+                obj=self.tx_expr(fn.obj),
+                field_name=fn.field_name,
+                line=fn.line,
+                column=fn.column,
+            )
+        args = [self.tx_expr(a) for a in call.args]
+        inner = ast.CallExpr(
+            fn=new_fn, args=args, line=call.line, column=call.column
+        )
+        skippable = site is not None and site in (
+            SiteClass.PLAIN_CALL,
+            SiteClass.BUILTIN_CALL,
+        )
+        if self.optimize and skippable:
+            self._removed += 1
+            return inner
+        self._call += 1
+        return ast.CallOp(
+            call=inner,
+            site_id=next(self.site_ids),
+            line=call.line,
+            column=call.column,
+        )
+
+
+def transform(info: ModuleInfo, optimize: bool = True) -> TransformResult:
+    """Apply the Section 5 transformation to an analyzed module."""
+    return _Transformer(info, optimize).run()

@@ -1,0 +1,435 @@
+"""Optional static type checking for Alphonse-L.
+
+The base language is Modula-3-like and statically typed; the
+interpreter enforces types dynamically.  This pass catches type errors
+before execution: operator operand types, condition types, assignment
+compatibility (with object subtyping and NIL), call-argument and RETURN
+types, NEW field initializers, method receivers, and array indexing.
+
+It is deliberately a *reporting* pass (returns a list of messages, never
+raises) so editors/CLIs can surface all findings at once; `--typecheck`
+on the CLI treats a non-empty report as failure.
+
+Type language:
+
+* builtins: INTEGER, BOOLEAN, TEXT, PROC;
+* declared OBJECT types (with subtyping: a subtype is assignable where
+  a supertype is expected);
+* declared ARRAY types (invariant);
+* NIL (assignable to any object/array/PROC type);
+* UNKNOWN — the silent top type used where inference cannot resolve
+  (e.g. the result of a PROC-field call); compatible with everything,
+  so the checker never reports speculative errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from . import ast
+from .builtins import BUILTIN_ARITIES
+from .symbols import ModuleInfo, TypeInfo
+
+# -- the type lattice ----------------------------------------------------
+
+INTEGER = "INTEGER"
+BOOLEAN = "BOOLEAN"
+TEXT = "TEXT"
+PROC = "PROC"
+NIL = "<nil>"
+UNKNOWN = "<unknown>"
+VOID = "<void>"
+
+_SCALARS = (INTEGER, BOOLEAN, TEXT, PROC)
+
+
+@dataclass
+class TypeReport:
+    """Collected findings, with positions when available."""
+
+    errors: List[str]
+
+    def add(self, message: str, node: Optional[ast.Node] = None) -> None:
+        if node is not None and getattr(node, "line", 0):
+            message = f"{node.line}:{node.column}: {message}"
+        self.errors.append(message)
+
+    def __bool__(self) -> bool:
+        return bool(self.errors)
+
+
+class _Checker:
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self.report = TypeReport(errors=[])
+        #: name -> declared type, for the scope currently being checked.
+        self.scope: Dict[str, str] = {}
+        self.return_type: Optional[str] = None
+        self.proc_name = "<module>"
+
+    # -- compatibility -----------------------------------------------------
+
+    def is_reference(self, type_name: str) -> bool:
+        return (
+            type_name in self.info.types
+            or type_name in self.info.arrays
+            or type_name == PROC
+        )
+
+    def assignable(self, target: str, value: str) -> bool:
+        if UNKNOWN in (target, value):
+            return True
+        if value == NIL:
+            return self.is_reference(target)
+        if target == value:
+            return True
+        t_info = self.info.types.get(target)
+        v_info = self.info.types.get(value)
+        if t_info is not None and v_info is not None:
+            return v_info.is_subtype_of(t_info)
+        return False
+
+    def join(self, a: str, b: str) -> str:
+        """Least common type of two branches (UNKNOWN when unrelated)."""
+        if a == b:
+            return a
+        if a == NIL and self.is_reference(b):
+            return b
+        if b == NIL and self.is_reference(a):
+            return a
+        a_info = self.info.types.get(a)
+        b_info = self.info.types.get(b)
+        if a_info is not None and b_info is not None:
+            if a_info.is_subtype_of(b_info):
+                return b
+            if b_info.is_subtype_of(a_info):
+                return a
+        return UNKNOWN
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> TypeReport:
+        for proc in self.info.procedures.values():
+            self.proc_name = proc.name
+            self.scope = {
+                p.name: p.type_name for p in proc.decl.params
+            }
+            for var in proc.decl.locals:
+                for name in var.names:
+                    self.scope[name] = var.type_name
+                if var.init is not None:
+                    self.check_init(var, self.expr(var.init))
+            self.return_type = proc.decl.return_type
+            self.stmts(proc.decl.body)
+        # module body
+        self.proc_name = "<module>"
+        self.scope = dict(self.info.global_vars)
+        self.return_type = None
+        for var in self.info.module.variables():
+            if var.init is not None:
+                self.check_init(var, self.expr(var.init))
+        self.stmts(self.info.module.body)
+        return self.report
+
+    def check_init(self, var: ast.VarDecl, value_type: str) -> None:
+        if not self.assignable(var.type_name, value_type):
+            self.report.add(
+                f"{self.proc_name}: initializer of {'/'.join(var.names)} "
+                f"has type {value_type}, expected {var.type_name}",
+                var,
+            )
+
+    # -- statements -----------------------------------------------------------
+
+    def stmts(self, body: List[ast.Stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, (ast.AssignStmt, ast.ModifyOp)):
+            target_type = self.expr(stmt.target)
+            value_type = self.expr(stmt.value)
+            if not self.assignable(target_type, value_type):
+                self.report.add(
+                    f"{self.proc_name}: cannot assign {value_type} to "
+                    f"{target_type}",
+                    stmt,
+                )
+        elif isinstance(stmt, ast.CallStmt):
+            self.expr(stmt.call)
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, body in stmt.arms:
+                self.require(cond, BOOLEAN, "IF condition")
+                self.stmts(body)
+            self.stmts(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.require(stmt.cond, BOOLEAN, "WHILE condition")
+            self.stmts(stmt.body)
+        elif isinstance(stmt, ast.ForStmt):
+            self.require(stmt.lo, INTEGER, "FOR lower bound")
+            self.require(stmt.hi, INTEGER, "FOR upper bound")
+            if stmt.by is not None:
+                self.require(stmt.by, INTEGER, "FOR step")
+            saved = self.scope.get(stmt.var)
+            self.scope[stmt.var] = INTEGER
+            self.stmts(stmt.body)
+            if saved is None:
+                self.scope.pop(stmt.var, None)
+            else:
+                self.scope[stmt.var] = saved
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                if self.return_type is not None:
+                    self.report.add(
+                        f"{self.proc_name}: RETURN without a value in a "
+                        f"procedure returning {self.return_type}",
+                        stmt,
+                    )
+                return
+            value_type = self.expr(stmt.value)
+            if self.return_type is None:
+                self.report.add(
+                    f"{self.proc_name}: RETURN with a value in a proper "
+                    f"procedure",
+                    stmt,
+                )
+            elif not self.assignable(self.return_type, value_type):
+                self.report.add(
+                    f"{self.proc_name}: RETURN type {value_type}, "
+                    f"declared {self.return_type}",
+                    stmt,
+                )
+
+    def require(self, expr: ast.Expr, expected: str, what: str) -> None:
+        actual = self.expr(expr)
+        if actual not in (expected, UNKNOWN):
+            self.report.add(
+                f"{self.proc_name}: {what} has type {actual}, expected "
+                f"{expected}",
+                expr,
+            )
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            return INTEGER
+        if isinstance(expr, ast.TextLit):
+            return TEXT
+        if isinstance(expr, ast.BoolLit):
+            return BOOLEAN
+        if isinstance(expr, ast.NilLit):
+            return NIL
+        if isinstance(expr, ast.NameExpr):
+            declared = self.scope.get(expr.name)
+            if declared is not None:
+                return declared
+            if expr.name in self.info.procedures:
+                return PROC
+            return UNKNOWN  # sema reports unknown names
+        if isinstance(expr, ast.FieldExpr):
+            return self.field_type(expr)
+        if isinstance(expr, ast.IndexExpr):
+            return self.index_type(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.call_type(expr)
+        if isinstance(expr, ast.NewExpr):
+            return self.new_type(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            if expr.op == "NOT":
+                self.require(expr.operand, BOOLEAN, "NOT operand")
+                return BOOLEAN
+            self.require(expr.operand, INTEGER, "unary - operand")
+            return INTEGER
+        if isinstance(expr, ast.BinExpr):
+            return self.binary_type(expr)
+        if isinstance(expr, (ast.UncheckedExpr, ast.AccessOp)):
+            return self.expr(expr.inner)
+        if isinstance(expr, ast.CallOp):
+            return self.call_type(expr.call)
+        return UNKNOWN
+
+    def field_type(self, expr: ast.FieldExpr) -> str:
+        obj_type = self.expr(expr.obj)
+        if obj_type in (UNKNOWN, NIL):
+            return UNKNOWN
+        ti = self.info.types.get(obj_type)
+        if ti is None:
+            self.report.add(
+                f"{self.proc_name}: field access on non-object type "
+                f"{obj_type}",
+                expr,
+            )
+            return UNKNOWN
+        field = ti.all_fields().get(expr.field_name)
+        if field is None:
+            # could be a method used as a value elsewhere; methods are
+            # only meaningful in call position, which call_type handles
+            if expr.field_name not in ti.methods:
+                self.report.add(
+                    f"{self.proc_name}: type {obj_type} has no field "
+                    f"{expr.field_name!r}",
+                    expr,
+                )
+            return UNKNOWN
+        return field
+
+    def index_type(self, expr: ast.IndexExpr) -> str:
+        self.require(expr.index, INTEGER, "array index")
+        obj_type = self.expr(expr.obj)
+        if obj_type in (UNKNOWN, NIL):
+            return UNKNOWN
+        ainfo = self.info.arrays.get(obj_type)
+        if ainfo is None:
+            self.report.add(
+                f"{self.proc_name}: indexing non-array type {obj_type}",
+                expr,
+            )
+            return UNKNOWN
+        return ainfo.elem_type
+
+    def binary_type(self, expr: ast.BinExpr) -> str:
+        op = expr.op
+        left = self.expr(expr.left)
+        right = self.expr(expr.right)
+        if op in ("AND", "OR"):
+            for side, t in ((expr.left, left), (expr.right, right)):
+                if t not in (BOOLEAN, UNKNOWN):
+                    self.report.add(
+                        f"{self.proc_name}: {op} operand has type {t}",
+                        side,
+                    )
+            return BOOLEAN
+        if op in ("=", "#"):
+            if not (
+                self.assignable(left, right)
+                or self.assignable(right, left)
+            ):
+                self.report.add(
+                    f"{self.proc_name}: comparing unrelated types "
+                    f"{left} {op} {right}",
+                    expr,
+                )
+            return BOOLEAN
+        if op in ("<", "<=", ">", ">="):
+            ok = {INTEGER, TEXT, UNKNOWN}
+            if left not in ok or right not in ok or (
+                UNKNOWN not in (left, right) and left != right
+            ):
+                self.report.add(
+                    f"{self.proc_name}: {op} between {left} and {right}",
+                    expr,
+                )
+            return BOOLEAN
+        if op == "+" and TEXT in (left, right):
+            for side, t in ((expr.left, left), (expr.right, right)):
+                if t not in (TEXT, UNKNOWN):
+                    self.report.add(
+                        f"{self.proc_name}: + between {left} and {right}",
+                        side,
+                    )
+            return TEXT
+        # arithmetic
+        for side, t in ((expr.left, left), (expr.right, right)):
+            if t not in (INTEGER, UNKNOWN):
+                self.report.add(
+                    f"{self.proc_name}: {op} operand has type {t}", side
+                )
+        return INTEGER
+
+    def new_type(self, expr: ast.NewExpr) -> str:
+        ti = self.info.types.get(expr.type_name)
+        if ti is None:
+            if expr.type_name in self.info.arrays:
+                return expr.type_name
+            return UNKNOWN  # sema reports it
+        fields = ti.all_fields()
+        for field_name, value in expr.inits:
+            declared = fields.get(field_name)
+            value_type = self.expr(value)
+            if declared is not None and not self.assignable(
+                declared, value_type
+            ):
+                self.report.add(
+                    f"{self.proc_name}: NEW({expr.type_name}) initializes "
+                    f"{field_name} ({declared}) with {value_type}",
+                    expr,
+                )
+        return expr.type_name
+
+    def call_type(self, call: ast.CallExpr) -> str:
+        fn = call.fn
+        if isinstance(fn, ast.NameExpr):
+            proc = self.info.procedures.get(fn.name)
+            if proc is not None:
+                self.check_args(
+                    fn.name, call.args, [p.type_name for p in proc.decl.params]
+                )
+                return proc.decl.return_type or VOID
+            if fn.name in BUILTIN_ARITIES:
+                return self.builtin_type(fn.name, call)
+            return UNKNOWN
+        if isinstance(fn, (ast.FieldExpr, ast.AccessOp)):
+            inner = fn.inner if isinstance(fn, ast.AccessOp) else fn
+            obj_type = self.expr(inner.obj)
+            ti = self.info.types.get(obj_type)
+            if ti is None:
+                return UNKNOWN
+            binding = ti.methods.get(inner.field_name)
+            if binding is not None:
+                impl = self.info.procedures[binding.impl_name]
+                param_types = [p.type_name for p in impl.decl.params[1:]]
+                self.check_args(
+                    f"{obj_type}.{inner.field_name}", call.args, param_types
+                )
+                return binding.return_type or VOID
+            field = ti.all_fields().get(inner.field_name)
+            if field == PROC:
+                return UNKNOWN  # dynamic procedure value: unchecked args
+            self.report.add(
+                f"{self.proc_name}: type {obj_type} has no method or "
+                f"PROC field {inner.field_name!r}",
+                inner,
+            )
+            return UNKNOWN
+        return UNKNOWN
+
+    def check_args(
+        self, name: str, args: List[ast.Expr], param_types: List[str]
+    ) -> None:
+        # arity is sema's job; recheck defensively without duplicating
+        for arg, declared in zip(args, param_types):
+            actual = self.expr(arg)
+            if not self.assignable(declared, actual):
+                self.report.add(
+                    f"{self.proc_name}: argument to {name} has type "
+                    f"{actual}, expected {declared}",
+                    arg,
+                )
+
+    def builtin_type(self, name: str, call: ast.CallExpr) -> str:
+        if name in ("Max", "Min", "Abs"):
+            for arg in call.args:
+                self.require(arg, INTEGER, f"{name} argument")
+            return INTEGER
+        if name == "Ord":
+            self.require(call.args[0], TEXT, "Ord argument")
+            return INTEGER
+        if name == "Text":
+            self.expr(call.args[0])
+            return TEXT
+        if name == "Print":
+            self.expr(call.args[0])
+            return VOID
+        if name == "Assert":
+            self.require(call.args[0], BOOLEAN, "Assert condition")
+            for arg in call.args[1:]:
+                self.expr(arg)
+            return VOID
+        return UNKNOWN  # pragma: no cover - all builtins enumerated
+
+
+def typecheck(info: ModuleInfo) -> List[str]:
+    """Type-check an analyzed module; returns findings (empty = clean)."""
+    return _Checker(info).run().errors

@@ -1,0 +1,230 @@
+"""Unparser: AST -> Alphonse-L source text.
+
+Two uses, mirroring the paper's Section 8 pipeline:
+
+* untransformed trees round-trip to parseable source (tested);
+* transformed trees render their wrapper nodes as ``access(...)``,
+  ``modify(...)``, and ``call(...)`` — the illustrative output form of
+  the paper's Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_INDENT = "  "
+
+
+def unparse(node: ast.Node) -> str:
+    """Render a Module, declaration, statement, or expression as text."""
+    if isinstance(node, ast.Module):
+        return _module(node)
+    if isinstance(node, ast.ArrayTypeDecl):
+        return f"TYPE {node.name} = ARRAY {node.length} OF {node.elem_type};"
+    if isinstance(node, ast.TypeDecl):
+        return _type_decl(node)
+    if isinstance(node, ast.ProcDecl):
+        return _proc_decl(node)
+    if isinstance(node, ast.VarDecl):
+        return _var_decl(node, 0)
+    if isinstance(node, ast.Stmt):
+        return _stmt(node, 0)
+    if isinstance(node, ast.Expr):
+        return _expr(node)
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+def _module(module: ast.Module) -> str:
+    lines: List[str] = [f"MODULE {module.name};", ""]
+    for decl in module.decls:
+        if isinstance(decl, ast.TypeDecl):
+            lines.append(_type_decl(decl))
+        elif isinstance(decl, ast.ArrayTypeDecl):
+            lines.append(
+                f"TYPE {decl.name} = ARRAY {decl.length} OF {decl.elem_type};"
+            )
+        elif isinstance(decl, ast.VarDecl):
+            lines.append(_var_decl(decl, 0))
+        elif isinstance(decl, ast.ProcDecl):
+            lines.append(_proc_decl(decl))
+        lines.append("")
+    if module.body:
+        lines.append("BEGIN")
+        lines.extend(_stmt(s, 1) + ";" for s in module.body)
+        lines.append(f"END {module.name}.")
+    else:
+        lines.append(f"END {module.name}.")
+    return "\n".join(lines)
+
+
+def _pragma(pragma: ast.Pragma) -> str:
+    words = " ".join((pragma.head,) + pragma.args)
+    return f"(*{words}*)"
+
+
+def _type_decl(decl: ast.TypeDecl) -> str:
+    header = f"TYPE {decl.name} = "
+    if decl.super_name:
+        header += f"{decl.super_name} "
+    header += "OBJECT"
+    lines = [header]
+    for group in decl.fields:
+        lines.append(f"{_INDENT}{', '.join(group.names)} : {group.type_name};")
+    if decl.methods:
+        lines.append("METHODS")
+        for m in decl.methods:
+            prefix = f"{_pragma(m.pragma)} " if m.pragma else ""
+            params = ", ".join(
+                f"{'VAR ' if p.by_var else ''}{p.name} : {p.type_name}"
+                for p in m.params
+            )
+            ret = f" : {m.return_type}" if m.return_type else ""
+            lines.append(
+                f"{_INDENT}{prefix}{m.name}({params}){ret} := {m.impl_name};"
+            )
+    if decl.overrides:
+        lines.append("OVERRIDES")
+        for o in decl.overrides:
+            prefix = f"{_pragma(o.pragma)} " if o.pragma else ""
+            lines.append(f"{_INDENT}{prefix}{o.name} := {o.impl_name};")
+    lines.append("END;")
+    return "\n".join(lines)
+
+
+def _var_decl(decl: ast.VarDecl, depth: int) -> str:
+    pad = _INDENT * depth
+    init = f" := {_expr(decl.init)}" if decl.init is not None else ""
+    return f"{pad}VAR {', '.join(decl.names)} : {decl.type_name}{init};"
+
+
+def _proc_decl(decl: ast.ProcDecl) -> str:
+    prefix = f"{_pragma(decl.pragma)}\n" if decl.pragma else ""
+    params = "; ".join(
+        f"{'VAR ' if p.by_var else ''}{p.name} : {p.type_name}"
+        for p in decl.params
+    )
+    ret = f" : {decl.return_type}" if decl.return_type else ""
+    lines = [f"{prefix}PROCEDURE {decl.name}({params}){ret} ="]
+    for var in decl.locals:
+        lines.append(_var_decl(var, 0))
+    lines.append("BEGIN")
+    lines.extend(_stmt(s, 1) + ";" for s in decl.body)
+    lines.append(f"END {decl.name};")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+def _stmt(stmt: ast.Stmt, depth: int) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.AssignStmt):
+        return f"{pad}{_expr(stmt.target)} := {_expr(stmt.value)}"
+    if isinstance(stmt, ast.ModifyOp):
+        return f"{pad}modify({_expr(stmt.target)}, {_expr(stmt.value)})"
+    if isinstance(stmt, ast.CallStmt):
+        return f"{pad}{_expr(stmt.call)}"
+    if isinstance(stmt, ast.IfStmt):
+        lines: List[str] = []
+        keyword = "IF"
+        for cond, body in stmt.arms:
+            lines.append(f"{pad}{keyword} {_expr(cond)} THEN")
+            lines.extend(_stmt(s, depth + 1) + ";" for s in body)
+            keyword = "ELSIF"
+        if stmt.else_body:
+            lines.append(f"{pad}ELSE")
+            lines.extend(_stmt(s, depth + 1) + ";" for s in stmt.else_body)
+        lines.append(f"{pad}END")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.WhileStmt):
+        lines = [f"{pad}WHILE {_expr(stmt.cond)} DO"]
+        lines.extend(_stmt(s, depth + 1) + ";" for s in stmt.body)
+        lines.append(f"{pad}END")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.ForStmt):
+        by = f" BY {_expr(stmt.by)}" if stmt.by is not None else ""
+        lines = [
+            f"{pad}FOR {stmt.var} := {_expr(stmt.lo)} TO {_expr(stmt.hi)}{by} DO"
+        ]
+        lines.extend(_stmt(s, depth + 1) + ";" for s in stmt.body)
+        lines.append(f"{pad}END")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return f"{pad}RETURN"
+        return f"{pad}RETURN {_expr(stmt.value)}"
+    raise TypeError(f"cannot unparse statement {type(stmt).__name__}")
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 3,
+    "#": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "DIV": 5,
+    "MOD": 5,
+}
+
+
+def _expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.TextLit):
+        escaped = (
+            expr.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+        )
+        return f'"{escaped}"'
+    if isinstance(expr, ast.BoolLit):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, ast.NilLit):
+        return "NIL"
+    if isinstance(expr, ast.NameExpr):
+        return expr.name
+    if isinstance(expr, ast.FieldExpr):
+        return f"{_expr(expr.obj, 10)}.{expr.field_name}"
+    if isinstance(expr, ast.IndexExpr):
+        return f"{_expr(expr.obj, 10)}[{_expr(expr.index)}]"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{_expr(expr.fn, 10)}({args})"
+    if isinstance(expr, ast.NewExpr):
+        parts = [expr.type_name] + [
+            f"{f} := {_expr(v)}" for f, v in expr.inits
+        ]
+        return f"NEW({', '.join(parts)})"
+    if isinstance(expr, ast.UnaryExpr):
+        inner = _expr(expr.operand, 9)
+        return f"-{inner}" if expr.op == "-" else f"NOT {inner}"
+    if isinstance(expr, ast.BinExpr):
+        prec = _PRECEDENCE[expr.op]
+        text = (
+            f"{_expr(expr.left, prec)} {expr.op} {_expr(expr.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.UncheckedExpr):
+        return f"(*UNCHECKED*) {_expr(expr.inner, 10)}"
+    if isinstance(expr, ast.AccessOp):
+        return f"access({_expr(expr.inner)})"
+    if isinstance(expr, ast.CallOp):
+        call = expr.call
+        parts = [_expr(call.fn, 10)] + [_expr(a) for a in call.args]
+        return f"call({', '.join(parts)})"
+    raise TypeError(f"cannot unparse expression {type(expr).__name__}")

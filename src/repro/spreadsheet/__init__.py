@@ -1,0 +1,18 @@
+"""The paper's Section 7.2 spreadsheet, built from the attribute-grammar
+expression trees plus a ``CellExp`` production that reads other cells.
+
+"Note that this example shows the use of top-level data references and
+illustrates how one Alphonse program can be used to construct another."
+"""
+
+from .model import CellExp, CircularReference, SheetCell, Spreadsheet
+from .formula import FormulaError, parse_formula
+
+__all__ = [
+    "CellExp",
+    "CircularReference",
+    "FormulaError",
+    "SheetCell",
+    "Spreadsheet",
+    "parse_formula",
+]

@@ -1,0 +1,182 @@
+"""Spreadsheet model (paper Algorithm 10).
+
+"First, we define a Cell object consisting of an expression tree of type
+Exp, and a maintained method value that simply returns the value of the
+expression tree.  An array of Cell objects represents the spreadsheet.
+In order to allow the cell functions to reference the values of other
+cells, we add a CellExp production to our expression trees.  This
+production uses two integer valued terminal fields to select another
+cell in the array and return the result of its value method."
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from ..core import TrackedObject, maintained
+from ..core.errors import AlphonseError, CycleError
+from ..ag.expr import Exp, root
+
+
+class CircularReference(AlphonseError):
+    """A cell formula transitively references its own cell."""
+
+    def __init__(self, row: int, col: int) -> None:
+        super().__init__(f"circular reference involving cell R{row}C{col}")
+        self.row = row
+        self.col = col
+
+
+class SheetCell(TrackedObject):
+    """One spreadsheet cell: a formula tree and a maintained value.
+
+    The paper's ``Cell = OBJECT func : Exp; METHODS (*MAINTAINED*)
+    value() := ExpVal``.  An empty cell evaluates to 0.
+    """
+
+    _fields_ = ("func",)
+
+    def __init__(self, row: int = 0, col: int = 0, **kw: Any) -> None:
+        super().__init__(**kw)
+        self.row = row  # untracked coordinates (fixed for life)
+        self.col = col
+
+    @maintained
+    def value(self) -> Any:
+        func = self.func
+        if func is None:
+            return 0
+        return func.value()
+
+
+class CellExp(Exp):
+    """EXP ::= cell[x, y] — the cross-cell reference production.
+
+    ``x``/``y`` are tracked terminal fields (editing a reference's target
+    coordinates is itself a change the runtime reacts to).  The sheet is
+    an untracked construction-time constant: the grid object never
+    changes, only its cells' contents do, and those are tracked.
+    """
+
+    _fields_ = ("x", "y")
+
+    def __init__(self, sheet: "Spreadsheet", **kw: Any) -> None:
+        super().__init__(**kw)
+        self.sheet = sheet
+
+    @maintained
+    def value(self) -> Any:
+        return self.sheet.cell_at(self.x, self.y).value()
+
+
+class RangeSumExp(Exp):
+    """EXP ::= SUM(cell : cell) — rectangular range aggregation.
+
+    An extension production in the spirit of Algorithm 10's CellExp: the
+    four coordinates are tracked terminal fields, and the value depends
+    on every cell in the rectangle — an edit to any of them re-derives
+    the sum, edits outside leave it cached.
+    """
+
+    _fields_ = ("r1", "c1", "r2", "c2")
+
+    def __init__(self, sheet: "Spreadsheet", **kw: Any) -> None:
+        super().__init__(**kw)
+        self.sheet = sheet
+
+    @maintained
+    def value(self) -> Any:
+        r1, c1, r2, c2 = self.r1, self.c1, self.r2, self.c2
+        lo_r, hi_r = min(r1, r2), max(r1, r2)
+        lo_c, hi_c = min(c1, c2), max(c1, c2)
+        total = 0
+        for row in range(lo_r, hi_r + 1):
+            for col in range(lo_c, hi_c + 1):
+                total += self.sheet.cell_at(row, col).value()
+        return total
+
+
+class Spreadsheet:
+    """A fixed-size grid of :class:`SheetCell` objects.
+
+    The mutator-facing API: set a formula (text or prebuilt Exp) and read
+    values; the runtime keeps every dependent cell consistent.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("spreadsheet dimensions must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self._grid: List[List[SheetCell]] = [
+            [SheetCell(row=r, col=c) for c in range(cols)] for r in range(rows)
+        ]
+
+    # -- addressing ----------------------------------------------------
+
+    def cell_at(self, row: int, col: int) -> SheetCell:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell R{row}C{col} outside {self.rows}x{self.cols}")
+        return self._grid[row][col]
+
+    # -- mutation --------------------------------------------------------
+
+    def set_formula(self, row: int, col: int, formula: Union[str, Exp, int, None]) -> None:
+        """Install a formula: text (parsed), a prebuilt Exp, an int
+        constant, or None to clear the cell."""
+        cell = self.cell_at(row, col)
+        tree: Optional[Exp]
+        if formula is None:
+            tree = None
+        elif isinstance(formula, str):
+            from .formula import parse_formula  # local: avoid import cycle
+
+            tree = parse_formula(formula, self)
+        elif isinstance(formula, int):
+            from ..ag.expr import num
+
+            tree = num(formula)
+        elif isinstance(formula, Exp):
+            tree = formula
+        else:
+            raise TypeError(f"unsupported formula {formula!r}")
+        if tree is not None:
+            tree = root(tree)
+        cell.func = tree
+
+    def clear(self, row: int, col: int) -> None:
+        self.set_formula(row, col, None)
+
+    # -- queries ---------------------------------------------------------
+
+    def value(self, row: int, col: int) -> Any:
+        """The cell's current value (incrementally maintained).
+
+        Raises :class:`CircularReference` when the formula graph cycles
+        through this cell.
+        """
+        try:
+            return self.cell_at(row, col).value()
+        except CycleError as exc:
+            raise CircularReference(row, col) from exc
+
+    def values(self) -> List[List[Any]]:
+        """Evaluate the whole sheet (row-major)."""
+        return [
+            [self.value(r, c) for c in range(self.cols)]
+            for r in range(self.rows)
+        ]
+
+    def ref(self, row: int, col: int) -> CellExp:
+        """Build a CellExp referencing (row, col), for programmatic
+        formula construction."""
+        return CellExp(self, x=row, y=col)
+
+    def range_sum(self, r1: int, c1: int, r2: int, c2: int) -> RangeSumExp:
+        """Build a SUM-over-rectangle expression (corners inclusive)."""
+        for row, col in ((r1, c1), (r2, c2)):
+            self.cell_at(row, col)  # bounds check now, not at eval time
+        return RangeSumExp(self, r1=r1, c1=c1, r2=r2, c2=c2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Spreadsheet({self.rows}x{self.cols})"

@@ -1,0 +1,22 @@
+"""Tree substrates: the paper's Algorithm 1 (maintained height),
+Algorithm 11 (AVL via maintained balance), and hand-written baselines."""
+
+from .height import NIL, Tree, TreeNil, build_balanced, build_from_keys, nil
+from .avl import Avl, AvlNil, AvlTree, avl_nil
+from .baseline import ConventionalAvl, HandIncrementalHeightTree, PlainNode
+
+__all__ = [
+    "Avl",
+    "AvlNil",
+    "AvlTree",
+    "ConventionalAvl",
+    "HandIncrementalHeightTree",
+    "NIL",
+    "PlainNode",
+    "Tree",
+    "TreeNil",
+    "avl_nil",
+    "build_balanced",
+    "build_from_keys",
+    "nil",
+]

@@ -1,0 +1,216 @@
+"""Self-balancing AVL trees via a maintained ``balance`` method —
+the paper's Section 7.3 / Algorithm 11.
+
+"a balanced search tree insertion routine can be thought of as an
+algorithm that takes a balanced tree and produces a new balanced tree
+containing the added element" — the specification below is exactly that
+exhaustive algorithm (balance every node recursively), and the Alphonse
+runtime turns it into an incremental one: after an insertion, only the
+balance instances along the changed path re-execute.
+
+"since the data structure is self balancing, these operations
+[lookup/insert/delete] are exactly the same as for an unbalanced binary
+tree.  The programmer is simply required to call the balance method
+prior to performing a search operation."  The :class:`AvlTree` facade
+packages that protocol.
+
+Note on the rotation conditions: the paper's scanned text of Algorithm 11
+is OCR-garbled around the double-rotation guards; we implement the
+standard AVL conditions (left-right and right-left cases rotate the child
+first), which is unambiguously what the algorithm computes — the paper's
+own RotateLeft/RotateRight bodies are the textbook ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..core import maintained
+from .height import Tree, TreeNil
+
+
+class Avl(Tree):
+    """An AVL node: a Tree whose ``balance`` method restores the AVL
+    property for its subtree and returns the (possibly new) subtree root."""
+
+    @maintained
+    def balance(self) -> "Avl":
+        """The paper's ``Balance`` procedure, verbatim in structure.
+
+        Balances both children first, then applies at most one single or
+        double rotation at this node, recursing on the rotated result.
+        """
+        self.left = self.left.balance()
+        self.right = self.right.balance()
+        t: "Avl" = self
+        d = _diff(t)
+        if d > 1:
+            if _diff(t.left) < 0:  # left-right case
+                t.left = _rotate_left(t.left)
+            t = _rotate_right(t).balance()
+        elif d < -1:
+            if _diff(t.right) > 0:  # right-left case
+                t.right = _rotate_right(t.right)
+            t = _rotate_left(t).balance()
+        return t
+
+
+class AvlNil(Avl, TreeNil):
+    """The AVL leaf sentinel: height 0, balances to itself."""
+
+    @maintained
+    def balance(self) -> "Avl":
+        return self
+
+    @maintained
+    def height(self) -> int:
+        return 0
+
+
+def avl_nil() -> AvlNil:
+    """A fresh AVL leaf sentinel."""
+    return AvlNil()
+
+
+def _diff(t: Avl) -> int:
+    """The paper's ``Diff``: left height minus right height."""
+    return t.left.height() - t.right.height()
+
+
+def _rotate_right(t: Avl) -> Avl:
+    """The paper's ``RotateRight``: promote the left child."""
+    s = t.left
+    b = s.right
+    s.right = t
+    t.left = b
+    return s
+
+
+def _rotate_left(t: Avl) -> Avl:
+    """The paper's ``RotateLeft``: promote the right child."""
+    s = t.right
+    b = s.left
+    s.left = t
+    t.right = b
+    return s
+
+
+class AvlTree:
+    """Mutator-side facade over the maintained AVL specification.
+
+    Insert/delete perform plain unbalanced BST mutations ("exactly the
+    same as for an unbalanced binary tree"); :meth:`rebalance` (called
+    automatically before lookups) invokes the maintained ``balance`` on
+    the root, letting the runtime re-execute only the affected instances.
+    """
+
+    def __init__(self) -> None:
+        self.leaf = AvlNil()
+        self.root: Avl = self.leaf
+
+    # -- mutations (ordinary imperative code, no Alphonse machinery) -----
+
+    def insert(self, key: int) -> None:
+        """Standard unbalanced BST insertion (duplicates go right)."""
+        new = Avl(key=key, left=self.leaf, right=self.leaf)
+        if self.root is self.leaf:
+            self.root = new
+            return
+        node = self.root
+        while True:
+            if key < node.key:
+                if node.left is self.leaf:
+                    node.left = new
+                    return
+                node = node.left
+            else:
+                if node.right is self.leaf:
+                    node.right = new
+                    return
+                node = node.right
+
+    def delete(self, key: int) -> bool:
+        """Standard BST deletion; returns False if ``key`` is absent."""
+        parent: Optional[Avl] = None
+        side = ""
+        node = self.root
+        while node is not self.leaf and node.key != key:
+            parent, side = node, ("left" if key < node.key else "right")
+            node = node.left if key < node.key else node.right
+        if node is self.leaf:
+            return False
+        self._delete_node(parent, side, node)
+        return True
+
+    def _delete_node(self, parent: Optional[Avl], side: str, node: Avl) -> None:
+        if node.left is not self.leaf and node.right is not self.leaf:
+            # Two children: splice the in-order successor's key up, then
+            # delete the successor node (which has at most one child).
+            succ_parent, succ = node, node.right
+            while succ.left is not self.leaf:
+                succ_parent, succ = succ, succ.left
+            node.key = succ.key
+            succ_side = "right" if succ_parent is node else "left"
+            self._delete_node(succ_parent, succ_side, succ)
+            return
+        child = node.left if node.left is not self.leaf else node.right
+        if parent is None:
+            self.root = child
+        else:
+            setattr(parent, side, child)
+
+    # -- queries (balance first, as the paper prescribes) ----------------
+
+    def rebalance(self) -> None:
+        """Re-establish the AVL property incrementally."""
+        if self.root is not self.leaf:
+            self.root = self.root.balance()
+
+    def lookup(self, key: int) -> bool:
+        """Balanced O(log n) search."""
+        self.rebalance()
+        node = self.root
+        while node is not self.leaf:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def height(self) -> int:
+        self.rebalance()
+        return 0 if self.root is self.leaf else self.root.height()
+
+    # -- diagnostics (untracked) ------------------------------------------
+
+    def keys(self) -> List[int]:
+        """In-order keys via untracked reads."""
+        out: List[int] = []
+        self._inorder(self.root, out)
+        return out
+
+    def _inorder(self, node: Avl, out: List[int]) -> None:
+        if node is self.leaf or isinstance(node, AvlNil):
+            return
+        self._inorder(node.field_cell("left").peek(), out)
+        out.append(node.field_cell("key").peek())
+        self._inorder(node.field_cell("right").peek(), out)
+
+    def check_avl(self) -> bool:
+        """Verify the AVL invariant with untracked reads (tests)."""
+        ok, _ = self._check(self.root)
+        return ok
+
+    def _check(self, node: Avl) -> "tuple[bool, int]":
+        if node is self.leaf or isinstance(node, AvlNil):
+            return True, 0
+        left = node.field_cell("left").peek()
+        right = node.field_cell("right").peek()
+        ok_l, h_l = self._check(left)
+        ok_r, h_r = self._check(right)
+        return ok_l and ok_r and abs(h_l - h_r) <= 1, max(h_l, h_r) + 1
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.keys())

@@ -1,0 +1,284 @@
+"""Hand-written baselines for the tree experiments (paper Section 9).
+
+The paper frames the comparison: "When faced with the problem of
+maintaining the height at each node, an ambitious programmer might create
+a height field in each node, and upon each pointer change in the tree,
+travel to the root of the tree updating all [heights] on the path."
+:class:`HandIncrementalHeightTree` is that ambitious programmer's code.
+
+:class:`ConventionalAvl` is the textbook AVL implementation with stored
+heights and rebalancing woven into insert/delete — the complex
+incremental algorithm Alphonse's simple specification competes with.
+
+:class:`PlainNode` supports the exhaustive baseline: no caching at all,
+recompute from scratch on every query (what a traditional compiler does
+with the Alphonse specification).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class PlainNode:
+    """An untracked binary-tree node for exhaustive recomputation."""
+
+    __slots__ = ("left", "right", "key")
+
+    def __init__(
+        self,
+        key: int = 0,
+        left: Optional["PlainNode"] = None,
+        right: Optional["PlainNode"] = None,
+    ) -> None:
+        self.key = key
+        self.left = left
+        self.right = right
+
+    def exhaustive_height(self) -> int:
+        """O(n) recursive height — runs in full on every call."""
+        hl = self.left.exhaustive_height() if self.left else 0
+        hr = self.right.exhaustive_height() if self.right else 0
+        return max(hl, hr) + 1
+
+    @staticmethod
+    def build_balanced(n: int, base: int = 0) -> Optional["PlainNode"]:
+        if n <= 0:
+            return None
+        mid = n // 2
+        return PlainNode(
+            key=base + mid,
+            left=PlainNode.build_balanced(mid, base),
+            right=PlainNode.build_balanced(n - mid - 1, base + mid + 1),
+        )
+
+
+class _HNode:
+    """Node for the hand-incremental height tree: parent pointer plus a
+    manually maintained height field."""
+
+    __slots__ = ("left", "right", "parent", "key", "height")
+
+    def __init__(self, key: int = 0) -> None:
+        self.left: Optional["_HNode"] = None
+        self.right: Optional["_HNode"] = None
+        self.parent: Optional["_HNode"] = None
+        self.key = key
+        self.height = 1
+
+
+class HandIncrementalHeightTree:
+    """The "ambitious programmer" baseline for Algorithm 1.
+
+    Every pointer change walks to the root updating heights; queries are
+    O(1).  This is "roughly what the Alphonse program would do", minus
+    the batching, duplicate-update elimination, and background threads
+    the paper credits to Alphonse (Section 9) — and it costs the
+    programmer explicit parent pointers and update discipline.
+    """
+
+    def __init__(self, root: Optional[_HNode] = None) -> None:
+        self.root = root
+        #: Height-field writes performed, the work metric for E1–E3.
+        self.updates = 0
+
+    @classmethod
+    def build_balanced(cls, n: int, base: int = 0) -> "HandIncrementalHeightTree":
+        tree = cls()
+        tree.root = tree._build(n, base, None)
+        return tree
+
+    def _build(self, n: int, base: int, parent: Optional[_HNode]) -> Optional[_HNode]:
+        if n <= 0:
+            return None
+        mid = n // 2
+        node = _HNode(key=base + mid)
+        node.parent = parent
+        node.left = self._build(mid, base, node)
+        node.right = self._build(n - mid - 1, base + mid + 1, node)
+        node.height = 1 + max(_h(node.left), _h(node.right))
+        return node
+
+    def height(self) -> int:
+        """O(1) query."""
+        return _h(self.root)
+
+    def set_child(self, node: _HNode, side: str, child: Optional[_HNode]) -> None:
+        """Replace a child pointer and repair heights up to the root."""
+        if side == "left":
+            node.left = child
+        elif side == "right":
+            node.right = child
+        else:
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        if child is not None:
+            child.parent = node
+        self._repair_upward(node)
+
+    def _repair_upward(self, node: Optional[_HNode]) -> None:
+        while node is not None:
+            new_height = 1 + max(_h(node.left), _h(node.right))
+            self.updates += 1
+            if new_height == node.height:
+                return  # early exit: the hand-coded quiescence check
+            node.height = new_height
+            node = node.parent
+
+    def nodes(self) -> List[_HNode]:
+        out: List[_HNode] = []
+        stack = [self.root] if self.root else []
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        return out
+
+
+def _h(node: Optional[_HNode]) -> int:
+    return node.height if node is not None else 0
+
+
+class ConventionalAvl:
+    """Textbook AVL tree: stored heights, rotations inside insert/delete.
+
+    This is the "complex algorithm ... typically used to avoid the
+    redundant computation" that the paper's introduction says programmers
+    write by hand.  Used by bench E4 as the expert-written comparator.
+    """
+
+    class _Node:
+        __slots__ = ("key", "left", "right", "height")
+
+        def __init__(self, key: int) -> None:
+            self.key = key
+            self.left: Optional["ConventionalAvl._Node"] = None
+            self.right: Optional["ConventionalAvl._Node"] = None
+            self.height = 1
+
+    def __init__(self) -> None:
+        self.root: Optional[ConventionalAvl._Node] = None
+        #: Rotations performed (work metric).
+        self.rotations = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    @classmethod
+    def _height(cls, node: Optional["_Node"]) -> int:  # type: ignore[name-defined]
+        return node.height if node else 0
+
+    def _fix(self, node: "_Node") -> None:  # type: ignore[name-defined]
+        node.height = 1 + max(self._height(node.left), self._height(node.right))
+
+    def _balance_factor(self, node: "_Node") -> int:  # type: ignore[name-defined]
+        return self._height(node.left) - self._height(node.right)
+
+    def _rotate_right(self, t: "_Node") -> "_Node":  # type: ignore[name-defined]
+        self.rotations += 1
+        s = t.left
+        assert s is not None
+        t.left = s.right
+        s.right = t
+        self._fix(t)
+        self._fix(s)
+        return s
+
+    def _rotate_left(self, t: "_Node") -> "_Node":  # type: ignore[name-defined]
+        self.rotations += 1
+        s = t.right
+        assert s is not None
+        t.right = s.left
+        s.left = t
+        self._fix(t)
+        self._fix(s)
+        return s
+
+    def _rebalance(self, node: "_Node") -> "_Node":  # type: ignore[name-defined]
+        self._fix(node)
+        bf = self._balance_factor(node)
+        if bf > 1:
+            assert node.left is not None
+            if self._balance_factor(node.left) < 0:
+                node.left = self._rotate_left(node.left)
+            return self._rotate_right(node)
+        if bf < -1:
+            assert node.right is not None
+            if self._balance_factor(node.right) > 0:
+                node.right = self._rotate_right(node.right)
+            return self._rotate_left(node)
+        return node
+
+    # -- operations --------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        self.root = self._insert(self.root, key)
+
+    def _insert(self, node: Optional["_Node"], key: int) -> "_Node":  # type: ignore[name-defined]
+        if node is None:
+            return self._Node(key)
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+        else:
+            node.right = self._insert(node.right, key)
+        return self._rebalance(node)
+
+    def delete(self, key: int) -> bool:
+        self.root, removed = self._delete(self.root, key)
+        return removed
+
+    def _delete(self, node, key):
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.key = succ.key
+            node.right, _ = self._delete(node.right, succ.key)
+        return self._rebalance(node), removed
+
+    def lookup(self, key: int) -> bool:
+        node = self.root
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def height(self) -> int:
+        return self._height(self.root)
+
+    def keys(self) -> List[int]:
+        out: List[int] = []
+
+        def walk(node: Optional["ConventionalAvl._Node"]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(node.key)
+            walk(node.right)
+
+        walk(self.root)
+        return out
+
+    def check_avl(self) -> bool:
+        def check(node) -> "tuple[bool, int]":
+            if node is None:
+                return True, 0
+            ok_l, h_l = check(node.left)
+            ok_r, h_r = check(node.right)
+            return ok_l and ok_r and abs(h_l - h_r) <= 1, 1 + max(h_l, h_r)
+
+        ok, _ = check(self.root)
+        return ok

@@ -1,0 +1,150 @@
+"""Maintained-height binary trees — the paper's Algorithm 1.
+
+The specification is deliberately exhaustive: ``height`` recomputes the
+height of the whole subtree by recursion.  Marked ``@maintained``, the
+Alphonse runtime gives it the paper's §3.4 cost profile:
+
+* first call on the root: O(|subtree|) — the exhaustive pass runs once;
+* repeat calls on the root or any descendant: O(1) — cached;
+* after a single child-pointer change: O(height) re-executions — only
+  the nodes on the path from the change to the root recompute;
+* after a batch of changes: O(|AFFECTED|) — nodes above multiple changes
+  recompute once, not once per change.
+
+A single shared ``TreeNil`` object stands in for missing children, as in
+the paper ("A single object of type TreeNil is pointed to by tree nodes
+with less than two children").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core import TrackedObject, maintained
+
+
+class Tree(TrackedObject):
+    """A binary-tree node with tracked ``left``/``right`` child pointers
+    and an optional ``key`` used by the builders and the AVL subtype."""
+
+    _fields_ = ("left", "right", "key")
+
+    @maintained
+    def height(self) -> int:
+        """Height of the subtree rooted here (TreeNil counts as 0).
+
+        The paper's ``Height``: ``RETURN max(t.left.height(),
+        t.right.height()) + 1``.
+        """
+        return max(self.left.height(), self.right.height()) + 1
+
+
+class TreeNil(Tree):
+    """The shared leaf sentinel; overrides ``height`` to return 0.
+
+    Mirrors the paper's OVERRIDES: the subclass re-declares the
+    maintained method with a different body (``HeightNil``).
+    """
+
+    @maintained
+    def height(self) -> int:
+        return 0
+
+
+#: The canonical shared sentinel.  Each runtime sees the same object; its
+#: height node is created lazily per active runtime's first read.
+NIL = TreeNil()
+
+
+def nil() -> TreeNil:
+    """A fresh TreeNil sentinel (for tests that want runtime isolation)."""
+    return TreeNil()
+
+
+def build_balanced(
+    n: int, sentinel: Optional[TreeNil] = None, base: int = 0
+) -> Tree:
+    """A perfectly balanced tree over keys ``base .. base+n-1``.
+
+    Returns the sentinel itself when ``n == 0``.
+    """
+    leaf = sentinel if sentinel is not None else NIL
+    if n <= 0:
+        return leaf
+    mid = n // 2
+    node = Tree(key=base + mid)
+    node.left = build_balanced(mid, leaf, base)
+    node.right = build_balanced(n - mid - 1, leaf, base + mid + 1)
+    return node
+
+
+def build_from_keys(
+    keys: Sequence[int], sentinel: Optional[TreeNil] = None
+) -> Tree:
+    """An unbalanced binary search tree built by naive insertion order."""
+    leaf = sentinel if sentinel is not None else NIL
+    if not keys:
+        return leaf
+    root = Tree(key=keys[0], left=leaf, right=leaf)
+    for key in keys[1:]:
+        _bst_insert(root, key, leaf)
+    return root
+
+
+def _bst_insert(root: Tree, key: int, leaf: TreeNil) -> None:
+    node = root
+    while True:
+        if key < node.key:
+            child = node.left
+            if isinstance(child, TreeNil):
+                node.left = Tree(key=key, left=leaf, right=leaf)
+                return
+            node = child
+        else:
+            child = node.right
+            if isinstance(child, TreeNil):
+                node.right = Tree(key=key, left=leaf, right=leaf)
+                return
+            node = child
+
+
+def inorder_keys(root: Tree) -> List[int]:
+    """In-order key sequence (untracked reads; test/diagnostic helper)."""
+    out: List[int] = []
+    _inorder(root, out)
+    return out
+
+
+def _inorder(node: Tree, out: List[int]) -> None:
+    if isinstance(node, TreeNil):
+        return
+    _inorder(node.field_cell("left").peek(), out)
+    out.append(node.field_cell("key").peek())
+    _inorder(node.field_cell("right").peek(), out)
+
+
+def exhaustive_height(node: Tree) -> int:
+    """The conventional (untracked) exhaustive height computation.
+
+    This is what a traditional compiler would run on the specification:
+    O(|subtree|) on every invocation.  Used as the baseline in E1–E3.
+    """
+    if isinstance(node, TreeNil):
+        return 0
+    left = node.field_cell("left").peek()
+    right = node.field_cell("right").peek()
+    return max(exhaustive_height(left), exhaustive_height(right)) + 1
+
+
+def collect_nodes(root: Tree) -> List[Tree]:
+    """All interior nodes of the tree, preorder (untracked)."""
+    out: List[Tree] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TreeNil):
+            continue
+        out.append(node)
+        stack.append(node.field_cell("left").peek())
+        stack.append(node.field_cell("right").peek())
+    return out

@@ -1,0 +1,100 @@
+"""Knuth's binary-numeral AG (the [Knu68] example the paper's §7.1
+lineage starts from), compiled through the generic framework."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime
+from repro.ag.binary import BinaryNumeral, binary_value
+
+
+class TestEvaluation:
+    def test_whole_numbers(self, rt):
+        for text, expected in [
+            ("0", 0),
+            ("1", 1),
+            ("10", 2),
+            ("101", 5),
+            ("11111111", 255),
+        ]:
+            assert BinaryNumeral(text).value() == expected
+
+    def test_fractional_numbers(self, rt):
+        assert BinaryNumeral("0.1").value() == Fraction(1, 2)
+        assert BinaryNumeral("0.01").value() == Fraction(1, 4)
+        assert BinaryNumeral("1101.01").value() == Fraction(53, 4)
+        assert BinaryNumeral("10.11").value() == Fraction(11, 4)
+
+    def test_agrees_with_reference(self, rt):
+        for text in ["1", "110", "0.101", "101.001", "111.111"]:
+            assert BinaryNumeral(text).value() == binary_value(text)
+
+    def test_malformed_rejected(self, rt):
+        with pytest.raises(ValueError):
+            BinaryNumeral("")
+        with pytest.raises(ValueError):
+            BinaryNumeral("10.")
+        with pytest.raises(ValueError):
+            BinaryNumeral("102")
+
+    def test_str_roundtrip(self, rt):
+        numeral = BinaryNumeral("1101.01")
+        assert str(numeral) == "110101"  # digits as written, dot elided
+
+
+class TestIncrementalFlips:
+    def test_flip_changes_value(self, rt):
+        numeral = BinaryNumeral("1000")
+        assert numeral.value() == 8
+        numeral.flip(3)  # rightmost bit
+        assert numeral.value() == 9
+        numeral.flip(0)  # leading bit off
+        assert numeral.value() == 1
+
+    def test_flip_fractional_bit(self, rt):
+        numeral = BinaryNumeral("0.00")
+        assert numeral.value() == 0
+        numeral.flip(2)  # the 1/4 place (bits: 0, then .0 0)
+        assert numeral.value() == Fraction(1, 4)
+
+    def test_flip_is_incremental(self, rt):
+        numeral = BinaryNumeral("10101010" * 4)  # 32 bits
+        numeral.value()
+        before = rt.stats.snapshot()
+        numeral.flip(31)  # least significant
+        numeral.value()
+        delta = rt.stats.delta(before)
+        # one new bit + the sums on its path; the other 31 bits and the
+        # scale spine stay cached
+        assert delta["executions"] < 40
+        assert delta["executions"] > 0
+
+    def test_flip_matches_reference_after_each_edit(self, rt):
+        numeral = BinaryNumeral("1010.101")
+        for index in range(7):
+            numeral.flip(index)
+            text = str(numeral)
+            rendered = text[:4] + "." + text[4:]
+            assert numeral.value() == binary_value(rendered)
+
+    def test_repeat_value_is_cached(self, rt):
+        numeral = BinaryNumeral("110.011")
+        numeral.value()
+        before = rt.stats.snapshot()
+        numeral.value()
+        assert rt.stats.delta(before)["executions"] == 0
+
+
+@given(
+    whole=st.text(alphabet="01", min_size=1, max_size=10),
+    frac=st.text(alphabet="01", min_size=0, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_matches_int_parsing(whole, frac):
+    runtime = Runtime()
+    with runtime.active():
+        text = whole + ("." + frac if frac else "")
+        assert BinaryNumeral(text).value() == binary_value(text)

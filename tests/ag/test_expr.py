@@ -1,0 +1,187 @@
+"""The paper's expression AG (Algorithms 6–9): values, environments,
+shadowing, incremental edits."""
+
+import pytest
+
+from repro.ag import Env, UndefinedIdentifier, exp_to_text
+from repro.ag.expr import ident, let, num, plus, replace_child, root
+from repro.baselines.exhaustive import OperationCounter, exhaustive_exp_value
+
+
+class TestEnv:
+    def test_empty_lookup_raises(self):
+        with pytest.raises(UndefinedIdentifier):
+            Env.EMPTY.lookup("x")
+
+    def test_update_and_lookup(self):
+        env = Env.EMPTY.update("x", 1).update("y", 2)
+        assert env.lookup("x") == 1
+        assert env.lookup("y") == 2
+
+    def test_update_is_persistent(self):
+        base = Env.EMPTY.update("x", 1)
+        extended = base.update("x", 2)
+        assert base.lookup("x") == 1
+        assert extended.lookup("x") == 2
+
+    def test_semantic_equality(self):
+        a = Env.EMPTY.update("x", 1).update("y", 2)
+        b = Env.EMPTY.update("y", 2).update("x", 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_shadowing_normalizes(self):
+        shadowed = Env.EMPTY.update("x", 1).update("x", 5)
+        direct = Env.EMPTY.update("x", 5)
+        assert shadowed == direct
+
+    def test_as_dict(self):
+        env = Env.EMPTY.update("a", 1)
+        assert env.as_dict() == {"a": 1}
+
+
+class TestEvaluation:
+    def test_int_literal(self, rt):
+        assert root(num(42)).value() == 42
+
+    def test_plus(self, rt):
+        assert root(plus(num(1), num(2))).value() == 3
+
+    def test_let_binding(self, rt):
+        # let x = 5 in x + x ni
+        tree = root(let("x", num(5), plus(ident("x"), ident("x"))))
+        assert tree.value() == 10
+
+    def test_nested_lets(self, rt):
+        # let x = 1 in let y = x + 1 in x + y ni ni
+        tree = root(
+            let(
+                "x",
+                num(1),
+                let("y", plus(ident("x"), num(1)), plus(ident("x"), ident("y"))),
+            )
+        )
+        assert tree.value() == 3
+
+    def test_shadowing(self, rt):
+        # let x = 1 in let x = 2 in x ni ni  ==> 2
+        tree = root(let("x", num(1), let("x", num(2), ident("x"))))
+        assert tree.value() == 2
+
+    def test_binding_not_visible_in_bound_expression(self, rt):
+        # let x = x in x ni — the bound expr sees the OUTER env (empty)
+        tree = root(let("x", ident("x"), ident("x")))
+        with pytest.raises(UndefinedIdentifier):
+            tree.value()
+
+    def test_undefined_identifier(self, rt):
+        tree = root(ident("ghost"))
+        with pytest.raises(UndefinedIdentifier):
+            tree.value()
+
+    def test_matches_exhaustive_evaluator(self, rt):
+        tree = root(
+            let(
+                "a",
+                plus(num(2), num(3)),
+                let(
+                    "b",
+                    plus(ident("a"), num(10)),
+                    plus(plus(ident("a"), ident("b")), num(100)),
+                ),
+            )
+        )
+        assert tree.value() == exhaustive_exp_value(tree)
+
+    def test_exp_to_text(self, rt):
+        tree = root(let("x", num(1), plus(ident("x"), num(2))))
+        assert exp_to_text(tree) == "let x = 1 in (x + 2) ni"
+
+
+class TestIncrementalEdits:
+    def test_literal_edit_recomputes(self, rt):
+        tree = root(let("x", num(5), plus(ident("x"), ident("x"))))
+        assert tree.value() == 10
+        let_node = tree.field_cell("exp").peek()
+        five = let_node.field_cell("exp1").peek()
+        five.int = 7
+        assert tree.value() == 14
+
+    def test_identifier_rename_recomputes(self, rt):
+        tree = root(
+            let("x", num(1), let("y", num(2), plus(ident("x"), ident("y"))))
+        )
+        assert tree.value() == 3
+        outer_let = tree.field_cell("exp").peek()
+        inner_let = outer_let.field_cell("exp2").peek()
+        body = inner_let.field_cell("exp2").peek()
+        x_ref = body.field_cell("exp1").peek()
+        x_ref.id = "y"  # now y + y
+        assert tree.value() == 4
+
+    def test_let_variable_rename_propagates_to_uses(self, rt):
+        tree = root(let("x", num(9), ident("x")))
+        assert tree.value() == 9
+        let_node = tree.field_cell("exp").peek()
+        let_node.id = "z"  # binding renamed, body still says x
+        with pytest.raises(UndefinedIdentifier):
+            tree.value()
+
+    def test_subtree_replacement(self, rt):
+        tree = root(plus(num(1), num(2)))
+        assert tree.value() == 3
+        plus_node = tree.field_cell("exp").peek()
+        replace_child(plus_node, "exp2", let("k", num(10), ident("k")))
+        assert tree.value() == 11
+
+    def test_unaffected_sibling_not_recomputed(self, rt):
+        left = plus(num(1), num(2))
+        right = plus(num(3), num(4))
+        tree = root(plus(left, right))
+        assert tree.value() == 10
+        before = rt.stats.snapshot()
+        right.field_cell("exp1").peek().int = 30
+        tree.value()
+        # left subtree's value instances must not re-execute
+        left_node_value = left.value()  # cache hit
+        delta = rt.stats.delta(before)
+        assert left_node_value == 3
+        # executions: the edited literal, right plus, top plus, root —
+        # not the left subtree's three instances
+        assert delta["executions"] <= 5
+
+    def test_env_change_reaches_deep_uses(self, rt):
+        # let x = 1 in (((x + 0) + 0) + 0) ni — deep use of x
+        body = ident("x")
+        for _ in range(3):
+            body = plus(body, num(0))
+        tree = root(let("x", num(1), body))
+        assert tree.value() == 1
+        let_node = tree.field_cell("exp").peek()
+        bound = let_node.field_cell("exp1").peek()
+        bound.int = 50
+        assert tree.value() == 50
+
+    def test_repeat_after_edit_is_cached(self, rt):
+        tree = root(let("x", num(5), plus(ident("x"), ident("x"))))
+        tree.value()
+        let_node = tree.field_cell("exp").peek()
+        let_node.field_cell("exp1").peek().int = 6
+        assert tree.value() == 12
+        before = rt.stats.snapshot()
+        assert tree.value() == 12
+        assert rt.stats.delta(before)["executions"] == 0
+
+
+class TestExhaustiveBaseline:
+    def test_counter_counts_nodes(self, rt):
+        counter = OperationCounter()
+        tree = root(plus(num(1), plus(num(2), num(3))))
+        assert exhaustive_exp_value(tree, counter=counter) == 6
+        assert counter.operations == 6  # root + plus + 1 + plus + 2 + 3
+
+    def test_counter_reset(self):
+        counter = OperationCounter()
+        counter.tick(5)
+        assert counter.reset() == 5
+        assert counter.operations == 0

@@ -1,0 +1,105 @@
+"""Grammar compilation with non-default strategies, and framework
+corner cases."""
+
+import pytest
+
+from repro import EAGER
+from repro.ag import AttributeGrammar, compile_grammar
+from repro.ag.translate import link_parents
+
+
+def _sum_grammar():
+    ag = AttributeGrammar("sums")
+    ag.add_nonterminal("E", synthesized=("value",))
+    ag.production(
+        name="Add",
+        lhs="E",
+        children={"a": "E", "b": "E"},
+        synthesized={"value": lambda o: o.a.value() + o.b.value()},
+    )
+    ag.production(
+        name="Lit",
+        lhs="E",
+        terminals=("n",),
+        synthesized={"value": lambda o: o.n},
+    )
+    return ag
+
+
+class TestEagerGrammars:
+    def test_eager_compiled_grammar_evaluates(self, rt):
+        classes = compile_grammar(_sum_grammar(), strategy=EAGER)
+        Add, Lit = classes["Add"], classes["Lit"]
+        tree = Add(a=Lit(n=1), b=Add(a=Lit(n=2), b=Lit(n=3)))
+        link_parents(tree)
+        assert tree.value() == 6
+
+    def test_eager_attributes_update_during_flush(self, rt):
+        classes = compile_grammar(_sum_grammar(), strategy=EAGER)
+        Add, Lit = classes["Add"], classes["Lit"]
+        leaf = Lit(n=1)
+        tree = Add(a=leaf, b=Lit(n=10))
+        link_parents(tree)
+        assert tree.value() == 11
+        leaf.n = 5
+        rt.flush()  # eager: recomputed during propagation
+        executions = rt.stats.executions
+        assert tree.value() == 15
+        assert rt.stats.executions == executions
+
+    def test_eager_quiescence_in_grammar(self, rt):
+        # max-like grammar: a change that doesn't alter an intermediate
+        # value stops propagating at that node
+        ag = AttributeGrammar("maxes")
+        ag.add_nonterminal("E", synthesized=("value",))
+        ag.production(
+            name="MaxOf",
+            lhs="E",
+            children={"a": "E", "b": "E"},
+            synthesized={"value": lambda o: max(o.a.value(), o.b.value())},
+        )
+        ag.production(
+            name="Num",
+            lhs="E",
+            terminals=("n",),
+            synthesized={"value": lambda o: o.n},
+        )
+        classes = compile_grammar(ag, strategy=EAGER)
+        MaxOf, Num = classes["MaxOf"], classes["Num"]
+        small = Num(n=1)
+        tree = MaxOf(a=small, b=Num(n=100))
+        link_parents(tree)
+        assert tree.value() == 100
+        small.n = 2  # still below 100
+        rt.flush()
+        assert rt.stats.quiescent_stops >= 1
+        assert tree.value() == 100
+
+
+class TestFrameworkCornerCases:
+    def test_shared_nonterminal_across_productions(self, rt):
+        classes = compile_grammar(_sum_grammar())
+        Add, Lit = classes["Add"], classes["Lit"]
+        # the same class builds arbitrarily deep trees
+        tree = Lit(n=0)
+        for i in range(1, 20):
+            tree = Add(a=tree, b=Lit(n=i))
+        link_parents(tree)
+        assert tree.value() == sum(range(20))
+
+    def test_instances_do_not_share_caches(self, rt):
+        classes = compile_grammar(_sum_grammar())
+        Lit = classes["Lit"]
+        a, b = Lit(n=1), Lit(n=2)
+        link_parents(a)
+        link_parents(b)
+        assert a.value() == 1
+        assert b.value() == 2
+        a.n = 50
+        assert a.value() == 50
+        assert b.value() == 2
+
+    def test_generated_docstrings(self, rt):
+        classes = compile_grammar(_sum_grammar())
+        assert "Production Add" in classes["Add"].__doc__
+        assert "nonterminal E" in classes["E"].__doc__

@@ -1,0 +1,35 @@
+"""Shared fixtures: every test gets an isolated, active Runtime."""
+
+import sys
+
+import pytest
+
+from repro import Runtime
+
+# Deep structures (chains of maintained methods) recurse through the
+# evaluator; give CPython generous headroom for the whole suite.
+sys.setrecursionlimit(100_000)
+
+
+@pytest.fixture
+def rt():
+    """A fresh Runtime, active for the duration of the test."""
+    runtime = Runtime()
+    with runtime.active():
+        yield runtime
+
+
+@pytest.fixture
+def rt_unpartitioned():
+    """A Runtime with §6.3 partitioning disabled (ablation baseline)."""
+    runtime = Runtime(partitioning=False)
+    with runtime.active():
+        yield runtime
+
+
+@pytest.fixture
+def rt_strict():
+    """A Runtime that raises CycleError on any re-entrant execution."""
+    runtime = Runtime(strict_cycles=True)
+    with runtime.active():
+        yield runtime

@@ -1,0 +1,111 @@
+"""Model-based property tests for cache policies: the ArgumentTable
+under LRU must behave like a reference OrderedDict LRU (modulo pinned
+entries, which our tables never evict)."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import FIFO, LRU, ArgumentTable
+from repro.core.node import DepNode, NodeKind
+
+
+def _node(i):
+    return DepNode(NodeKind.DEMAND, label=f"p{i}")
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "find"]), st.integers(0, 9)),
+        min_size=1,
+        max_size=40,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_lru_matches_reference_model(capacity, ops):
+    table = ArgumentTable("f", policy=LRU(capacity))
+    model: "OrderedDict[int, int]" = OrderedDict()
+    counter = [0]
+
+    for op, key in ops:
+        if op == "add":
+            if table.find((key,)) is None:
+                counter[0] += 1
+                table.add((key,), _node(counter[0]))
+                model[key] = counter[0]
+                model.move_to_end(key)
+                while len(model) > capacity:
+                    model.popitem(last=False)
+            else:
+                model.move_to_end(key)
+        else:
+            found = table.find((key,))
+            if key in model:
+                model.move_to_end(key)
+                assert found is not None
+            else:
+                assert found is None
+
+    assert len(table) == len(model)
+    for key in model:
+        assert table.find((key,)) is not None
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    keys=st.lists(st.integers(0, 9), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_fifo_matches_reference_model(capacity, keys):
+    table = ArgumentTable("f", policy=FIFO(capacity))
+    model: "OrderedDict[int, bool]" = OrderedDict()
+
+    for key in keys:
+        if table.find((key,)) is None:
+            table.add((key,), _node(key))
+            model[key] = True
+            while len(model) > capacity:
+                model.popitem(last=False)
+        # FIFO ignores hits: no reordering in either implementation
+
+    assert len(table) == len(model)
+    for key in model:
+        assert table.find((key,)) is not None
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["set", "del", "get"]), st.integers(0, 6)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_tracked_dict_matches_plain_dict(ops):
+    from repro import Runtime, TrackedDict
+
+    runtime = Runtime()
+    with runtime.active():
+        tracked = TrackedDict()
+        model = {}
+        for op, key in ops:
+            if op == "set":
+                tracked[key] = key * 10
+                model[key] = key * 10
+            elif op == "del":
+                if key in model:
+                    del tracked[key]
+                    del model[key]
+                else:
+                    try:
+                        del tracked[key]
+                        raise AssertionError("expected KeyError")
+                    except KeyError:
+                        pass
+            else:
+                assert tracked.get(key, "absent") == model.get(key, "absent")
+                assert (key in tracked) == (key in model)
+        assert len(tracked) == len(model)
+        assert set(tracked.keys()) == set(model)

@@ -1,0 +1,97 @@
+"""Preemptible idle-cycles evaluation (§4.5's eager scheduling hook)."""
+
+from repro import Cell, EAGER, cached
+
+
+class TestIdleTick:
+    def test_quiescent_system_does_nothing(self, rt):
+        assert rt.idle_tick() == 0
+
+    def test_idle_tick_completes_small_workloads(self, rt):
+        cell = Cell(1, label="x")
+
+        @cached(strategy=EAGER)
+        def mirror():
+            return cell.get()
+
+        mirror()
+        cell.set(2)
+        steps = rt.idle_tick(100)
+        assert steps > 0
+        assert not rt.pending_changes()
+        # value already recomputed: the call is a pure hit
+        before = rt.stats.executions
+        assert mirror() == 2
+        assert rt.stats.executions == before
+
+    def test_budget_preempts_and_resumes(self, rt):
+        cells = [Cell(i, label=f"c{i}") for i in range(20)]
+
+        @cached(strategy=EAGER)
+        def total():
+            return sum(c.get() for c in cells)
+
+        total()
+        for c in cells:
+            c.set(c.peek() + 1)
+        first = rt.idle_tick(5)
+        assert first == 5
+        assert rt.pending_changes()  # preempted mid-propagation
+        # keep ticking until quiescent
+        total_steps = first
+        while rt.pending_changes():
+            got = rt.idle_tick(5)
+            assert got > 0
+            total_steps += got
+        assert total() == sum(i + 1 for i in range(20))
+
+    def test_zero_or_negative_budget(self, rt):
+        cell = Cell(1)
+
+        @cached
+        def f():
+            return cell.get()
+
+        f()
+        cell.set(2)
+        assert rt.idle_tick(0) == 0
+        assert rt.idle_tick(-3) == 0
+        assert rt.pending_changes()
+
+    def test_demand_marking_also_progresses_under_ticks(self, rt):
+        cell = Cell(1, label="x")
+        runs = []
+
+        @cached
+        def reader():
+            runs.append(1)
+            return cell.get()
+
+        reader()
+        cell.set(2)
+        while rt.pending_changes():
+            rt.idle_tick(1)
+        assert len(runs) == 1  # demand: marked, not executed
+        assert reader() == 2
+        assert len(runs) == 2
+
+    def test_ticks_across_partitions(self, rt):
+        a, b = Cell(1, label="a"), Cell(2, label="b")
+
+        @cached(strategy=EAGER)
+        def ra():
+            return a.get()
+
+        @cached(strategy=EAGER)
+        def rb():
+            return b.get()
+
+        ra()
+        rb()
+        a.set(10)
+        b.set(20)
+        while rt.pending_changes():
+            assert rt.idle_tick(1) > 0
+        before = rt.stats.executions
+        assert ra() == 10 and rb() == 20
+        assert rt.stats.executions == before

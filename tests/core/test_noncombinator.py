@@ -1,0 +1,103 @@
+"""§4.2: caching for non-combinators — the paper's second contribution.
+
+"The advantage of this organization is that it eliminates the combinator
+restriction of traditional function caching.  As all of the state
+accessed by a cached procedure is encoded in R(p) and (a1, ..., ak), a
+change to r, r in R(p), can be effectively translated into an update of
+the cached return value."
+"""
+
+from repro import Cell, TrackedDict, cached
+from repro.baselines.memo import CombinatorMemo, memoize
+
+
+class TestNonCombinatorCaching:
+    def test_global_reader_invalidates_on_change(self, rt):
+        rate = Cell(10, label="rate")
+
+        @cached
+        def price(quantity):
+            return quantity * rate.get()
+
+        assert price(3) == 30
+        rate.set(20)
+        assert price(3) == 60  # correct after global change
+
+    def test_traditional_memo_goes_stale(self, rt):
+        """The baseline failure mode Alphonse removes."""
+        state = {"rate": 10}
+
+        @memoize
+        def price(quantity):
+            return quantity * state["rate"]
+
+        assert price(3) == 30
+        state["rate"] = 20
+        assert price(3) == 30  # WRONG (stale) — combinator-only caching
+
+    def test_memo_full_invalidation_is_the_blunt_fix(self, rt):
+        state = {"rate": 10}
+        memo = CombinatorMemo(lambda q: q * state["rate"])
+        assert memo(3) == 30
+        assert memo(4) == 40
+        state["rate"] = 20
+        dropped = memo.invalidate_all()  # must throw away EVERYTHING
+        assert dropped == 2
+        assert memo(3) == 60
+
+    def test_alphonse_invalidates_selectively(self, rt):
+        """Only instances that actually read the changed cell re-run."""
+        rate_a = Cell(1, label="rate_a")
+        rate_b = Cell(100, label="rate_b")
+        runs = []
+
+        @cached
+        def price(which, quantity):
+            runs.append(which)
+            rate = rate_a if which == "a" else rate_b
+            return quantity * rate.get()
+
+        assert price("a", 2) == 2
+        assert price("b", 2) == 200
+        rate_a.set(5)
+        assert price("a", 2) == 10
+        assert price("b", 2) == 200
+        assert runs == ["a", "b", "a"]  # "b" instance never re-ran
+
+    def test_environment_lookup_pattern(self, rt):
+        """The paper's LookupEnv use case: cached lookups over a mutable
+        keyed store stay correct under binding changes."""
+        env = TrackedDict(label="env")
+        env["x"] = 1
+        env["y"] = 2
+        runs = []
+
+        @cached
+        def lookup(name):
+            runs.append(name)
+            return env.get(name, 0)
+
+        assert lookup("x") == 1
+        assert lookup("y") == 2
+        assert lookup("x") == 1  # hit
+        assert runs == ["x", "y"]
+        env["x"] = 42
+        assert lookup("x") == 42
+        assert lookup("y") == 2  # y untouched: still a hit
+        assert runs == ["x", "y", "x"]
+
+    def test_chained_noncombinators(self, rt):
+        base = Cell(2, label="base")
+
+        @cached
+        def square():
+            return base.get() ** 2
+
+        @cached
+        def shifted(k):
+            return square() + k
+
+        assert shifted(1) == 5
+        base.set(3)
+        assert shifted(1) == 10
+        assert shifted(2) == 11

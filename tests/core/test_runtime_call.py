@@ -1,0 +1,241 @@
+"""Algorithm 5 semantics: call, argument tables, cycles, re-entrancy."""
+
+import pytest
+
+from repro import Cell, CycleError, Runtime, cached, maintained
+from repro.core import TrackedObject
+from repro.core.errors import UnhashableArgumentsError
+
+
+class TestCall:
+    def test_first_call_executes(self, rt):
+        calls = []
+
+        @cached
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        assert f(3) == 6
+        assert calls == [3]
+        assert rt.stats.executions == 1
+
+    def test_identical_args_hit_cache(self, rt):
+        calls = []
+
+        @cached
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        assert f(3) == 6
+        assert f(3) == 6
+        assert f(3) == 6
+        assert calls == [3]
+        assert rt.stats.cache_hits == 2
+
+    def test_distinct_args_distinct_instances(self, rt):
+        @cached
+        def f(x):
+            return x * 2
+
+        assert f(1) == 2
+        assert f(2) == 4
+        assert rt.stats.executions == 2
+        assert rt.table_size(f) == 2
+
+    def test_recursive_cached_procedure(self, rt):
+        @cached
+        def fib(n):
+            if n < 2:
+                return n
+            return fib(n - 1) + fib(n - 2)
+
+        assert fib(20) == 6765
+        assert rt.stats.executions == 21  # fib(0)..fib(20), each once
+
+    def test_nested_calls_create_caller_callee_edges(self, rt):
+        @cached
+        def inner():
+            return 1
+
+        @cached
+        def outer():
+            return inner() + 1
+
+        assert outer() == 2
+        assert rt.stats.edges_created == 1
+
+    def test_unhashable_args_rejected(self, rt):
+        @cached
+        def f(x):
+            return x
+
+        with pytest.raises(UnhashableArgumentsError):
+            f([1, 2, 3])
+
+    def test_none_is_a_valid_cached_value(self, rt):
+        calls = []
+
+        @cached
+        def f():
+            calls.append(1)
+            return None
+
+        assert f() is None
+        assert f() is None
+        assert calls == [1]
+
+    def test_exception_does_not_poison_cache(self, rt):
+        attempts = []
+
+        @cached
+        def flaky(fail_flag):
+            attempts.append(1)
+            if fail_flag and len(attempts) == 1:
+                raise ValueError("first time fails")
+            return "ok"
+
+        with pytest.raises(ValueError):
+            flaky(True)
+        assert flaky(True) == "ok"  # re-executes, not cached failure
+        assert len(attempts) == 2
+
+
+class TestCycles:
+    def test_genuine_cycle_raises(self, rt):
+        @cached
+        def loop():
+            return loop()
+
+        with pytest.raises(CycleError):
+            loop()
+
+    def test_mutual_recursion_without_state_change_raises(self, rt):
+        @cached
+        def a():
+            return b()
+
+        @cached
+        def b():
+            return a()
+
+        with pytest.raises(CycleError):
+            a()
+
+    def test_strict_mode_rejects_reentrancy(self, rt_strict):
+        cell = Cell(0, label="x")
+
+        @cached
+        def f(depth):
+            if depth > 0:
+                cell.set(cell.get() + 1)
+                return f(depth)  # re-enter same instance after a change
+            return 0
+
+        with pytest.raises(CycleError):
+            f(1)
+
+    def test_bounded_recursion_on_distinct_args_is_fine(self, rt_strict):
+        @cached
+        def down(n):
+            if n == 0:
+                return 0
+            return down(n - 1) + 1
+
+        assert down(10) == 10
+
+
+class TestReentrancy:
+    def test_reentrant_execution_after_state_change(self, rt):
+        """A body that mutates its own dependencies and calls itself
+        again (the AVL Balance pattern) re-executes recursively, and the
+        cache ends up with the *latest* activation's result."""
+        cell = Cell(0, label="x")
+        trace = []
+
+        @cached
+        def stabilize():
+            value = cell.get()
+            trace.append(value)
+            if value < 3:
+                cell.set(value + 1)
+                stabilize()  # re-entrant: cell changed, so it re-runs
+            return cell.get()
+
+        result = stabilize()
+        assert trace == [0, 1, 2, 3]
+        assert result == 3  # outer returns current cell value
+        # The innermost activation committed last-consistent state, so a
+        # repeat call is a pure cache hit returning the settled value.
+        executions = rt.stats.executions
+        assert stabilize() == 3
+        assert rt.stats.executions == executions
+        assert trace == [0, 1, 2, 3]  # body did not run again
+
+    def test_superseded_activation_does_not_commit_stale_value(self, rt):
+        """The outer activation's result must not overwrite the inner's
+        newer cached value (the stale-commit bug the AVL trees expose)."""
+        cell = Cell(0, label="x")
+
+        @cached
+        def f():
+            v = cell.get()
+            if v == 0:
+                cell.set(1)
+                f()  # inner activation runs with v == 1, caches 100
+                return -1  # outer's (stale) answer to its caller
+            return 100
+
+        outer_result = f()
+        assert outer_result == -1  # caller of outer sees outer's value
+        # but the cache holds the newest activation's result
+        assert f() == 100
+
+    def test_runaway_reentry_bounded(self, rt):
+        rt.max_reentry = 25
+        cell = Cell(0, label="x")
+
+        @cached
+        def diverge():
+            cell.set(cell.get() + 1)  # always changes: never quiesces
+            return diverge()
+
+        with pytest.raises(CycleError):
+            diverge()
+
+
+class TestForcedEvaluation:
+    def test_pending_change_flushed_at_call_boundary(self, rt):
+        a = Cell(1, label="a")
+
+        @cached
+        def ra():
+            return a.get()
+
+        @cached
+        def rb():
+            return 42
+
+        ra()
+        rb()
+        a.set(5)
+        assert rt.pending_changes()
+        # Calling ra again forces evaluation of its partition first.
+        assert ra() == 5
+        assert rt.stats.forced_evaluations >= 1
+
+    def test_flush_drains_everything(self, rt):
+        cells = [Cell(i, label=f"c{i}") for i in range(5)]
+
+        @cached
+        def total():
+            return sum(c.get() for c in cells)
+
+        assert total() == 10
+        for c in cells:
+            c.set(c.peek() + 1)
+        assert rt.pending_changes()
+        rt.flush()
+        assert not rt.pending_changes()
+        assert total() == 15

@@ -1,0 +1,66 @@
+"""RuntimeStats bookkeeping."""
+
+from repro import Cell, RuntimeStats, cached
+
+
+class TestRuntimeStats:
+    def test_fresh_stats_all_zero(self):
+        stats = RuntimeStats()
+        assert all(v == 0 for v in stats.snapshot().values())
+
+    def test_snapshot_is_a_copy(self):
+        stats = RuntimeStats()
+        snap = stats.snapshot()
+        stats.executions = 5
+        assert snap["executions"] == 0
+
+    def test_delta(self):
+        stats = RuntimeStats()
+        stats.executions = 3
+        before = stats.snapshot()
+        stats.executions = 10
+        stats.accesses = 2
+        delta = stats.delta(before)
+        assert delta["executions"] == 7
+        assert delta["accesses"] == 2
+        assert delta["modifies"] == 0
+
+    def test_reset(self):
+        stats = RuntimeStats()
+        stats.executions = 9
+        stats.edges_created = 4
+        stats.reset()
+        assert stats.executions == 0
+        assert stats.edges_created == 0
+
+    def test_live_edges(self):
+        stats = RuntimeStats()
+        stats.edges_created = 10
+        stats.edges_removed = 4
+        assert stats.live_edges == 6
+
+    def test_summary_shows_only_nonzero(self):
+        stats = RuntimeStats()
+        assert stats.summary() == "(no operations recorded)"
+        stats.executions = 2
+        text = stats.summary()
+        assert "executions" in text
+        assert "accesses" not in text
+
+    def test_counters_move_under_real_use(self, rt):
+        cell = Cell(1)
+
+        @cached
+        def f():
+            return cell.get()
+
+        f()
+        f()
+        cell.set(2)
+        f()
+        snap = rt.stats.snapshot()
+        assert snap["executions"] == 2
+        assert snap["cache_hits"] == 1
+        assert snap["changes_detected"] == 1
+        assert snap["storage_nodes_created"] == 1
+        assert snap["procedure_nodes_created"] == 1

@@ -1,0 +1,161 @@
+"""TrackedList: growable tracked sequences with length dependencies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, TrackedList, cached
+
+
+class TestBasics:
+    def test_construction_and_access(self, rt):
+        lst = TrackedList([1, 2, 3])
+        assert len(lst) == 3
+        assert lst[0] == 1
+        assert lst[-1] == 3
+        assert list(lst) == [1, 2, 3]
+
+    def test_setitem(self, rt):
+        lst = TrackedList([1, 2, 3])
+        lst[1] = 20
+        lst[-1] = 30
+        assert list(lst) == [1, 20, 30]
+
+    def test_append_and_pop(self, rt):
+        lst = TrackedList()
+        lst.append("a")
+        lst.append("b")
+        assert len(lst) == 2
+        assert lst.pop() == "b"
+        assert list(lst) == ["a"]
+
+    def test_pop_empty_raises(self, rt):
+        with pytest.raises(IndexError):
+            TrackedList().pop()
+
+    def test_index_out_of_range(self, rt):
+        lst = TrackedList([1])
+        with pytest.raises(IndexError):
+            lst[1]
+        with pytest.raises(IndexError):
+            lst[-2] = 0
+
+    def test_snapshot_untracked(self, rt):
+        lst = TrackedList([1, 2])
+
+        @cached
+        def peeker():
+            return tuple(lst.snapshot())
+
+        peeker()
+        assert rt.stats.edges_created == 0
+
+
+class TestDependencies:
+    def test_element_change_invalidates_reader(self, rt):
+        lst = TrackedList([1, 2, 3])
+
+        @cached
+        def total():
+            return sum(lst)
+
+        assert total() == 6
+        lst[0] = 10
+        assert total() == 15
+
+    def test_append_invalidates_iterators(self, rt):
+        lst = TrackedList([1, 2])
+
+        @cached
+        def total():
+            return sum(lst)
+
+        assert total() == 3
+        lst.append(10)
+        assert total() == 13
+
+    def test_pop_invalidates_iterators(self, rt):
+        lst = TrackedList([1, 2, 10])
+
+        @cached
+        def total():
+            return sum(lst)
+
+        assert total() == 13
+        lst.pop()
+        assert total() == 3
+
+    def test_length_readers_tracked(self, rt):
+        lst = TrackedList([1])
+
+        @cached
+        def count():
+            return len(lst)
+
+        assert count() == 1
+        lst.append(2)
+        assert count() == 2
+        lst.pop()
+        assert count() == 1
+
+    def test_single_element_reader_untouched_by_other_edits(self, rt):
+        lst = TrackedList([1, 2, 3])
+
+        @cached
+        def first():
+            return lst[0]
+
+        first()
+        lst[2] = 99  # different slot
+        before = rt.stats.executions
+        assert first() == 1
+        assert rt.stats.executions == before
+
+    def test_append_after_pop_reuses_slot_correctly(self, rt):
+        lst = TrackedList([1, 2])
+
+        @cached
+        def total():
+            return sum(lst)
+
+        assert total() == 3
+        lst.pop()
+        lst.append(10)
+        assert total() == 11
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["append", "pop", "set"]), st.integers(0, 9)
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_matches_plain_list(ops):
+    runtime = Runtime()
+    with runtime.active():
+        tracked = TrackedList()
+        model = []
+
+        @cached
+        def summed():
+            return sum(tracked)
+
+        for op, value in ops:
+            if op == "append":
+                tracked.append(value)
+                model.append(value)
+            elif op == "pop":
+                if model:
+                    assert tracked.pop() == model.pop()
+            else:  # set
+                if model:
+                    index = value % len(model)
+                    tracked[index] = value
+                    model[index] = value
+            assert list(tracked) == model
+            assert summed() == sum(model)
+            assert len(tracked) == len(model)

@@ -1,0 +1,48 @@
+"""Every example script must run cleanly end-to-end (subprocess, as a
+user would run them)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+SCRIPTS = [
+    "quickstart.py",
+    "spreadsheet_demo.py",
+    "avl_demo.py",
+    "attribute_grammar_demo.py",
+    "language_transform_demo.py",
+    "alphonse_l_spreadsheet.py",
+    "dag_critical_path.py",
+    "incremental_editor.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_shows_incrementality():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=240
+    )
+    assert "cached: O(1)" in result.stdout
+    assert "= 0 " in result.stdout  # the repeat query's zero executions

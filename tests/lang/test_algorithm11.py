@@ -1,0 +1,186 @@
+"""The paper's Algorithm 11 (AVL trees via maintained balance), written
+in Alphonse-L and executed by the interpreter — the end-to-end fidelity
+test: language front end, §5 transformation, runtime re-entrancy, and
+incremental rebalancing all at once."""
+
+import pytest
+
+from repro.lang import analyze, parse_module, run_source, typecheck
+
+ALGORITHM_11 = """
+MODULE AvlDemo;
+
+TYPE Avl = OBJECT
+  left, right : Avl;
+  key : INTEGER;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+  (*MAINTAINED*) balance() : Avl := Balance;
+END;
+
+TYPE AvlNil = Avl OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+  (*MAINTAINED*) balance := BalanceNil;
+END;
+
+PROCEDURE Height(t : Avl) : INTEGER =
+BEGIN
+  RETURN Max(t.left.height(), t.right.height()) + 1
+END Height;
+
+PROCEDURE HeightNil(t : Avl) : INTEGER =
+BEGIN RETURN 0 END HeightNil;
+
+PROCEDURE Diff(t : Avl) : INTEGER =
+BEGIN
+  RETURN t.left.height() - t.right.height()
+END Diff;
+
+PROCEDURE RotateRight(t : Avl) : Avl =
+VAR s, b : Avl;
+BEGIN
+  s := t.left;
+  b := s.right;
+  s.right := t;
+  t.left := b;
+  RETURN s
+END RotateRight;
+
+PROCEDURE RotateLeft(t : Avl) : Avl =
+VAR s, b : Avl;
+BEGIN
+  s := t.right;
+  b := s.left;
+  s.left := t;
+  t.right := b;
+  RETURN s
+END RotateLeft;
+
+PROCEDURE Balance(t : Avl) : Avl =
+VAR d : INTEGER;
+BEGIN
+  t.left := t.left.balance();
+  t.right := t.right.balance();
+  d := Diff(t);
+  IF d > 1 THEN
+    IF Diff(t.left) < 0 THEN t.left := RotateLeft(t.left) END;
+    t := RotateRight(t).balance()
+  ELSIF d < -1 THEN
+    IF Diff(t.right) > 0 THEN t.right := RotateRight(t.right) END;
+    t := RotateLeft(t).balance()
+  END;
+  RETURN t
+END Balance;
+
+PROCEDURE BalanceNil(t : Avl) : Avl =
+BEGIN RETURN t END BalanceNil;
+
+VAR leaf : Avl;
+VAR root : Avl;
+
+PROCEDURE Insert(k : INTEGER) =
+VAR n, p : Avl;
+BEGIN
+  n := NEW(Avl, key := k, left := leaf, right := leaf);
+  IF root = leaf THEN
+    root := n;
+    RETURN
+  END;
+  p := root;
+  WHILE TRUE DO
+    IF k < p.key THEN
+      IF p.left = leaf THEN p.left := n; RETURN END;
+      p := p.left
+    ELSE
+      IF p.right = leaf THEN p.right := n; RETURN END;
+      p := p.right
+    END
+  END
+END Insert;
+
+PROCEDURE PrintInOrder(t : Avl) =
+BEGIN
+  IF t # leaf THEN
+    PrintInOrder(t.left);
+    Print(t.key);
+    PrintInOrder(t.right)
+  END
+END PrintInOrder;
+
+BEGIN
+  leaf := NEW(AvlNil);
+  root := leaf;
+  Insert(5); Insert(2); Insert(8); Insert(1); Insert(9);
+  Insert(3); Insert(7); Insert(4); Insert(6); Insert(0);
+  root := root.balance();
+  Print(root.height());
+  PrintInOrder(root)
+END AvlDemo.
+"""
+
+
+def _check_avl(interp, node, leaf):
+    """Verify the AVL invariant through the mutator API (untracked)."""
+    if node is leaf:
+        return True, 0
+    ok_l, h_l = _check_avl(interp, interp.get_field(node, "left"), leaf)
+    ok_r, h_r = _check_avl(interp, interp.get_field(node, "right"), leaf)
+    return ok_l and ok_r and abs(h_l - h_r) <= 1, 1 + max(h_l, h_r)
+
+
+class TestAlgorithm11InAlphonseL:
+    def test_typechecks(self):
+        assert typecheck(analyze(parse_module(ALGORITHM_11))) == []
+
+    def test_conventional_execution(self):
+        interp = run_source(ALGORITHM_11, mode="conventional")
+        assert interp.output == ["4"] + [str(k) for k in range(10)]
+
+    def test_alphonse_execution_matches(self):
+        interp = run_source(ALGORITHM_11)
+        assert interp.output == ["4"] + [str(k) for k in range(10)]
+
+    def test_tree_is_avl_after_run(self):
+        interp = run_source(ALGORITHM_11)
+        leaf = interp.global_value("leaf")
+        root = interp.global_value("root")
+        ok, height = _check_avl(interp, root, leaf)
+        assert ok
+        assert height == 4
+
+    def test_incremental_inserts_after_run(self):
+        interp = run_source(ALGORITHM_11)
+        rt = interp.runtime
+        leaf = interp.global_value("leaf")
+        with rt.active():
+            # settle any pending propagation from the initial build
+            root = interp.global_value("root")
+            interp.set_global("root", interp.call_method(root, "balance"))
+            interp.set_global(
+                "root",
+                interp.call_method(interp.global_value("root"), "balance"),
+            )
+            for key in (20, 15, 30, 12):
+                interp.call_procedure("Insert", key)
+                root = interp.global_value("root")
+                interp.set_global(
+                    "root", interp.call_method(root, "balance")
+                )
+            root = interp.global_value("root")
+            ok, _ = _check_avl(interp, root, leaf)
+            assert ok
+
+    def test_rebalance_after_settle_is_cached(self):
+        interp = run_source(ALGORITHM_11)
+        rt = interp.runtime
+        with rt.active():
+            for _ in range(3):  # settle to quiescence
+                root = interp.global_value("root")
+                interp.set_global(
+                    "root", interp.call_method(root, "balance")
+                )
+            before = rt.stats.snapshot()
+            root = interp.global_value("root")
+            interp.call_method(root, "balance")
+            assert rt.stats.delta(before)["executions"] == 0

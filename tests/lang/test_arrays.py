@@ -1,0 +1,235 @@
+"""Array types in Alphonse-L: parsing, sema, interpretation, and
+incremental behaviour (the paper's spreadsheet substrate uses ARRAYs)."""
+
+import pytest
+
+from repro.lang import (
+    InterpError,
+    SemaError,
+    analyze,
+    parse_module,
+    run_source,
+    unparse,
+)
+
+STATS = """
+MODULE Arr;
+TYPE Vec = ARRAY 8 OF INTEGER;
+TYPE Stats = OBJECT
+  data : Vec;
+METHODS
+  (*MAINTAINED*) total() : INTEGER := Total;
+END;
+PROCEDURE Total(s : Stats) : INTEGER =
+VAR acc : INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 0 TO 7 DO
+    acc := acc + s.data[i]
+  END;
+  RETURN acc
+END Total;
+VAR s : Stats;
+BEGIN
+  s := NEW(Stats, data := NEW(Vec));
+  FOR i := 0 TO 7 DO
+    s.data[i] := i
+  END;
+  Print(s.total())
+END Arr.
+"""
+
+
+class TestParsing:
+    def test_array_type_decl(self):
+        module = parse_module(STATS)
+        arrays = module.array_types()
+        assert len(arrays) == 1
+        assert arrays[0].name == "Vec"
+        assert arrays[0].length == 8
+        assert arrays[0].elem_type == "INTEGER"
+
+    def test_round_trip(self):
+        module = parse_module(STATS)
+        text = unparse(module)
+        assert "TYPE Vec = ARRAY 8 OF INTEGER;" in text
+        assert unparse(parse_module(text)) == text
+
+    def test_index_expression_round_trip(self):
+        module = parse_module(STATS)
+        text = unparse(module)
+        assert "s.data[i]" in text or "access(" in text
+
+
+class TestSema:
+    def test_valid_module_analyzes(self):
+        info = analyze(parse_module(STATS))
+        assert "Vec" in info.arrays
+        assert info.arrays["Vec"].length == 8
+
+    def test_unknown_element_type(self):
+        src = "MODULE T;\nTYPE V = ARRAY 4 OF Ghost;\nEND T."
+        with pytest.raises(SemaError, match="unknown element type"):
+            analyze(parse_module(src))
+
+    def test_zero_length_rejected(self):
+        src = "MODULE T;\nTYPE V = ARRAY 0 OF INTEGER;\nEND T."
+        with pytest.raises(SemaError, match="length"):
+            analyze(parse_module(src))
+
+    def test_self_containing_array_rejected(self):
+        src = "MODULE T;\nTYPE V = ARRAY 4 OF V;\nEND T."
+        with pytest.raises(SemaError, match="cannot contain itself"):
+            analyze(parse_module(src))
+
+    def test_duplicate_with_object_type(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT END;
+TYPE A = ARRAY 4 OF INTEGER;
+END T.
+"""
+        with pytest.raises(SemaError, match="duplicate type"):
+            analyze(parse_module(src))
+
+    def test_array_of_arrays(self):
+        src = """
+MODULE T;
+TYPE Row = ARRAY 4 OF INTEGER;
+TYPE Grid = ARRAY 4 OF Row;
+END T.
+"""
+        info = analyze(parse_module(src))
+        assert info.arrays["Grid"].elem_type == "Row"
+
+    def test_new_array_with_inits_rejected(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 4 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V, x := 1)
+END T.
+"""
+        with pytest.raises(SemaError, match="no field initializers"):
+            analyze(parse_module(src))
+
+
+class TestInterpretation:
+    def test_both_modes_agree(self):
+        conv = run_source(STATS, mode="conventional")
+        alph = run_source(STATS)
+        assert conv.output == alph.output == ["28"]
+
+    def test_default_elements(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V);
+  Print(v[0] + v[1] + v[2])
+END T.
+"""
+        assert run_source(src).output == ["0"]
+
+    def test_out_of_range_index(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V);
+  Print(v[3])
+END T.
+"""
+        with pytest.raises(InterpError, match="out of range"):
+            run_source(src)
+
+    def test_negative_index(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V);
+  v[0 - 1] := 5
+END T.
+"""
+        with pytest.raises(InterpError, match="out of range"):
+            run_source(src, mode="conventional")
+
+    def test_nil_array_dereference(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  Print(v[0])
+END T.
+"""
+        with pytest.raises(InterpError, match="NIL dereference"):
+            run_source(src, mode="conventional")
+
+    def test_array_of_objects(self):
+        src = """
+MODULE T;
+TYPE Item = OBJECT v : INTEGER; END;
+TYPE Box = ARRAY 2 OF Item;
+VAR b : Box;
+BEGIN
+  b := NEW(Box);
+  b[0] := NEW(Item, v := 7);
+  b[1] := NEW(Item, v := 8);
+  Print(b[0].v + b[1].v)
+END T.
+"""
+        conv = run_source(src, mode="conventional")
+        alph = run_source(src)
+        assert conv.output == alph.output == ["15"]
+
+
+class TestIncrementalArrays:
+    def test_element_change_invalidates_aggregate(self):
+        interp = run_source(STATS)
+        rt = interp.runtime
+        s = interp.global_value("s")
+        arr = interp.get_field(s, "data")
+        with rt.active():
+            assert interp.call_method(s, "total") == 28
+            before = rt.stats.snapshot()
+            interp.set_element(arr, 3, 100)
+            assert interp.call_method(s, "total") == 28 - 3 + 100
+            assert rt.stats.delta(before)["executions"] == 1
+
+    def test_repeat_aggregate_is_cached(self):
+        interp = run_source(STATS)
+        rt = interp.runtime
+        s = interp.global_value("s")
+        with rt.active():
+            before = rt.stats.snapshot()
+            interp.call_method(s, "total")
+            assert rt.stats.delta(before)["executions"] == 0
+
+    def test_same_value_write_is_quiescent(self):
+        interp = run_source(STATS)
+        rt = interp.runtime
+        s = interp.global_value("s")
+        arr = interp.get_field(s, "data")
+        with rt.active():
+            interp.call_method(s, "total")
+            before = rt.stats.snapshot()
+            interp.set_element(arr, 3, 3)  # unchanged value
+            interp.call_method(s, "total")
+            assert rt.stats.delta(before)["executions"] == 0
+
+    def test_new_array_via_api(self):
+        interp = run_source(STATS)
+        vec = interp.new_array("Vec")
+        assert len(vec) == 8
+        interp.set_element(vec, 0, 42)
+        assert interp.get_element(vec, 0) == 42
+        with pytest.raises(InterpError, match="unknown array type"):
+            interp.new_array("Ghost")
+        with pytest.raises(InterpError, match="out of range"):
+            interp.set_element(vec, 99, 1)

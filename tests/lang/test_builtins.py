@@ -1,0 +1,95 @@
+"""Builtin procedures: behaviour and error paths."""
+
+import pytest
+
+from repro.lang import InterpError, run_source
+from repro.lang.builtins import (
+    BUILTIN_ARITIES,
+    BUILTIN_NAMES,
+    PURE_BUILTINS,
+    BuiltinError,
+)
+
+
+def wrap(body, decls=""):
+    return f"MODULE T;\n{decls}\nBEGIN\n{body}\nEND T."
+
+
+class TestBuiltinBehaviour:
+    def test_max_min(self):
+        out = run_source(
+            wrap("Print(Max(3, 7)); Print(Min(3, 7)); Print(Max(-1, -9))"),
+            mode="conventional",
+        ).output
+        assert out == ["7", "3", "-1"]
+
+    def test_abs(self):
+        out = run_source(
+            wrap("Print(Abs(-5)); Print(Abs(5)); Print(Abs(0))"),
+            mode="conventional",
+        ).output
+        assert out == ["5", "5", "0"]
+
+    def test_ord(self):
+        out = run_source(
+            wrap('Print(Ord("A"))'), mode="conventional"
+        ).output
+        assert out == ["65"]
+
+    def test_text_conversion(self):
+        src = wrap(
+            's := Text(42) + " " + Text(TRUE) + " " + Text(o);\nPrint(s)',
+            decls="TYPE O = OBJECT END;\nVAR s : TEXT;\nVAR o : O;",
+        )
+        out = run_source(src, mode="conventional").output
+        assert out == ["42 TRUE NIL"]
+
+    def test_print_formats_booleans_and_nil(self):
+        src = wrap(
+            "Print(TRUE); Print(FALSE); Print(o)",
+            decls="TYPE O = OBJECT END;\nVAR o : O;",
+        )
+        out = run_source(src, mode="conventional").output
+        assert out == ["TRUE", "FALSE", "NIL"]
+
+    def test_assert_passing_and_failing(self):
+        run_source(wrap("Assert(1 < 2)"), mode="conventional")
+        with pytest.raises(InterpError, match="nope"):
+            run_source(
+                wrap('Assert(2 < 1, "nope")'), mode="conventional"
+            )
+
+
+class TestBuiltinRegistry:
+    def test_pure_builtins_have_arities(self):
+        for name in PURE_BUILTINS:
+            assert name in BUILTIN_ARITIES
+
+    def test_all_names_cover_interpreter_installed(self):
+        assert "Print" in BUILTIN_NAMES
+        assert "Assert" in BUILTIN_NAMES
+
+    def test_direct_arity_errors(self):
+        max_fn = PURE_BUILTINS["Max"][0]
+        with pytest.raises(BuiltinError):
+            max_fn(1)
+        with pytest.raises(BuiltinError):
+            max_fn(1, 2, 3)
+
+
+class TestBuiltinsInAlphonseMode:
+    def test_builtins_work_under_instrumentation(self):
+        src = wrap(
+            "FOR i := 1 TO 5 DO total := Max(total, i * i) END;\n"
+            "Print(total)",
+            decls="VAR total : INTEGER;",
+        )
+        conventional = run_source(src, mode="conventional")
+        optimized = run_source(src)
+        uniform = run_source(src, optimize=False)
+        assert (
+            conventional.output
+            == optimized.output
+            == uniform.output
+            == ["25"]
+        )

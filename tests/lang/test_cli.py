@@ -1,0 +1,104 @@
+"""The `python -m repro.lang` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+PROGRAM = """
+MODULE Cli;
+(*CACHED*)
+PROCEDURE Double(n : INTEGER) : INTEGER =
+BEGIN RETURN n * 2 END Double;
+BEGIN
+  Print(Double(21))
+END Cli.
+"""
+
+BROKEN = "MODULE Broken;\nBEGIN\n  ghost := 1\nEND Broken."
+
+
+def run_cli(args, tmp_path, source=PROGRAM):
+    path = tmp_path / "prog.alf"
+    path.write_text(source)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lang", str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestCli:
+    def test_runs_program(self, tmp_path):
+        result = run_cli([], tmp_path)
+        assert result.returncode == 0
+        assert result.stdout.strip() == "42"
+
+    def test_conventional_mode(self, tmp_path):
+        result = run_cli(["--mode", "conventional"], tmp_path)
+        assert result.returncode == 0
+        assert result.stdout.strip() == "42"
+
+    def test_show_transformed(self, tmp_path):
+        result = run_cli(["--show-transformed"], tmp_path)
+        assert result.returncode == 0
+        assert "call(Double, 21)" in result.stdout
+        assert "(*CACHED*)" not in result.stdout  # pragmas removed
+
+    def test_stats_flag(self, tmp_path):
+        result = run_cli(["--stats"], tmp_path)
+        assert result.returncode == 0
+        assert "steps:" in result.stderr
+        assert "executions" in result.stderr
+
+    def test_sites_flag(self, tmp_path):
+        result = run_cli(["--sites"], tmp_path)
+        assert result.returncode == 0
+        assert "sites=" in result.stderr
+
+    def test_warnings_flag(self, tmp_path):
+        source = (
+            "MODULE W;\n(*CACHED*)\n"
+            "PROCEDURE F(VAR a : INTEGER) : INTEGER =\n"
+            "BEGIN RETURN a END F;\nEND W."
+        )
+        result = run_cli(["--warnings"], tmp_path, source=source)
+        assert result.returncode == 0
+        assert "TOP" in result.stderr
+
+    def test_typecheck_clean(self, tmp_path):
+        result = run_cli(["--typecheck"], tmp_path)
+        assert result.returncode == 0
+        assert result.stdout.strip() == "42"
+
+    def test_typecheck_finding_aborts(self, tmp_path):
+        source = (
+            "MODULE Bad;\nVAR x : INTEGER;\nBEGIN\n  x := TRUE\nEND Bad."
+        )
+        result = run_cli(["--typecheck"], tmp_path, source=source)
+        assert result.returncode == 1
+        assert "type error" in result.stderr
+
+    def test_semantic_error_reported(self, tmp_path):
+        result = run_cli([], tmp_path, source=BROKEN)
+        assert result.returncode == 1
+        assert "unknown variable" in result.stderr
+
+    def test_missing_file(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lang", str(tmp_path / "nope.alf")],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2
+
+    def test_max_steps(self, tmp_path):
+        source = (
+            "MODULE Loop;\nVAR x : INTEGER;\nBEGIN\n"
+            "  WHILE TRUE DO x := x + 1 END\nEND Loop."
+        )
+        result = run_cli(["--max-steps", "100"], tmp_path, source=source)
+        assert result.returncode == 1
+        assert "max_steps" in result.stderr

@@ -1,0 +1,116 @@
+"""§6.3 static type-connectivity components."""
+
+from repro.lang import analyze, connectivity_components, parse_module
+from repro.lang.connectivity import component_count
+
+
+def components_of(src):
+    info = analyze(parse_module(src))
+    return connectivity_components(info), info
+
+
+class TestConnectivity:
+    def test_unrelated_types_in_separate_components(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT x : INTEGER; END;
+TYPE B = OBJECT y : INTEGER; END;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["A"] != comps["B"]
+
+    def test_pointer_field_connects_types(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT b : B; END;
+TYPE B = OBJECT y : INTEGER; END;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["A"] == comps["B"]
+
+    def test_subtyping_connects(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT END;
+TYPE B = A OBJECT END;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["A"] == comps["B"]
+
+    def test_incremental_procedure_joins_accessed_types(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT v : INTEGER; END;
+TYPE B = OBJECT w : INTEGER; END;
+(*CACHED*)
+PROCEDURE ReadA(a : A) : INTEGER =
+BEGIN RETURN a.v END ReadA;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["proc:ReadA"] == comps["A"]
+        assert comps["proc:ReadA"] != comps["B"]
+
+    def test_non_incremental_procedures_excluded(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT v : INTEGER; END;
+PROCEDURE Plain(a : A) : INTEGER =
+BEGIN RETURN a.v END Plain;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert "proc:Plain" not in comps
+
+    def test_two_independent_islands(self):
+        src = """
+MODULE T;
+TYPE TreeA = OBJECT left, right : TreeA; END;
+TYPE TreeB = OBJECT left, right : TreeB; END;
+(*CACHED*)
+PROCEDURE HA(t : TreeA) : INTEGER =
+BEGIN RETURN 0 END HA;
+(*CACHED*)
+PROCEDURE HB(t : TreeB) : INTEGER =
+BEGIN RETURN 0 END HB;
+END T.
+"""
+        comps, info = components_of(src)
+        assert comps["TreeA"] != comps["TreeB"]
+        assert comps["proc:HA"] == comps["TreeA"]
+        assert comps["proc:HB"] == comps["TreeB"]
+        assert component_count(info) == 2
+
+    def test_new_site_connects_procedure_to_type(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT v : INTEGER; END;
+(*CACHED*)
+PROCEDURE Make() : A =
+BEGIN RETURN NEW(A, v := 1) END Make;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["proc:Make"] == comps["A"]
+
+    def test_global_variable_type_counts_as_access(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT v : INTEGER; END;
+VAR shared : A;
+(*CACHED*)
+PROCEDURE Read() : INTEGER =
+BEGIN RETURN shared.v END Read;
+END T.
+"""
+        comps, _ = components_of(src)
+        assert comps["proc:Read"] == comps["A"]
+
+    def test_empty_module(self):
+        src = "MODULE T;\nEND T."
+        info = analyze(parse_module(src))
+        assert connectivity_components(info) == {}
+        assert component_count(info) == 0

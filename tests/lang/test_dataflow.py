@@ -1,0 +1,126 @@
+"""§6.1 dataflow site classification."""
+
+from repro.lang import analyze, classify_sites, parse_module
+from repro.lang.dataflow import SiteClass
+
+
+def classify(src):
+    info = analyze(parse_module(src))
+    return classify_sites(info), info
+
+
+SRC = """
+MODULE D;
+TYPE Obj = OBJECT v : INTEGER; END;
+VAR g : INTEGER;
+VAR o : Obj;
+
+(*CACHED*)
+PROCEDURE Inc(n : INTEGER) : INTEGER =
+BEGIN RETURN n + 1 END Inc;
+
+PROCEDURE Plain(n : INTEGER) : INTEGER =
+BEGIN RETURN n END Plain;
+
+PROCEDURE Work(p : INTEGER; VAR r : INTEGER) : INTEGER =
+VAR loc : INTEGER;
+BEGIN
+  loc := p + g;
+  r := loc;
+  o.v := Inc(loc) + Plain(loc) + Max(1, 2);
+  RETURN loc
+END Work;
+
+END D.
+"""
+
+
+class TestClassification:
+    def test_local_reads_skippable(self):
+        report, _ = classify(SRC)
+        counts = report.counts()
+        assert counts[SiteClass.LOCAL_SKIP] > 0
+
+    def test_global_reads_tracked(self):
+        report, info = classify(SRC)
+        # find the NameExpr for g inside Work
+        work = info.procedures["Work"].decl
+        assign = work.body[0]  # loc := p + g
+        g_read = assign.value.right
+        assert report.of(g_read) is SiteClass.TRACKED
+
+    def test_param_read_is_local(self):
+        report, info = classify(SRC)
+        work = info.procedures["Work"].decl
+        assign = work.body[0]
+        p_read = assign.value.left
+        assert report.of(p_read) is SiteClass.LOCAL_SKIP
+
+    def test_var_param_flagged(self):
+        report, info = classify(SRC)
+        work = info.procedures["Work"].decl
+        r_write = work.body[1].target  # r := loc
+        assert report.of(r_write) is SiteClass.VAR_PARAM
+
+    def test_field_write_tracked(self):
+        report, info = classify(SRC)
+        work = info.procedures["Work"].decl
+        field_write = work.body[2].target  # o.v := ...
+        assert report.of(field_write) is SiteClass.TRACKED
+
+    def test_call_classifications(self):
+        report, _ = classify(SRC)
+        counts = report.counts()
+        assert counts[SiteClass.INCREMENTAL_CALL] == 1  # Inc
+        assert counts[SiteClass.PLAIN_CALL] == 1  # Plain
+        assert counts[SiteClass.BUILTIN_CALL] == 1  # Max
+
+    def test_method_call_dynamic(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  m() : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+VAR a : A;
+BEGIN
+  Print(a.m())
+END T.
+"""
+        report, _ = classify(src)
+        assert report.counts()[SiteClass.DYNAMIC_CALL] == 1
+
+    def test_for_variable_is_local(self):
+        src = """
+MODULE T;
+VAR g : INTEGER;
+BEGIN
+  FOR i := 1 TO 3 DO
+    g := g + i
+  END
+END T.
+"""
+        report, info = classify(src)
+        body_assign = info.module.body[0].body[0]
+        i_read = body_assign.value.right
+        assert report.of(i_read) is SiteClass.LOCAL_SKIP
+        g_write = body_assign.target
+        assert report.of(g_write) is SiteClass.TRACKED
+
+    def test_removable_property(self):
+        assert SiteClass.LOCAL_SKIP.removable
+        assert SiteClass.PLAIN_CALL.removable
+        assert SiteClass.BUILTIN_CALL.removable
+        assert not SiteClass.TRACKED.removable
+        assert not SiteClass.VAR_PARAM.removable
+        assert not SiteClass.INCREMENTAL_CALL.removable
+        assert not SiteClass.DYNAMIC_CALL.removable
+
+    def test_summary_reports_ratio(self):
+        report, _ = classify(SRC)
+        text = report.summary()
+        assert "sites=" in text
+        assert "removed=" in text
+        assert report.removed_sites <= report.total_sites

@@ -1,0 +1,385 @@
+"""Interpreter tests: conventional semantics, Alphonse-mode incremental
+behaviour, and the mutator API."""
+
+import pytest
+
+from repro.lang import InterpError, run_source
+from repro.lang.interp import Interpreter
+
+
+def run_conv(src, **kw):
+    return run_source(src, mode="conventional", **kw)
+
+
+def wrap(body, decls=""):
+    return f"MODULE T;\n{decls}\nBEGIN\n{body}\nEND T."
+
+
+class TestArithmeticAndControl:
+    def test_arithmetic(self):
+        out = run_conv(wrap("Print(2 + 3 * 4 - 1)")).output
+        assert out == ["13"]
+
+    def test_div_mod(self):
+        out = run_conv(wrap("Print(17 DIV 5); Print(17 MOD 5)")).output
+        assert out == ["3", "2"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpError, match="by zero"):
+            run_conv(wrap("Print(1 DIV 0)"))
+
+    def test_unary_minus(self):
+        assert run_conv(wrap("Print(-(3 + 4))")).output == ["-7"]
+
+    def test_comparisons_and_booleans(self):
+        src = wrap(
+            "Print(1 < 2); Print(2 <= 1); Print(3 # 4); Print(NOT TRUE)"
+        )
+        assert run_conv(src).output == ["TRUE", "FALSE", "TRUE", "FALSE"]
+
+    def test_short_circuit_and(self):
+        # right side would crash (NIL deref) if evaluated
+        src = wrap(
+            "IF FALSE AND obj.v > 0 THEN Print(1) ELSE Print(0) END",
+            decls="TYPE O = OBJECT v : INTEGER; END;\nVAR obj : O;",
+        )
+        assert run_conv(src).output == ["0"]
+
+    def test_short_circuit_or(self):
+        src = wrap(
+            "IF TRUE OR obj.v > 0 THEN Print(1) END",
+            decls="TYPE O = OBJECT v : INTEGER; END;\nVAR obj : O;",
+        )
+        assert run_conv(src).output == ["1"]
+
+    def test_non_boolean_condition_rejected(self):
+        with pytest.raises(InterpError, match="BOOLEAN"):
+            run_conv(wrap("IF 1 THEN Print(1) END"))
+
+    def test_text_concatenation(self):
+        src = wrap('Print("ab" + "cd")')
+        assert run_conv(src).output == ["abcd"]
+
+    def test_if_elsif_else(self):
+        src = wrap(
+            "FOR i := 1 TO 3 DO\n"
+            "  IF i = 1 THEN Print(10)\n"
+            "  ELSIF i = 2 THEN Print(20)\n"
+            "  ELSE Print(30) END\n"
+            "END"
+        )
+        assert run_conv(src).output == ["10", "20", "30"]
+
+    def test_while_loop(self):
+        src = wrap(
+            "x := 0;\nWHILE x < 5 DO x := x + 1 END;\nPrint(x)",
+            decls="VAR x : INTEGER;",
+        )
+        assert run_conv(src).output == ["5"]
+
+    def test_for_descending_by(self):
+        src = wrap("FOR i := 5 TO 1 BY -2 DO Print(i) END")
+        assert run_conv(src).output == ["5", "3", "1"]
+
+    def test_for_zero_step_rejected(self):
+        with pytest.raises(InterpError, match="nonzero"):
+            run_conv(wrap("FOR i := 1 TO 3 BY 0 DO Print(i) END"))
+
+    def test_max_steps_guard(self):
+        src = wrap(
+            "WHILE TRUE DO x := x + 1 END", decls="VAR x : INTEGER;"
+        )
+        with pytest.raises(InterpError, match="max_steps"):
+            run_conv(src, max_steps=100)
+
+
+class TestObjects:
+    SRC = """
+MODULE Obj;
+TYPE Point = OBJECT
+  x, y : INTEGER;
+METHODS
+  sum() : INTEGER := PointSum;
+END;
+TYPE Point3 = Point OBJECT
+  z : INTEGER;
+OVERRIDES
+  sum := Point3Sum;
+END;
+PROCEDURE PointSum(p : Point) : INTEGER =
+BEGIN RETURN p.x + p.y END PointSum;
+PROCEDURE Point3Sum(p : Point3) : INTEGER =
+BEGIN RETURN p.x + p.y + p.z END Point3Sum;
+VAR a, b : Point;
+BEGIN
+  a := NEW(Point, x := 1, y := 2);
+  b := NEW(Point3, x := 1, y := 2, z := 3);
+  Print(a.sum());
+  Print(b.sum())
+END Obj.
+"""
+
+    def test_fields_and_dynamic_dispatch(self):
+        assert run_conv(self.SRC).output == ["3", "6"]
+        assert run_source(self.SRC).output == ["3", "6"]
+
+    def test_default_field_values(self):
+        src = wrap(
+            "o := NEW(O);\nPrint(o.i); Print(o.b); Print(o.t); Print(o.p)",
+            decls=(
+                "TYPE O = OBJECT i : INTEGER; b : BOOLEAN; t : TEXT;"
+                " p : O; END;\nVAR o : O;"
+            ),
+        )
+        assert run_conv(src).output == ["0", "FALSE", "", "NIL"]
+
+    def test_nil_dereference_read(self):
+        src = wrap(
+            "Print(o.v)",
+            decls="TYPE O = OBJECT v : INTEGER; END;\nVAR o : O;",
+        )
+        with pytest.raises(InterpError, match="NIL dereference"):
+            run_conv(src)
+
+    def test_nil_method_call(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT
+METHODS
+  m() : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : O) : INTEGER = BEGIN RETURN 1 END Impl;
+VAR o : O;
+BEGIN
+  Print(o.m())
+END T.
+"""
+        with pytest.raises(InterpError, match="NIL dereference"):
+            run_conv(src)
+
+    def test_object_identity_comparison(self):
+        src = wrap(
+            "a := NEW(O); b := NEW(O); c := a;\n"
+            "Print(a = b); Print(a = c); Print(a # b)",
+            decls="TYPE O = OBJECT END;\nVAR a, b, c : O;",
+        )
+        assert run_conv(src).output == ["FALSE", "TRUE", "TRUE"]
+
+    def test_nil_comparison(self):
+        src = wrap(
+            "Print(o = NIL); o := NEW(O); Print(o = NIL)",
+            decls="TYPE O = OBJECT END;\nVAR o : O;",
+        )
+        assert run_conv(src).output == ["TRUE", "FALSE"]
+
+
+class TestProceduresAndVarParams:
+    def test_recursion(self):
+        src = """
+MODULE T;
+PROCEDURE Fact(n : INTEGER) : INTEGER =
+BEGIN
+  IF n <= 1 THEN RETURN 1 END;
+  RETURN n * Fact(n - 1)
+END Fact;
+BEGIN
+  Print(Fact(6))
+END T.
+"""
+        assert run_conv(src).output == ["720"]
+
+    def test_var_param_writes_back_to_global(self):
+        src = """
+MODULE T;
+VAR g : INTEGER;
+PROCEDURE Bump(VAR a : INTEGER) =
+BEGIN
+  a := a + 10
+END Bump;
+BEGIN
+  g := 5;
+  Bump(g);
+  Print(g)
+END T.
+"""
+        assert run_conv(src).output == ["15"]
+        assert run_source(src).output == ["15"]
+
+    def test_var_param_aliases_field(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT v : INTEGER; END;
+VAR o : O;
+PROCEDURE Clear(VAR a : INTEGER) =
+BEGIN
+  a := 0
+END Clear;
+BEGIN
+  o := NEW(O, v := 9);
+  Clear(o.v);
+  Print(o.v)
+END T.
+"""
+        assert run_conv(src).output == ["0"]
+        assert run_source(src).output == ["0"]
+
+    def test_procedure_without_return_returns_nil(self):
+        src = """
+MODULE T;
+VAR g : INTEGER;
+PROCEDURE SideEffect() =
+BEGIN
+  g := 1
+END SideEffect;
+BEGIN
+  SideEffect();
+  Print(g)
+END T.
+"""
+        assert run_conv(src).output == ["1"]
+
+    def test_assert_builtin(self):
+        with pytest.raises(InterpError, match="Assert"):
+            run_conv(wrap('Assert(FALSE, "boom")'))
+        run_conv(wrap("Assert(TRUE)"))  # no error
+
+
+class TestAlphonseMode:
+    CACHED = """
+MODULE C;
+VAR g : INTEGER;
+(*CACHED*)
+PROCEDURE AddG(n : INTEGER) : INTEGER =
+BEGIN
+  RETURN n + g
+END AddG;
+BEGIN
+  g := 10;
+  Print(AddG(1));
+  Print(AddG(1))
+END C.
+"""
+
+    def test_cached_procedure_hits(self):
+        interp = run_source(self.CACHED)
+        assert interp.output == ["11", "11"]
+        assert interp.runtime.stats.executions == 1
+        assert interp.runtime.stats.cache_hits == 1
+
+    def test_cached_procedure_invalidated_by_global_write(self):
+        interp = run_source(self.CACHED)
+        with interp.runtime.active():
+            interp.set_global("g", 100)
+            assert interp.call_procedure("AddG", 1) == 101
+
+    def test_mutator_api_field_write_invalidates_method(self):
+        src = """
+MODULE M;
+TYPE Box = OBJECT
+  v : INTEGER;
+METHODS
+  (*MAINTAINED*) doubled() : INTEGER := Doubled;
+END;
+PROCEDURE Doubled(b : Box) : INTEGER =
+BEGIN RETURN b.v + b.v END Doubled;
+VAR box : Box;
+BEGIN
+  box := NEW(Box, v := 4);
+  Print(box.doubled())
+END M.
+"""
+        interp = run_source(src)
+        assert interp.output == ["8"]
+        box = interp.global_value("box")
+        with interp.runtime.active():
+            assert interp.call_method(box, "doubled") == 8
+            before = interp.runtime.stats.executions
+            interp.set_field(box, "v", 10)
+            assert interp.call_method(box, "doubled") == 20
+            assert interp.runtime.stats.executions == before + 1
+
+    def test_eager_strategy_from_pragma(self):
+        src = """
+MODULE E;
+VAR g : INTEGER;
+(*CACHED EAGER*)
+PROCEDURE Mirror() : INTEGER =
+BEGIN RETURN g END Mirror;
+BEGIN
+  g := 1;
+  Print(Mirror())
+END E.
+"""
+        interp = run_source(src)
+        rt = interp.runtime
+        with rt.active():
+            interp.set_global("g", 5)
+            rt.flush()
+            assert rt.stats.eager_reexecutions >= 1
+            before = rt.stats.executions
+            assert interp.call_procedure("Mirror") == 5
+            assert rt.stats.executions == before  # already recomputed
+
+    def test_lru_policy_from_pragma(self):
+        src = """
+MODULE L;
+(*CACHED LRU 2*)
+PROCEDURE Id(n : INTEGER) : INTEGER =
+BEGIN RETURN n END Id;
+BEGIN
+  Print(Id(1)); Print(Id(2)); Print(Id(3)); Print(Id(4))
+END L.
+"""
+        interp = run_source(src)
+        assert interp.output == ["1", "2", "3", "4"]
+        assert interp.runtime.stats.cache_evictions >= 2
+
+    def test_unchecked_expression_suppresses_dependency(self):
+        src = """
+MODULE U;
+VAR g : INTEGER;
+(*CACHED*)
+PROCEDURE Snapshot() : INTEGER =
+BEGIN
+  RETURN (*UNCHECKED*) g
+END Snapshot;
+BEGIN
+  g := 1;
+  Print(Snapshot())
+END U.
+"""
+        interp = run_source(src)
+        rt = interp.runtime
+        with rt.active():
+            interp.set_global("g", 99)
+            # dependency was suppressed: stale by programmer's assertion
+            assert interp.call_procedure("Snapshot") == 1
+        assert rt.stats.unchecked_suppressions >= 1
+
+    def test_unknown_procedure_via_api(self):
+        interp = run_source(self.CACHED)
+        with pytest.raises(InterpError, match="no procedure"):
+            interp.call_procedure("Ghost")
+
+    def test_unknown_global_via_api(self):
+        interp = run_source(self.CACHED)
+        with pytest.raises(InterpError, match="no top-level variable"):
+            interp.global_value("ghost")
+
+    def test_run_twice_rejected(self):
+        interp = Interpreter("MODULE T;\nEND T.")
+        interp.run()
+        with pytest.raises(InterpError, match="already ran"):
+            interp.run()
+
+    def test_new_object_via_api(self):
+        src = """
+MODULE N;
+TYPE O = OBJECT v : INTEGER; END;
+END N.
+"""
+        interp = run_source(src)
+        obj = interp.new_object("O", v=3)
+        assert interp.get_field(obj, "v") == 3
+        with pytest.raises(InterpError, match="unknown type"):
+            interp.new_object("Ghost")

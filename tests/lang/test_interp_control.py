@@ -1,0 +1,196 @@
+"""Interpreter control-flow and parameter-passing corner cases."""
+
+import pytest
+
+from repro.lang import InterpError, run_source
+
+
+def wrap(body, decls=""):
+    return f"MODULE T;\n{decls}\nBEGIN\n{body}\nEND T."
+
+
+class TestReturnPaths:
+    def test_return_inside_while(self):
+        src = """
+MODULE T;
+PROCEDURE FirstOver(limit : INTEGER) : INTEGER =
+VAR n : INTEGER;
+BEGIN
+  n := 1;
+  WHILE TRUE DO
+    n := n * 2;
+    IF n > limit THEN RETURN n END
+  END;
+  RETURN 0
+END FirstOver;
+BEGIN
+  Print(FirstOver(100))
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["128"]
+        assert run_source(src).output == ["128"]
+
+    def test_return_inside_for(self):
+        src = """
+MODULE T;
+PROCEDURE FindSquare(target : INTEGER) : INTEGER =
+BEGIN
+  FOR i := 1 TO 100 DO
+    IF i * i = target THEN RETURN i END
+  END;
+  RETURN -1
+END FindSquare;
+BEGIN
+  Print(FindSquare(49));
+  Print(FindSquare(50))
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["7", "-1"]
+
+    def test_return_propagates_through_nested_ifs(self):
+        src = """
+MODULE T;
+PROCEDURE Classify(n : INTEGER) : TEXT =
+BEGIN
+  IF n > 0 THEN
+    IF n > 100 THEN RETURN "big" END;
+    RETURN "small"
+  END;
+  RETURN "nonpositive"
+END Classify;
+BEGIN
+  Print(Classify(5));
+  Print(Classify(500));
+  Print(Classify(-1))
+END T.
+"""
+        out = run_source(src, mode="conventional").output
+        assert out == ["small", "big", "nonpositive"]
+
+
+class TestVarParamAliasing:
+    def test_var_param_aliases_local(self):
+        src = """
+MODULE T;
+PROCEDURE Bump(VAR a : INTEGER) =
+BEGIN a := a + 1 END Bump;
+PROCEDURE Driver() : INTEGER =
+VAR x : INTEGER;
+BEGIN
+  x := 10;
+  Bump(x);
+  Bump(x);
+  RETURN x
+END Driver;
+BEGIN
+  Print(Driver())
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["12"]
+        assert run_source(src).output == ["12"]
+
+    def test_var_param_aliases_array_element(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+PROCEDURE Double(VAR a : INTEGER) =
+BEGIN a := a * 2 END Double;
+BEGIN
+  v := NEW(V);
+  v[1] := 21;
+  Double(v[1]);
+  Print(v[1])
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["42"]
+        assert run_source(src).output == ["42"]
+
+    def test_var_param_chain(self):
+        src = """
+MODULE T;
+VAR g : INTEGER;
+PROCEDURE Inner(VAR a : INTEGER) =
+BEGIN a := a + 1 END Inner;
+PROCEDURE Outer(VAR b : INTEGER) =
+BEGIN
+  Inner(b);
+  Inner(b)
+END Outer;
+BEGIN
+  g := 0;
+  Outer(g);
+  Print(g)
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["2"]
+        assert run_source(src).output == ["2"]
+
+    def test_var_param_write_invalidates_maintained_reader(self):
+        src = """
+MODULE T;
+TYPE Box = OBJECT
+  v : INTEGER;
+METHODS
+  (*MAINTAINED*) doubled() : INTEGER := Doubled;
+END;
+PROCEDURE Doubled(b : Box) : INTEGER =
+BEGIN RETURN b.v * 2 END Doubled;
+PROCEDURE Set(VAR slot : INTEGER; value : INTEGER) =
+BEGIN slot := value END Set;
+VAR box : Box;
+BEGIN
+  box := NEW(Box, v := 3);
+  Print(box.doubled());
+  Set(box.v, 10);
+  Print(box.doubled())
+END T.
+"""
+        interp = run_source(src)
+        assert interp.output == ["6", "20"]
+
+
+class TestScoping:
+    def test_for_variable_shadows_local(self):
+        src = """
+MODULE T;
+PROCEDURE F() : INTEGER =
+VAR i : INTEGER;
+BEGIN
+  i := 100;
+  FOR i := 1 TO 3 DO Print(i) END;
+  RETURN i
+END F;
+BEGIN
+  Print(F())
+END T.
+"""
+        out = run_source(src, mode="conventional").output
+        # the FOR variable is a fresh binding; the local is restored
+        assert out == ["1", "2", "3", "100"]
+
+    def test_nested_for_loops(self):
+        src = wrap(
+            "FOR i := 1 TO 2 DO FOR j := 1 TO 2 DO "
+            "Print(i * 10 + j) END END"
+        )
+        out = run_source(src, mode="conventional").output
+        assert out == ["11", "12", "21", "22"]
+
+    def test_recursion_gets_fresh_locals(self):
+        src = """
+MODULE T;
+PROCEDURE Count(n : INTEGER) : INTEGER =
+VAR acc : INTEGER;
+BEGIN
+  acc := n;
+  IF n > 0 THEN
+    acc := acc + Count(n - 1)
+  END;
+  RETURN acc
+END Count;
+BEGIN
+  Print(Count(4))
+END T.
+"""
+        assert run_source(src, mode="conventional").output == ["10"]

@@ -1,0 +1,151 @@
+"""Lexer tests: tokens, pragma comments, nested comments, errors."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_empty_source(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].value == 42
+
+    def test_identifier(self):
+        tokens = tokenize("fooBar_9")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "fooBar_9"
+
+    def test_keywords_are_not_identifiers(self):
+        tokens = tokenize("MODULE WHILE TRUE")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.MODULE,
+            TokenKind.WHILE,
+            TokenKind.TRUE,
+        ]
+
+    def test_keywords_case_sensitive(self):
+        tokens = tokenize("module")
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_operators(self):
+        source = ":= <= >= < > = # + - * ( ) ; : , . [ ]"
+        expected = [
+            TokenKind.ASSIGN,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.LT,
+            TokenKind.GT,
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.SEMI,
+            TokenKind.COLON,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.EOF,
+        ]
+        assert kinds(source) == expected
+
+    def test_text_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.TEXT
+        assert tokens[0].value == "hello world"
+
+    def test_text_escapes(self):
+        tokens = tokenize(r'"a\nb\tc\"d\\e"')
+        assert tokens[0].value == 'a\nb\tc"d\\e'
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unterminated_text_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_plain_comment_dropped(self):
+        assert kinds("a (* comment *) b") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_nested_comments(self):
+        assert kinds("a (* outer (* inner *) still outer *) b") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(LexError, match="unterminated comment"):
+            tokenize("a (* never closed")
+
+    def test_multiline_comment(self):
+        assert kinds("a (* line1\nline2 *) b") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+
+class TestPragmas:
+    def test_maintained_pragma(self):
+        tokens = tokenize("(*MAINTAINED*)")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].value == "MAINTAINED"
+        assert tokens[0].pragma_args == ()
+
+    def test_cached_pragma_with_args(self):
+        tokens = tokenize("(*CACHED LRU 64*)")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].value == "CACHED"
+        assert tokens[0].pragma_args == ("LRU", "64")
+
+    def test_maintained_with_strategy(self):
+        tokens = tokenize("(*MAINTAINED EAGER*)")
+        assert tokens[0].pragma_args == ("EAGER",)
+
+    def test_unchecked_pragma(self):
+        tokens = tokenize("(*UNCHECKED*)")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].value == "UNCHECKED"
+
+    def test_pragma_case_normalized(self):
+        tokens = tokenize("(*maintained*)")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].value == "MAINTAINED"
+
+    def test_pragma_with_spacing(self):
+        tokens = tokenize("(*  MAINTAINED   DEMAND  *)")
+        assert tokens[0].value == "MAINTAINED"
+        assert tokens[0].pragma_args == ("DEMAND",)
+
+    def test_non_pragma_comment_starting_with_other_word(self):
+        assert kinds("(* NOTE: MAINTAINED here *)") == [TokenKind.EOF]

@@ -1,0 +1,319 @@
+"""Parser tests: declarations, statements, expressions, errors,
+unparse round-trips."""
+
+import pytest
+
+from repro.lang import ParseError, parse_module, unparse
+from repro.lang import ast
+
+
+def parse_body(stmts: str):
+    module = parse_module(f"MODULE T;\nBEGIN\n{stmts}\nEND T.")
+    return module.body
+
+
+def parse_expr(text: str):
+    body = parse_body(f"x := {text}")
+    # the module has no VAR x, but parsing succeeds; sema would reject
+    return body[0].value
+
+
+MINI = """
+MODULE Mini;
+
+TYPE Tree = OBJECT
+  left, right : Tree;
+  key : INTEGER;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED EAGER*) height := HeightNil;
+END;
+
+(*CACHED LRU 8*)
+PROCEDURE F(n : INTEGER) : INTEGER =
+BEGIN
+  RETURN n
+END F;
+
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN Max(t.left.height(), t.right.height()) + 1
+END Height;
+
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN
+  RETURN 0
+END HeightNil;
+
+VAR root : Tree;
+
+BEGIN
+  root := NEW(Tree, key := 1)
+END Mini.
+"""
+
+
+class TestModuleStructure:
+    def test_module_parses(self):
+        module = parse_module(MINI)
+        assert module.name == "Mini"
+        assert len(module.types()) == 2
+        assert len(module.procedures()) == 3
+        assert len(module.variables()) == 1
+        assert len(module.body) == 1
+
+    def test_module_without_body(self):
+        module = parse_module("MODULE Lib;\nEND Lib.")
+        assert module.body == []
+
+    def test_mismatched_end_name_rejected(self):
+        with pytest.raises(ParseError, match="module ends with"):
+            parse_module("MODULE A;\nEND B.")
+
+    def test_missing_final_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("MODULE A;\nEND A")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("MODULE A;\nEND A. extra")
+
+
+class TestTypeDecls:
+    def test_fields_and_supertype(self):
+        module = parse_module(MINI)
+        tree = module.types()[0]
+        assert tree.name == "Tree"
+        assert tree.super_name is None
+        assert tree.fields[0].names == ["left", "right"]
+        assert tree.fields[1].names == ["key"]
+        nil = module.types()[1]
+        assert nil.super_name == "Tree"
+
+    def test_method_pragma_captured(self):
+        module = parse_module(MINI)
+        method = module.types()[0].methods[0]
+        assert method.pragma.head == "MAINTAINED"
+        assert method.name == "height"
+        assert method.return_type == "INTEGER"
+        assert method.impl_name == "Height"
+
+    def test_override_pragma_with_strategy(self):
+        module = parse_module(MINI)
+        override = module.types()[1].overrides[0]
+        assert override.pragma.head == "MAINTAINED"
+        assert override.pragma.strategy == "EAGER"
+
+    def test_method_with_parameters(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT
+METHODS
+  m(a : INTEGER; b : TEXT) : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : O; a : INTEGER; b : TEXT) : INTEGER =
+BEGIN RETURN a END Impl;
+END T.
+"""
+        module = parse_module(src)
+        method = module.types()[0].methods[0]
+        assert [p.name for p in method.params] == ["a", "b"]
+
+
+class TestProcDecls:
+    def test_cached_pragma_with_policy(self):
+        module = parse_module(MINI)
+        proc = module.procedures()[0]
+        assert proc.pragma.head == "CACHED"
+        assert proc.pragma.policy == ("LRU", 8)
+
+    def test_var_params(self):
+        src = """
+MODULE T;
+PROCEDURE Swap(VAR a, b : INTEGER) =
+VAR t : INTEGER;
+BEGIN
+  t := a; a := b; b := t
+END Swap;
+END T.
+"""
+        proc = parse_module(src).procedures()[0]
+        assert all(p.by_var for p in proc.params)
+        assert [p.name for p in proc.params] == ["a", "b"]
+        assert len(proc.locals) == 1
+
+    def test_procedure_end_name_checked(self):
+        with pytest.raises(ParseError, match="ends with"):
+            parse_module(
+                "MODULE T;\nPROCEDURE F() =\nBEGIN\nEND G;\nEND T."
+            )
+
+    def test_local_var_with_init(self):
+        src = """
+MODULE T;
+PROCEDURE F() : INTEGER =
+VAR x : INTEGER := 5;
+BEGIN RETURN x END F;
+END T.
+"""
+        proc = parse_module(src).procedures()[0]
+        assert proc.locals[0].init is not None
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = parse_body("x := 1")
+        assert isinstance(stmt, ast.AssignStmt)
+
+    def test_field_assignment(self):
+        (stmt,) = parse_body("a.b.c := 1")
+        assert isinstance(stmt.target, ast.FieldExpr)
+
+    def test_call_statement(self):
+        (stmt,) = parse_body("Print(1)")
+        assert isinstance(stmt, ast.CallStmt)
+
+    def test_if_elsif_else(self):
+        (stmt,) = parse_body(
+            "IF a THEN x := 1 ELSIF b THEN x := 2 ELSE x := 3 END"
+        )
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.arms) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_while(self):
+        (stmt,) = parse_body("WHILE x < 10 DO x := x + 1 END")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_for_with_by(self):
+        (stmt,) = parse_body("FOR i := 10 TO 0 BY -2 DO x := i END")
+        assert isinstance(stmt, ast.ForStmt)
+        assert stmt.by is not None
+
+    def test_return_with_and_without_value(self):
+        src = """
+MODULE T;
+PROCEDURE A() = BEGIN RETURN END A;
+PROCEDURE B() : INTEGER = BEGIN RETURN 5 END B;
+END T.
+"""
+        module = parse_module(src)
+        assert module.procedures()[0].body[0].value is None
+        assert module.procedures()[1].body[0].value.value == 5
+
+    def test_empty_statements_tolerated(self):
+        stmts = parse_body("x := 1;; y := 2;")
+        assert len(stmts) == 2
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("1 := x")
+
+    def test_bare_designator_rejected(self):
+        with pytest.raises(ParseError, match="':=' or a procedure call"):
+            parse_body("x")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinExpr)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_add_over_compare(self):
+        expr = parse_expr("1 + 2 < 3 + 4")
+        assert expr.op == "<"
+
+    def test_precedence_compare_over_and_over_or(self):
+        expr = parse_expr("a < b AND c # d OR e = f")
+        assert expr.op == "OR"
+        assert expr.left.op == "AND"
+
+    def test_unary_minus_and_not(self):
+        expr = parse_expr("NOT -x < 0")
+        # NOT binds to factor: NOT ((-x) < 0)? No: NOT parses a factor,
+        # so NOT (-x), then < 0 applies to the result.
+        assert expr.op == "<"
+        assert isinstance(expr.left, ast.UnaryExpr)
+        assert expr.left.op == "NOT"
+
+    def test_method_call_chain(self):
+        expr = parse_expr("t.left.height()")
+        assert isinstance(expr, ast.CallExpr)
+        assert isinstance(expr.fn, ast.FieldExpr)
+        assert expr.fn.field_name == "height"
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("Max(a, b + 1)")
+        assert len(expr.args) == 2
+
+    def test_new_with_inits(self):
+        expr = parse_expr("NEW(Tree, left := a, key := 1 + 2)")
+        assert isinstance(expr, ast.NewExpr)
+        assert expr.type_name == "Tree"
+        assert [f for f, _ in expr.inits] == ["left", "key"]
+
+    def test_new_without_inits(self):
+        expr = parse_expr("NEW(Tree)")
+        assert expr.inits == []
+
+    def test_unchecked_expression(self):
+        expr = parse_expr("(*UNCHECKED*) t.key")
+        assert isinstance(expr, ast.UncheckedExpr)
+        assert isinstance(expr.inner, ast.FieldExpr)
+
+    def test_literals(self):
+        assert isinstance(parse_expr("TRUE"), ast.BoolLit)
+        assert isinstance(parse_expr("NIL"), ast.NilLit)
+        assert isinstance(parse_expr('"txt"'), ast.TextLit)
+
+    def test_div_mod(self):
+        expr = parse_expr("a DIV b MOD c")
+        assert expr.op == "MOD"
+        assert expr.left.op == "DIV"
+
+
+class TestRoundTrip:
+    def test_mini_module_round_trips(self):
+        module = parse_module(MINI)
+        text = unparse(module)
+        module2 = parse_module(text)
+        assert unparse(module2) == text
+
+    def test_control_flow_round_trips(self):
+        src = """
+MODULE T;
+VAR x, y : INTEGER;
+BEGIN
+  FOR i := 1 TO 10 BY 2 DO
+    IF i MOD 2 = 0 THEN
+      x := x + i
+    ELSIF i > 5 THEN
+      y := y - 1
+    ELSE
+      WHILE y < i DO y := y + 1 END
+    END
+  END
+END T.
+"""
+        module = parse_module(src)
+        text = unparse(module)
+        assert unparse(parse_module(text)) == text
+
+    def test_expression_precedence_preserved(self):
+        src = (
+            "MODULE T;\nVAR a, b, c, x : INTEGER;\n"
+            "BEGIN\n  x := (a + b) * c;\n  x := a + b * c\nEND T."
+        )
+        module = parse_module(src)
+        text = unparse(module)
+        module2 = parse_module(text)
+        assert unparse(module2) == text
+        first, second = module2.body
+        assert first.value.op == "*"
+        assert second.value.op == "+"

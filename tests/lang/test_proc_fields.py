@@ -1,0 +1,143 @@
+"""§3.1 procedure-valued fields: dynamic dispatch through tracked
+storage — re-targeting the field invalidates dependents."""
+
+import pytest
+
+from repro.lang import InterpError, run_source
+
+SRC = """
+MODULE ProcFields;
+
+TYPE Shape = OBJECT
+  size : INTEGER;
+  area : PROC;
+METHODS
+  (*MAINTAINED*) describe() : INTEGER := Describe;
+END;
+
+PROCEDURE SquareArea(s : Shape) : INTEGER =
+BEGIN RETURN s.size * s.size END SquareArea;
+
+PROCEDURE TriangleArea(s : Shape) : INTEGER =
+BEGIN RETURN (s.size * s.size) DIV 2 END TriangleArea;
+
+PROCEDURE Describe(s : Shape) : INTEGER =
+BEGIN
+  RETURN s.area() + 1000
+END Describe;
+
+VAR shape : Shape;
+
+BEGIN
+  shape := NEW(Shape, size := 4, area := SquareArea);
+  Print(shape.area());
+  Print(shape.describe())
+END ProcFields.
+"""
+
+
+class TestProcedureFields:
+    def test_both_modes_agree(self):
+        conv = run_source(SRC, mode="conventional")
+        alph = run_source(SRC)
+        assert conv.output == alph.output == ["16", "1016"]
+
+    def test_retargeting_field_invalidates_dependents(self):
+        interp = run_source(SRC)
+        rt = interp.runtime
+        shape = interp.global_value("shape")
+        with rt.active():
+            assert interp.call_method(shape, "describe") == 1016
+            # swap the procedure stored in the field
+            from repro.lang.interp import LProcValue
+
+            interp.set_field(shape, "area", LProcValue("TriangleArea"))
+            assert interp.call_method(shape, "describe") == 1008
+
+    def test_size_change_still_tracked_through_proc_field(self):
+        interp = run_source(SRC)
+        rt = interp.runtime
+        shape = interp.global_value("shape")
+        with rt.active():
+            interp.call_method(shape, "describe")
+            before = rt.stats.snapshot()
+            interp.set_field(shape, "size", 6)
+            assert interp.call_method(shape, "describe") == 36 + 1000
+            assert rt.stats.delta(before)["executions"] >= 1
+
+    def test_calling_non_procedure_field(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT v : INTEGER; END;
+VAR o : O;
+BEGIN
+  o := NEW(O, v := 3);
+  Print(o.v())
+END T.
+"""
+        with pytest.raises(InterpError, match="not a procedure"):
+            run_source(src, mode="conventional")
+
+    def test_unknown_field_or_method(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT END;
+VAR o : O;
+BEGIN
+  o := NEW(O);
+  Print(o.ghost())
+END T.
+"""
+        with pytest.raises(InterpError, match="no method or field"):
+            run_source(src, mode="conventional")
+
+    def test_arity_mismatch_through_field(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT f : PROC; END;
+PROCEDURE TwoArgs(o : O; k : INTEGER) : INTEGER =
+BEGIN RETURN k END TwoArgs;
+VAR o : O;
+BEGIN
+  o := NEW(O, f := TwoArgs);
+  Print(o.f())
+END T.
+"""
+        with pytest.raises(InterpError, match="argument"):
+            run_source(src, mode="conventional")
+
+    def test_nil_proc_field(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT f : PROC; END;
+VAR o : O;
+BEGIN
+  o := NEW(O);
+  Print(o.f())
+END T.
+"""
+        with pytest.raises(InterpError, match="not a procedure"):
+            run_source(src, mode="conventional")
+
+    def test_proc_field_with_cached_procedure(self):
+        src = """
+MODULE T;
+TYPE Calc = OBJECT op : PROC; END;
+VAR g : INTEGER;
+(*CACHED*)
+PROCEDURE AddG(c : Calc; n : INTEGER) : INTEGER =
+BEGIN RETURN n + g END AddG;
+VAR calc : Calc;
+BEGIN
+  g := 10;
+  calc := NEW(Calc, op := AddG);
+  Print(calc.op(5));
+  Print(calc.op(5))
+END T.
+"""
+        interp = run_source(src)
+        assert interp.output == ["15", "15"]
+        assert interp.runtime.stats.executions == 1  # second call cached
+        # equivalence check in conventional mode
+        conv = run_source(src, mode="conventional")
+        assert conv.output == ["15", "15"]

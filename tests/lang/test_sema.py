@@ -1,0 +1,373 @@
+"""Semantic analysis: symbol tables, inheritance, pragma validation,
+name resolution, restriction warnings."""
+
+import pytest
+
+from repro.lang import SemaError, analyze, parse_module
+
+
+def analyze_source(src):
+    return analyze(parse_module(src))
+
+
+GOOD = """
+MODULE Good;
+
+TYPE A = OBJECT
+  x : INTEGER;
+METHODS
+  (*MAINTAINED*) get() : INTEGER := GetX;
+END;
+
+TYPE B = A OBJECT
+  y : INTEGER;
+OVERRIDES
+  (*MAINTAINED*) get := GetY;
+END;
+
+PROCEDURE GetX(o : A) : INTEGER =
+BEGIN RETURN o.x END GetX;
+
+PROCEDURE GetY(o : B) : INTEGER =
+BEGIN RETURN o.y END GetY;
+
+VAR a : A;
+
+BEGIN
+  a := NEW(B, x := 1, y := 2);
+  Print(a.get())
+END Good.
+"""
+
+
+class TestSymbolTables:
+    def test_types_collected_with_inheritance(self):
+        info = analyze_source(GOOD)
+        assert set(info.types) == {"A", "B"}
+        b = info.types["B"]
+        assert b.superclass is info.types["A"]
+        assert b.all_fields() == {"x": "INTEGER", "y": "INTEGER"}
+        assert b.is_subtype_of(info.types["A"])
+        assert not info.types["A"].is_subtype_of(b)
+
+    def test_method_binding_and_override(self):
+        info = analyze_source(GOOD)
+        a_get = info.types["A"].methods["get"]
+        b_get = info.types["B"].methods["get"]
+        assert a_get.impl_name == "GetX"
+        assert b_get.impl_name == "GetY"
+        assert b_get.introduced_by == "A"
+        assert b_get.bound_by == "B"
+        assert a_get.is_maintained and b_get.is_maintained
+
+    def test_procedures_marked_incremental(self):
+        info = analyze_source(GOOD)
+        assert info.procedures["GetX"].implements_maintained
+        assert info.procedures["GetX"].is_incremental
+        assert not info.procedures["GetX"].cached_pragma
+
+    def test_globals_collected(self):
+        info = analyze_source(GOOD)
+        assert info.global_vars == {"a": "A"}
+
+
+class TestTypeErrors:
+    def test_unknown_supertype(self):
+        with pytest.raises(SemaError, match="unknown type"):
+            analyze_source("MODULE T;\nTYPE A = Ghost OBJECT END;\nEND T.")
+
+    def test_inheritance_cycle(self):
+        src = """
+MODULE T;
+TYPE A = B OBJECT END;
+TYPE B = A OBJECT END;
+END T.
+"""
+        with pytest.raises(SemaError, match="cycle"):
+            analyze_source(src)
+
+    def test_builtin_not_extendable(self):
+        with pytest.raises(SemaError, match="cannot extend builtin"):
+            analyze_source("MODULE T;\nTYPE A = INTEGER OBJECT END;\nEND T.")
+
+    def test_unknown_field_type(self):
+        with pytest.raises(SemaError, match="unknown type"):
+            analyze_source("MODULE T;\nTYPE A = OBJECT f : Ghost; END;\nEND T.")
+
+    def test_shadowed_field_rejected(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT x : INTEGER; END;
+TYPE B = A OBJECT x : INTEGER; END;
+END T.
+"""
+        with pytest.raises(SemaError, match="shadowed field"):
+            analyze_source(src)
+
+    def test_duplicate_type(self):
+        src = "MODULE T;\nTYPE A = OBJECT END;\nTYPE A = OBJECT END;\nEND T."
+        with pytest.raises(SemaError, match="duplicate type"):
+            analyze_source(src)
+
+
+class TestMethodErrors:
+    def test_missing_impl_procedure(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  m() : INTEGER := Ghost;
+END;
+END T.
+"""
+        with pytest.raises(SemaError, match="not found"):
+            analyze_source(src)
+
+    def test_impl_arity_mismatch(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  m(k : INTEGER) : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+END T.
+"""
+        with pytest.raises(SemaError, match="parameter"):
+            analyze_source(src)
+
+    def test_override_of_unknown_method(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+OVERRIDES
+  ghost := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+END T.
+"""
+        with pytest.raises(SemaError, match="unknown method"):
+            analyze_source(src)
+
+    def test_redeclaring_method_requires_overrides(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  m() : INTEGER := Impl;
+END;
+TYPE B = A OBJECT
+METHODS
+  m() : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+END T.
+"""
+        with pytest.raises(SemaError, match="use OVERRIDES"):
+            analyze_source(src)
+
+
+class TestPragmaValidation:
+    def test_cached_on_method_rejected(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  (*CACHED*) m() : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+END T.
+"""
+        with pytest.raises(SemaError, match="only .\\*MAINTAINED"):
+            analyze_source(src)
+
+    def test_maintained_on_procedure_rejected(self):
+        src = """
+MODULE T;
+(*MAINTAINED*)
+PROCEDURE F() : INTEGER =
+BEGIN RETURN 0 END F;
+END T.
+"""
+        with pytest.raises(SemaError, match="only .\\*CACHED"):
+            analyze_source(src)
+
+    def test_unknown_pragma_argument(self):
+        src = """
+MODULE T;
+(*CACHED TURBO*)
+PROCEDURE F() : INTEGER =
+BEGIN RETURN 0 END F;
+END T.
+"""
+        with pytest.raises(SemaError, match="unknown argument"):
+            analyze_source(src)
+
+    def test_policy_without_size(self):
+        src = """
+MODULE T;
+(*CACHED LRU*)
+PROCEDURE F() : INTEGER =
+BEGIN RETURN 0 END F;
+END T.
+"""
+        with pytest.raises(SemaError, match="needs a size"):
+            analyze_source(src)
+
+    def test_cached_and_maintained_impl_conflict(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  (*MAINTAINED*) m() : INTEGER := F;
+END;
+(*CACHED*)
+PROCEDURE F(o : A) : INTEGER =
+BEGIN RETURN 0 END F;
+END T.
+"""
+        with pytest.raises(SemaError, match="both"):
+            analyze_source(src)
+
+
+class TestNameResolution:
+    def test_unknown_variable_in_body(self):
+        src = "MODULE T;\nBEGIN\n  ghost := 1\nEND T."
+        with pytest.raises(SemaError, match="unknown variable"):
+            analyze_source(src)
+
+    def test_unknown_name_in_expression(self):
+        src = "MODULE T;\nVAR x : INTEGER;\nBEGIN\n  x := ghost + 1\nEND T."
+        with pytest.raises(SemaError, match="unknown name"):
+            analyze_source(src)
+
+    def test_unknown_procedure_call(self):
+        src = "MODULE T;\nBEGIN\n  Ghost(1)\nEND T."
+        with pytest.raises(SemaError, match="unknown procedure"):
+            analyze_source(src)
+
+    def test_call_arity_checked(self):
+        src = """
+MODULE T;
+PROCEDURE F(a : INTEGER) : INTEGER =
+BEGIN RETURN a END F;
+BEGIN
+  F(1, 2)
+END T.
+"""
+        with pytest.raises(SemaError, match="argument"):
+            analyze_source(src)
+
+    def test_builtin_arity_checked(self):
+        src = "MODULE T;\nBEGIN\n  Print(1, 2, 3)\nEND T."
+        with pytest.raises(SemaError, match="takes"):
+            analyze_source(src)
+
+    def test_assign_to_procedure_rejected(self):
+        src = """
+MODULE T;
+PROCEDURE F() = BEGIN RETURN END F;
+BEGIN
+  F := 1
+END T.
+"""
+        with pytest.raises(SemaError, match="cannot assign"):
+            analyze_source(src)
+
+    def test_variable_called_as_procedure_rejected(self):
+        src = "MODULE T;\nVAR x : INTEGER;\nBEGIN\n  x(1)\nEND T."
+        with pytest.raises(SemaError, match="not a procedure"):
+            analyze_source(src)
+
+    def test_for_variable_in_scope_inside_body_only(self):
+        src = """
+MODULE T;
+VAR x : INTEGER;
+BEGIN
+  FOR i := 1 TO 3 DO x := i END;
+  x := i
+END T.
+"""
+        with pytest.raises(SemaError, match="unknown name"):
+            analyze_source(src)
+
+    def test_locals_and_params_resolve(self):
+        src = """
+MODULE T;
+PROCEDURE F(a : INTEGER) : INTEGER =
+VAR b : INTEGER;
+BEGIN
+  b := a + 1;
+  RETURN b
+END F;
+END T.
+"""
+        analyze_source(src)  # no error
+
+    def test_duplicate_parameter(self):
+        src = """
+MODULE T;
+PROCEDURE F(a : INTEGER; a : TEXT) = BEGIN RETURN END F;
+END T.
+"""
+        with pytest.raises(SemaError, match="duplicate parameter"):
+            analyze_source(src)
+
+    def test_var_param_requires_designator_argument(self):
+        src = """
+MODULE T;
+PROCEDURE F(VAR a : INTEGER) = BEGIN a := 1 END F;
+BEGIN
+  F(1 + 2)
+END T.
+"""
+        with pytest.raises(SemaError, match="designator"):
+            analyze_source(src)
+
+    def test_new_with_unknown_field(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT x : INTEGER; END;
+VAR a : A;
+BEGIN
+  a := NEW(A, ghost := 1)
+END T.
+"""
+        with pytest.raises(SemaError, match="no field"):
+            analyze_source(src)
+
+
+class TestRestrictionWarnings:
+    def test_top_warning_for_var_params(self):
+        src = """
+MODULE T;
+(*CACHED*)
+PROCEDURE F(VAR a : INTEGER) : INTEGER =
+BEGIN RETURN a END F;
+END T.
+"""
+        info = analyze_source(src)
+        assert any("TOP" in w for w in info.warnings)
+
+    def test_obs_warning_for_eager_side_effects(self):
+        src = """
+MODULE T;
+VAR g : INTEGER;
+(*CACHED EAGER*)
+PROCEDURE F() : INTEGER =
+BEGIN
+  g := g + 1;
+  RETURN g
+END F;
+END T.
+"""
+        info = analyze_source(src)
+        assert any("OBS" in w for w in info.warnings)
+
+    def test_clean_program_has_no_warnings(self):
+        info = analyze_source(GOOD)
+        assert info.warnings == []

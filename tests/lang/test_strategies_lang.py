@@ -1,0 +1,103 @@
+"""Evaluation strategies and partitioning as seen from Alphonse-L."""
+
+import pytest
+
+from repro.lang import run_source
+
+EAGER_TREE = """
+MODULE E;
+TYPE Box = OBJECT
+  v : INTEGER;
+METHODS
+  (*MAINTAINED EAGER*) doubled() : INTEGER := Doubled;
+END;
+PROCEDURE Doubled(b : Box) : INTEGER =
+BEGIN RETURN b.v * 2 END Doubled;
+VAR box : Box;
+BEGIN
+  box := NEW(Box, v := 4);
+  Print(box.doubled())
+END E.
+"""
+
+
+class TestEagerMaintainedMethods:
+    def test_eager_method_recomputes_during_flush(self):
+        interp = run_source(EAGER_TREE)
+        rt = interp.runtime
+        box = interp.global_value("box")
+        with rt.active():
+            interp.set_field(box, "v", 10)
+            rt.flush()
+            assert rt.stats.eager_reexecutions >= 1
+            before = rt.stats.executions
+            assert interp.call_method(box, "doubled") == 20
+            assert rt.stats.executions == before  # already fresh
+
+    def test_idle_tick_services_language_objects(self):
+        interp = run_source(EAGER_TREE)
+        rt = interp.runtime
+        box = interp.global_value("box")
+        with rt.active():
+            interp.set_field(box, "v", 7)
+            while rt.pending_changes():
+                assert rt.idle_tick(1) > 0
+            before = rt.stats.executions
+            assert interp.call_method(box, "doubled") == 14
+            assert rt.stats.executions == before
+
+
+TWO_TREES = """
+MODULE P;
+TYPE Tree = OBJECT
+  left, right : Tree;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+END;
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN RETURN Max(t.left.height(), t.right.height()) + 1 END Height;
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN RETURN 0 END HeightNil;
+PROCEDURE Build(n : INTEGER) : Tree =
+VAR t : Tree;
+BEGIN
+  t := NEW(TreeNil);
+  FOR i := 1 TO n DO
+    t := NEW(Tree, left := t, right := NEW(TreeNil))
+  END;
+  RETURN t
+END Build;
+VAR a, b : Tree;
+BEGIN
+  a := Build(6);
+  b := Build(9);
+  Print(a.height());
+  Print(b.height())
+END P.
+"""
+
+
+class TestPartitioningThroughLanguage:
+    def test_independent_trees_do_not_interfere(self):
+        interp = run_source(TWO_TREES)
+        rt = interp.runtime
+        assert interp.output == ["6", "9"]
+        a = interp.global_value("a")
+        b = interp.global_value("b")
+        with rt.active():
+            # edit tree a; query tree b: no forced propagation of a's
+            # pending changes (separate partitions)
+            graft = interp.call_procedure("Build", 4)
+            interp.set_field(a, "left", graft)
+            before = rt.stats.snapshot()
+            assert interp.call_method(b, "height") == 9
+            delta = rt.stats.delta(before)
+            assert delta["executions"] == 0
+            assert delta["forced_evaluations"] == 0
+            # now query a: it catches up (left subtree is now the
+            # 4-chain, so the root height drops from 6 to 5)
+            assert interp.call_method(a, "height") == 5

@@ -1,0 +1,69 @@
+"""Direct tests for the symbol-table structures."""
+
+from repro.lang import analyze, parse_module
+from repro.trees.avl import avl_nil
+
+SRC = """
+MODULE S;
+TYPE A = OBJECT x : INTEGER; END;
+TYPE B = A OBJECT y : INTEGER; END;
+TYPE C = B OBJECT z : INTEGER; END;
+TYPE V = ARRAY 4 OF B;
+VAR root : A;
+VAR grid : V;
+PROCEDURE F(a : A) : INTEGER =
+BEGIN RETURN a.x END F;
+END S.
+"""
+
+
+class TestTypeInfo:
+    def test_ancestry_order(self):
+        info = analyze(parse_module(SRC))
+        chain = [t.name for t in info.types["C"].ancestry()]
+        assert chain == ["C", "B", "A"]
+
+    def test_all_fields_superclass_first(self):
+        info = analyze(parse_module(SRC))
+        assert list(info.types["C"].all_fields()) == ["x", "y", "z"]
+
+    def test_subtype_checks(self):
+        info = analyze(parse_module(SRC))
+        a, b, c = (info.types[n] for n in "ABC")
+        assert c.is_subtype_of(a)
+        assert c.is_subtype_of(c)
+        assert not a.is_subtype_of(c)
+        assert not b.is_subtype_of(c)
+
+    def test_array_info(self):
+        info = analyze(parse_module(SRC))
+        v = info.arrays["V"]
+        assert (v.name, v.length, v.elem_type) == ("V", 4, "B")
+
+
+class TestModuleInfo:
+    def test_type_of_global(self):
+        info = analyze(parse_module(SRC))
+        assert info.type_of_global("root") == "A"
+        assert info.type_of_global("grid") == "V"
+        assert info.type_of_global("ghost") is None
+
+    def test_proc_info_flags(self):
+        info = analyze(parse_module(SRC))
+        proc = info.procedures["F"]
+        assert not proc.is_incremental
+        assert proc.bound_as == []
+
+
+class TestHelpers:
+    def test_avl_nil_factory(self, rt):
+        sentinel = avl_nil()
+        assert sentinel.height() == 0
+        assert sentinel.balance() is sentinel
+
+    def test_node_is_eager_property(self):
+        from repro.core.node import DepNode, NodeKind
+
+        assert DepNode(NodeKind.EAGER).is_eager
+        assert not DepNode(NodeKind.DEMAND).is_eager
+        assert not DepNode(NodeKind.STORAGE).is_eager

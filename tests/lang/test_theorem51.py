@@ -1,0 +1,173 @@
+"""Theorem 5.1: "Alphonse execution of P will produce the same output
+as a conventional execution of P."
+
+A battery of programs is run in both modes (and in alphonse mode with
+the §6.1 optimizer on and off); all three outputs must be identical.
+"""
+
+import pytest
+
+from repro.lang import run_source
+
+PROGRAMS = {
+    "arithmetic": """
+MODULE P;
+VAR acc : INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 1 TO 20 DO
+    acc := acc + i * i - (i DIV 2)
+  END;
+  Print(acc)
+END P.
+""",
+    "fib_cached": """
+MODULE P;
+(*CACHED*)
+PROCEDURE Fib(n : INTEGER) : INTEGER =
+BEGIN
+  IF n < 2 THEN RETURN n END;
+  RETURN Fib(n - 1) + Fib(n - 2)
+END Fib;
+BEGIN
+  FOR i := 0 TO 15 DO Print(Fib(i)) END
+END P.
+""",
+    "maintained_tree": """
+MODULE P;
+TYPE Tree = OBJECT
+  left, right : Tree;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+END;
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN Max(t.left.height(), t.right.height()) + 1
+END Height;
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN RETURN 0 END HeightNil;
+PROCEDURE Build(n : INTEGER) : Tree =
+VAR t : Tree;
+BEGIN
+  t := NEW(TreeNil);
+  FOR i := 1 TO n DO
+    t := NEW(Tree, left := t, right := NEW(TreeNil))
+  END;
+  RETURN t
+END Build;
+VAR a, b : Tree;
+BEGIN
+  a := Build(5);
+  b := Build(9);
+  Print(a.height());
+  Print(b.height());
+  a.left := b;
+  Print(a.height())
+END P.
+""",
+    "mutation_interleaved": """
+MODULE P;
+VAR g, total : INTEGER;
+(*CACHED*)
+PROCEDURE Scaled(k : INTEGER) : INTEGER =
+BEGIN
+  RETURN k * g
+END Scaled;
+BEGIN
+  total := 0;
+  g := 1;
+  FOR round := 1 TO 5 DO
+    g := round;
+    FOR k := 1 TO 4 DO
+      total := total + Scaled(k)
+    END
+  END;
+  Print(total)
+END P.
+""",
+    "var_params_and_objects": """
+MODULE P;
+TYPE Acc = OBJECT sum : INTEGER; END;
+VAR box : Acc;
+PROCEDURE AddTo(VAR slot : INTEGER; amount : INTEGER) =
+BEGIN
+  slot := slot + amount
+END AddTo;
+BEGIN
+  box := NEW(Acc);
+  FOR i := 1 TO 10 DO
+    AddTo(box.sum, i)
+  END;
+  Print(box.sum)
+END P.
+""",
+    "text_and_booleans": """
+MODULE P;
+VAR s : TEXT;
+BEGIN
+  s := "";
+  FOR i := 1 TO 3 DO
+    IF i MOD 2 = 1 THEN s := s + "odd " ELSE s := s + "even " END
+  END;
+  Print(s);
+  Print(s # "")
+END P.
+""",
+    "while_with_global_dependency": """
+MODULE P;
+VAR limit, n : INTEGER;
+(*CACHED*)
+PROCEDURE Double(x : INTEGER) : INTEGER =
+BEGIN RETURN x * 2 END Double;
+BEGIN
+  limit := 100;
+  n := 1;
+  WHILE n < limit DO
+    n := Double(n)
+  END;
+  Print(n)
+END P.
+""",
+    "method_args": """
+MODULE P;
+TYPE Adder = OBJECT
+  base : INTEGER;
+METHODS
+  (*MAINTAINED*) plus(k : INTEGER) : INTEGER := Plus;
+END;
+PROCEDURE Plus(a : Adder; k : INTEGER) : INTEGER =
+BEGIN RETURN a.base + k END Plus;
+VAR a : Adder;
+BEGIN
+  a := NEW(Adder, base := 10);
+  Print(a.plus(1));
+  Print(a.plus(2));
+  a.base := 100;
+  Print(a.plus(1))
+END P.
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_alphonse_output_matches_conventional(name):
+    src = PROGRAMS[name]
+    conventional = run_source(src, mode="conventional").output
+    alphonse = run_source(src, mode="alphonse", optimize=True).output
+    uniform = run_source(src, mode="alphonse", optimize=False).output
+    assert alphonse == conventional
+    assert uniform == conventional
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_alphonse_never_does_more_statement_work(name):
+    """Incremental execution executes at most as many interpreter
+    statements as the conventional one (cached calls skip bodies)."""
+    src = PROGRAMS[name]
+    conventional = run_source(src, mode="conventional")
+    alphonse = run_source(src, mode="alphonse")
+    assert alphonse.steps <= conventional.steps

@@ -1,0 +1,193 @@
+"""Section 5 transformation: wrapper placement, optimization, unparse."""
+
+import pytest
+
+from repro.lang import analyze, parse_module, transform, unparse
+from repro.lang import ast
+
+
+def tx_source(src, optimize=True):
+    return transform(analyze(parse_module(src)), optimize=optimize)
+
+
+PAPER_EXAMPLE = """
+MODULE P;
+VAR b : INTEGER;
+VAR p : Ptr;
+VAR y : Ptr;
+TYPE Ptr = OBJECT v : INTEGER; END;
+PROCEDURE P2(a : INTEGER; q : Ptr) : INTEGER =
+BEGIN RETURN a END P2;
+PROCEDURE P1(c : INTEGER) : INTEGER =
+VAR a : INTEGER;
+BEGIN
+  FOR a := 1 TO 10 DO
+    p.v := P2(a + b + c, y.v)
+  END;
+  RETURN p.v
+END P1;
+END P.
+"""
+
+
+class TestWrapperPlacement:
+    def test_global_reads_wrapped(self):
+        tx = tx_source(PAPER_EXAMPLE)
+        p1 = next(p for p in tx.module.procedures() if p.name == "P1")
+        text = unparse(p1)
+        # b is top-level: read is wrapped
+        assert "access(b)" in text
+        # locals a and c are not wrapped when optimizing
+        assert "access(a)" not in text
+        assert "access(c)" not in text
+
+    def test_pointer_accessed_twice(self):
+        """'pointers must be accessed twice, once for the pointer once
+        for the location it points to' — y.v becomes
+        access(access(y).v)."""
+        tx = tx_source(PAPER_EXAMPLE)
+        p1 = next(p for p in tx.module.procedures() if p.name == "P1")
+        text = unparse(p1)
+        assert "access(access(y).v)" in text
+
+    def test_field_store_becomes_modify(self):
+        tx = tx_source(PAPER_EXAMPLE)
+        p1 = next(p for p in tx.module.procedures() if p.name == "P1")
+        text = unparse(p1)
+        assert "modify(access(p).v" in text
+
+    def test_local_assignment_not_wrapped_when_optimized(self):
+        src = """
+MODULE T;
+PROCEDURE F() : INTEGER =
+VAR x : INTEGER;
+BEGIN
+  x := 1;
+  RETURN x
+END F;
+END T.
+"""
+        tx = tx_source(src)
+        text = unparse(tx.module)
+        assert "modify(" not in text
+        assert "access(" not in text
+
+    def test_plain_calls_not_wrapped_when_optimized(self):
+        tx = tx_source(PAPER_EXAMPLE)
+        text = unparse(tx.module)
+        assert "call(P2" not in text  # P2 is not incremental
+
+    def test_incremental_calls_always_wrapped(self):
+        src = """
+MODULE T;
+(*CACHED*)
+PROCEDURE F(n : INTEGER) : INTEGER =
+BEGIN RETURN n END F;
+BEGIN
+  Print(F(1))
+END T.
+"""
+        tx = tx_source(src)
+        text = unparse(tx.module)
+        assert "call(F, 1)" in text
+
+    def test_method_calls_always_wrapped(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT
+METHODS
+  m() : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : A) : INTEGER =
+BEGIN RETURN 0 END Impl;
+VAR a : A;
+BEGIN
+  Print(a.m())
+END T.
+"""
+        tx = tx_source(src)
+        text = unparse(tx.module)
+        # receiver read is wrapped; method dispatch goes through call
+        assert "call(access(a).m)" in text
+
+    def test_pragmas_removed_from_output(self):
+        src = """
+MODULE T;
+(*CACHED*)
+PROCEDURE F() : INTEGER =
+BEGIN RETURN 1 END F;
+END T.
+"""
+        tx = tx_source(src)
+        assert "(*CACHED*)" not in unparse(tx.module)
+
+    def test_original_module_unchanged(self):
+        module = parse_module(PAPER_EXAMPLE)
+        info = analyze(module)
+        before = unparse(module)
+        transform(info)
+        assert unparse(module) == before
+
+
+class TestOptimizationToggle:
+    def test_unoptimized_wraps_everything(self):
+        optimized = tx_source(PAPER_EXAMPLE, optimize=True)
+        uniform = tx_source(PAPER_EXAMPLE, optimize=False)
+        assert uniform.total_wrapped > optimized.total_wrapped
+        assert uniform.removed_sites == 0
+        assert optimized.removed_sites > 0
+
+    def test_unoptimized_wraps_locals(self):
+        tx = tx_source(PAPER_EXAMPLE, optimize=False)
+        p1 = next(p for p in tx.module.procedures() if p.name == "P1")
+        text = unparse(p1)
+        assert "access(a)" in text
+        assert "access(c)" in text
+        assert "call(P2" in text
+
+    def test_counts_are_consistent(self):
+        tx = tx_source(PAPER_EXAMPLE, optimize=True)
+        assert tx.total_wrapped == (
+            tx.access_sites + tx.modify_sites + tx.call_sites
+        )
+        assert "optimize=on" in tx.summary()
+
+
+class TestVarParamHandling:
+    def test_var_param_reads_stay_instrumented(self):
+        """A VAR parameter may alias tracked storage, so its reads and
+        writes keep their wrappers even under optimization."""
+        src = """
+MODULE T;
+PROCEDURE Bump(VAR a : INTEGER) =
+BEGIN
+  a := a + 1
+END Bump;
+VAR g : INTEGER;
+BEGIN
+  Bump(g)
+END T.
+"""
+        tx = tx_source(src)
+        bump = next(p for p in tx.module.procedures() if p.name == "Bump")
+        text = unparse(bump)
+        assert "modify(a, access(a) + 1)" in text
+
+
+class TestUncheckedInteraction:
+    def test_unchecked_region_still_contains_wrappers(self):
+        """UNCHECKED suppression happens at run time (the wrappers stay;
+        the runtime skips edge creation inside the region)."""
+        src = """
+MODULE T;
+VAR g : INTEGER;
+(*CACHED*)
+PROCEDURE F() : INTEGER =
+BEGIN
+  RETURN (*UNCHECKED*) g
+END F;
+END T.
+"""
+        tx = tx_source(src)
+        text = unparse(tx.module)
+        assert "(*UNCHECKED*) access(g)" in text

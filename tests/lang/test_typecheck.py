@@ -1,0 +1,272 @@
+"""The optional static type checker."""
+
+import pytest
+
+from repro.lang import analyze, parse_module, typecheck
+
+
+def check(src):
+    return typecheck(analyze(parse_module(src)))
+
+
+def wrap(body, decls=""):
+    return f"MODULE T;\n{decls}\nBEGIN\n{body}\nEND T."
+
+
+CLEAN = """
+MODULE Clean;
+TYPE Tree = OBJECT
+  left, right : Tree;
+  key : INTEGER;
+METHODS
+  (*MAINTAINED*) height() : INTEGER := Height;
+END;
+TYPE TreeNil = Tree OBJECT
+OVERRIDES
+  (*MAINTAINED*) height := HeightNil;
+END;
+PROCEDURE Height(t : Tree) : INTEGER =
+BEGIN
+  RETURN Max(t.left.height(), t.right.height()) + 1
+END Height;
+PROCEDURE HeightNil(t : Tree) : INTEGER =
+BEGIN RETURN 0 END HeightNil;
+VAR root : Tree;
+BEGIN
+  root := NEW(Tree, left := NEW(TreeNil), right := NEW(TreeNil));
+  IF root # NIL THEN
+    Print(root.height())
+  END
+END Clean.
+"""
+
+
+class TestCleanPrograms:
+    def test_clean_program_has_no_findings(self):
+        assert check(CLEAN) == []
+
+    def test_subtyping_accepted(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT END;
+TYPE B = A OBJECT END;
+VAR a : A;
+BEGIN
+  a := NEW(B)
+END T.
+"""
+        assert check(src) == []
+
+    def test_nil_assignable_to_objects(self):
+        src = wrap("o := NIL", decls="TYPE O = OBJECT END;\nVAR o : O;")
+        assert check(src) == []
+
+    def test_text_concatenation_ok(self):
+        src = wrap('s := "a" + "b"', decls="VAR s : TEXT;")
+        assert check(src) == []
+
+    def test_unknown_types_stay_silent(self):
+        # dynamic PROC-field call: arguments unchecked, result UNKNOWN
+        src = """
+MODULE T;
+TYPE O = OBJECT f : PROC; END;
+PROCEDURE Impl(o : O) : INTEGER =
+BEGIN RETURN 1 END Impl;
+VAR o : O;
+VAR x : INTEGER;
+BEGIN
+  o := NEW(O, f := Impl);
+  x := o.f()
+END T.
+"""
+        assert check(src) == []
+
+
+class TestFindings:
+    def test_arithmetic_on_boolean(self):
+        src = wrap("x := 1 + TRUE", decls="VAR x : INTEGER;")
+        findings = check(src)
+        assert any("+ operand has type BOOLEAN" in f for f in findings)
+
+    def test_assignment_type_mismatch(self):
+        src = wrap('x := "text"', decls="VAR x : INTEGER;")
+        findings = check(src)
+        assert any("cannot assign TEXT to INTEGER" in f for f in findings)
+
+    def test_condition_not_boolean(self):
+        src = wrap("IF 1 THEN Print(1) END")
+        assert any("IF condition" in f for f in check(src))
+
+    def test_while_condition(self):
+        src = wrap("WHILE 5 DO Print(1) END")
+        assert any("WHILE condition" in f for f in check(src))
+
+    def test_for_bounds(self):
+        src = wrap('FOR i := TRUE TO 3 DO Print(i) END')
+        assert any("FOR lower bound" in f for f in check(src))
+
+    def test_return_type_mismatch(self):
+        src = """
+MODULE T;
+PROCEDURE F() : INTEGER =
+BEGIN RETURN "nope" END F;
+END T.
+"""
+        assert any("RETURN type TEXT" in f for f in check(src))
+
+    def test_return_value_from_proper_procedure(self):
+        src = """
+MODULE T;
+PROCEDURE F() =
+BEGIN RETURN 1 END F;
+END T.
+"""
+        assert any("proper procedure" in f for f in check(src))
+
+    def test_missing_return_value(self):
+        src = """
+MODULE T;
+PROCEDURE F() : INTEGER =
+BEGIN RETURN END F;
+END T.
+"""
+        assert any("without a value" in f for f in check(src))
+
+    def test_argument_type_mismatch(self):
+        src = """
+MODULE T;
+PROCEDURE F(n : INTEGER) : INTEGER =
+BEGIN RETURN n END F;
+BEGIN
+  Print(F(TRUE))
+END T.
+"""
+        assert any("argument to F" in f for f in check(src))
+
+    def test_method_argument_mismatch(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT
+METHODS
+  m(k : INTEGER) : INTEGER := Impl;
+END;
+PROCEDURE Impl(o : O; k : INTEGER) : INTEGER =
+BEGIN RETURN k END Impl;
+VAR o : O;
+BEGIN
+  o := NEW(O);
+  Print(o.m("bad"))
+END T.
+"""
+        assert any("argument to O.m" in f for f in check(src))
+
+    def test_new_field_initializer_mismatch(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT v : INTEGER; END;
+VAR o : O;
+BEGIN
+  o := NEW(O, v := "text")
+END T.
+"""
+        assert any("initializes v" in f for f in check(src))
+
+    def test_unknown_field(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT v : INTEGER; END;
+VAR o : O;
+VAR x : INTEGER;
+BEGIN
+  o := NEW(O);
+  x := o.ghost
+END T.
+"""
+        assert any("no field 'ghost'" in f for f in check(src))
+
+    def test_unknown_method(self):
+        src = """
+MODULE T;
+TYPE O = OBJECT END;
+VAR o : O;
+BEGIN
+  o := NEW(O);
+  Print(o.ghost())
+END T.
+"""
+        assert any("no method or PROC field" in f for f in check(src))
+
+    def test_indexing_non_array(self):
+        src = wrap("Print(x[0])", decls="VAR x : INTEGER;")
+        assert any("indexing non-array" in f for f in check(src))
+
+    def test_array_index_must_be_integer(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V);
+  Print(v[TRUE])
+END T.
+"""
+        assert any("array index" in f for f in check(src))
+
+    def test_array_element_assignment_mismatch(self):
+        src = """
+MODULE T;
+TYPE V = ARRAY 3 OF INTEGER;
+VAR v : V;
+BEGIN
+  v := NEW(V);
+  v[0] := "bad"
+END T.
+"""
+        assert any("cannot assign TEXT to INTEGER" in f for f in check(src))
+
+    def test_comparing_unrelated_types(self):
+        src = wrap('Print(1 = "one")')
+        assert any("unrelated types" in f for f in check(src))
+
+    def test_ordering_mixed_types(self):
+        src = wrap('Print(1 < "two")')
+        assert any("< between" in f for f in check(src))
+
+    def test_logical_on_integer(self):
+        src = wrap("Print(1 AND TRUE)")
+        assert any("AND operand" in f for f in check(src))
+
+    def test_not_on_integer(self):
+        src = wrap("Print(NOT 1)")
+        assert any("NOT operand" in f for f in check(src))
+
+    def test_supertype_not_assignable_to_subtype(self):
+        src = """
+MODULE T;
+TYPE A = OBJECT END;
+TYPE B = A OBJECT END;
+VAR b : B;
+BEGIN
+  b := NEW(A)
+END T.
+"""
+        assert any("cannot assign A to B" in f for f in check(src))
+
+    def test_global_initializer_mismatch(self):
+        src = "MODULE T;\nVAR x : INTEGER := TRUE;\nEND T."
+        assert any("initializer" in f for f in check(src))
+
+    def test_assert_condition(self):
+        src = wrap("Assert(1)")
+        assert any("Assert condition" in f for f in check(src))
+
+
+class TestCheckerOnExamples:
+    def test_maintained_tree_program_clean(self):
+        assert check(CLEAN) == []
+
+    def test_findings_carry_positions(self):
+        src = wrap("x := TRUE", decls="VAR x : INTEGER;")
+        findings = check(src)
+        assert findings
+        assert any(":" in f.split()[0] for f in findings)  # "line:col:"

@@ -1,0 +1,114 @@
+"""Unparser corner cases (beyond the round-trips in test_parser)."""
+
+import pytest
+
+from repro.lang import ast, parse_module, unparse
+
+
+def roundtrip(src: str) -> str:
+    return unparse(parse_module(src))
+
+
+class TestExpressions:
+    def test_text_escapes_rendered(self):
+        src = 'MODULE T;\nBEGIN\n  Print("a\\nb\\t\\"c\\"")\nEND T.'
+        text = roundtrip(src)
+        module = parse_module(text)
+        call = module.body[0].call
+        assert call.args[0].value == 'a\nb\t"c"'
+
+    def test_nested_parentheses_minimal(self):
+        src = "MODULE T;\nVAR a, b, c : INTEGER;\nBEGIN\n  a := a + b + c\nEND T."
+        text = roundtrip(src)
+        # left-associative chain needs no parentheses
+        assert "a + b + c" in text
+
+    def test_precedence_parenthesized_when_needed(self):
+        src = "MODULE T;\nVAR a, b, c : INTEGER;\nBEGIN\n  a := (a + b) * c\nEND T."
+        text = roundtrip(src)
+        assert "(a + b) * c" in text
+
+    def test_unary_forms(self):
+        src = (
+            "MODULE T;\nVAR a : INTEGER;\nVAR p : BOOLEAN;\n"
+            "BEGIN\n  a := -a;\n  p := NOT p\nEND T."
+        )
+        text = roundtrip(src)
+        assert "-a" in text
+        assert "NOT p" in text
+
+    def test_new_with_and_without_inits(self):
+        src = (
+            "MODULE T;\nTYPE O = OBJECT v : INTEGER; END;\nVAR o : O;\n"
+            "BEGIN\n  o := NEW(O);\n  o := NEW(O, v := 1)\nEND T."
+        )
+        text = roundtrip(src)
+        assert "NEW(O)" in text
+        assert "NEW(O, v := 1)" in text
+
+    def test_boolean_and_nil_literals(self):
+        src = (
+            "MODULE T;\nTYPE O = OBJECT END;\nVAR p : BOOLEAN;\nVAR o : O;\n"
+            "BEGIN\n  p := TRUE;\n  p := FALSE;\n  p := o = NIL\nEND T."
+        )
+        text = roundtrip(src)
+        assert "TRUE" in text and "FALSE" in text and "NIL" in text
+
+
+class TestStatements:
+    def test_empty_return(self):
+        src = "MODULE T;\nPROCEDURE F() =\nBEGIN\n  RETURN\nEND F;\nEND T."
+        text = roundtrip(src)
+        assert "RETURN;" in text
+
+    def test_while_rendering(self):
+        src = (
+            "MODULE T;\nVAR x : INTEGER;\nBEGIN\n"
+            "  WHILE x < 3 DO x := x + 1 END\nEND T."
+        )
+        text = roundtrip(src)
+        assert "WHILE x < 3 DO" in text
+
+    def test_for_without_by(self):
+        src = "MODULE T;\nBEGIN\n  FOR i := 1 TO 3 DO Print(i) END\nEND T."
+        text = roundtrip(src)
+        assert "FOR i := 1 TO 3 DO" in text
+        assert "BY" not in text
+
+    def test_elsif_chain(self):
+        src = (
+            "MODULE T;\nVAR x : INTEGER;\nBEGIN\n"
+            "  IF x = 1 THEN x := 10 ELSIF x = 2 THEN x := 20 "
+            "ELSIF x = 3 THEN x := 30 ELSE x := 0 END\nEND T."
+        )
+        text = roundtrip(src)
+        assert text.count("ELSIF") == 2
+        assert "ELSE" in text
+
+
+class TestDeclarations:
+    def test_pragma_rendered_with_args(self):
+        src = (
+            "MODULE T;\n(*CACHED EAGER LRU 16*)\n"
+            "PROCEDURE F() : INTEGER =\nBEGIN\n  RETURN 1\nEND F;\nEND T."
+        )
+        text = roundtrip(src)
+        assert "(*CACHED EAGER LRU 16*)" in text
+
+    def test_var_params_rendered(self):
+        src = (
+            "MODULE T;\nPROCEDURE F(VAR a : INTEGER; b : TEXT) =\n"
+            "BEGIN\n  a := 1\nEND F;\nEND T."
+        )
+        text = roundtrip(src)
+        assert "VAR a : INTEGER" in text
+        assert "b : TEXT" in text
+
+    def test_global_with_initializer(self):
+        src = "MODULE T;\nVAR x : INTEGER := 5 + 1;\nEND T."
+        text = roundtrip(src)
+        assert "VAR x : INTEGER := 5 + 1;" in text
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            unparse(ast.Param(name="x", type_name="INTEGER"))

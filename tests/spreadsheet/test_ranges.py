@@ -1,0 +1,100 @@
+"""SUM range formulas — the extension production over Algorithm 10."""
+
+import pytest
+
+from repro.spreadsheet import FormulaError, Spreadsheet, parse_formula
+from repro.spreadsheet.model import RangeSumExp
+
+
+class TestRangeSum:
+    def _ledger(self):
+        sheet = Spreadsheet(4, 3)
+        for row in range(3):
+            for col in range(3):
+                sheet.set_formula(row, col, (row + 1) * (col + 1))
+        return sheet
+
+    def test_rectangle_sum(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R0C0:R2C2)")
+        expected = sum((r + 1) * (c + 1) for r in range(3) for c in range(3))
+        assert sheet.value(3, 0) == expected
+
+    def test_single_cell_range(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R1C1:R1C1)")
+        assert sheet.value(3, 0) == 4
+
+    def test_reversed_corners_normalize(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R2C2:R0C0)")
+        expected = sum((r + 1) * (c + 1) for r in range(3) for c in range(3))
+        assert sheet.value(3, 0) == expected
+
+    def test_row_and_column_ranges(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R0C0:R0C2)")  # first row: 1+2+3
+        sheet.set_formula(3, 1, "SUM(R0C1:R2C1)")  # middle col: 2+4+6
+        assert sheet.value(3, 0) == 6
+        assert sheet.value(3, 1) == 12
+
+    def test_edit_inside_range_invalidates(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R0C0:R1C1)")  # 1+2+2+4 = 9
+        assert sheet.value(3, 0) == 9
+        sheet.set_formula(0, 0, 100)
+        assert sheet.value(3, 0) == 108
+
+    def test_edit_outside_range_stays_cached(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R0C0:R1C1)")
+        assert sheet.value(3, 0) == 9
+        sheet.set_formula(2, 2, 999)  # outside the rectangle
+        before = rt.stats.snapshot()
+        assert sheet.value(3, 0) == 9
+        assert rt.stats.delta(before)["executions"] == 0
+
+    def test_range_over_formula_cells(self, rt):
+        sheet = Spreadsheet(2, 3)
+        sheet.set_formula(0, 0, 1)
+        sheet.set_formula(0, 1, "R0C0 + 1")
+        sheet.set_formula(0, 2, "R0C1 + 1")
+        sheet.set_formula(1, 0, "SUM(R0C0:R0C2)")
+        assert sheet.value(1, 0) == 1 + 2 + 3
+        sheet.set_formula(0, 0, 10)
+        assert sheet.value(1, 0) == 10 + 11 + 12
+
+    def test_range_combined_with_arithmetic(self, rt):
+        sheet = self._ledger()
+        sheet.set_formula(3, 0, "SUM(R0C0:R0C2) + 100")
+        assert sheet.value(3, 0) == 106
+
+    def test_retarget_range_corner(self, rt):
+        sheet = self._ledger()
+        expr = sheet.range_sum(0, 0, 0, 1)  # 1+2
+        from repro.ag.expr import root
+
+        sheet.cell_at(3, 0).func = root(expr)
+        assert sheet.value(3, 0) == 3
+        expr.c2 = 2  # widen the range to the whole row: 1+2+3
+        assert sheet.value(3, 0) == 6
+
+    def test_out_of_bounds_range_rejected_at_parse(self, rt):
+        sheet = Spreadsheet(2, 2)
+        with pytest.raises(IndexError):
+            sheet.set_formula(0, 0, "SUM(R0C0:R5C5)")
+
+    def test_sum_without_sheet_rejected(self, rt):
+        with pytest.raises(FormulaError, match="without a sheet"):
+            parse_formula("SUM(R0C0:R1C1)")
+
+    def test_malformed_sum_rejected(self, rt):
+        sheet = Spreadsheet(2, 2)
+        for bad in ["SUM(R0C0)", "SUM(R0C0:R1C1", "SUM R0C0:R1C1)"]:
+            with pytest.raises(FormulaError):
+                parse_formula(bad, sheet)
+
+    def test_parse_returns_range_node(self, rt):
+        sheet = Spreadsheet(3, 3)
+        tree = parse_formula("SUM(R0C0:R2C2)", sheet)
+        assert isinstance(tree, RangeSumExp)

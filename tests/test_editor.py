@@ -1,0 +1,152 @@
+"""The incremental editing environment (§10's language-based-editor use
+case built on Alphonse)."""
+
+import pytest
+
+from repro.ag.expr import IdExp, IntExp, LetExp, ident, let, num, plus
+from repro.editor import Diagnostic, ExpressionEditor
+
+
+def sample_program():
+    # let a = 1 + 2 in let b = a + 10 in a + b ni ni
+    return let(
+        "a",
+        plus(num(1), num(2)),
+        let("b", plus(ident("a"), num(10)), plus(ident("a"), ident("b"))),
+    )
+
+
+class TestDiagnostics:
+    def test_clean_program(self, rt):
+        editor = ExpressionEditor(sample_program())
+        assert editor.diagnostics() == []
+        assert editor.is_valid()
+        assert editor.value() == 16
+
+    def test_undefined_identifier_reported(self, rt):
+        editor = ExpressionEditor(plus(ident("ghost"), num(1)))
+        diags = editor.diagnostics()
+        assert len(diags) == 1
+        assert diags[0].kind == "undefined-identifier"
+        assert diags[0].name == "ghost"
+        assert not editor.is_valid()
+        assert "ghost" in str(editor.value())
+
+    def test_unused_binding_reported(self, rt):
+        editor = ExpressionEditor(let("unused", num(1), num(2)))
+        diags = editor.diagnostics()
+        assert [d.kind for d in diags] == ["unused-binding"]
+        # unused bindings don't block evaluation
+        assert editor.value() == 2
+
+    def test_binding_visible_in_body_not_bound_expr(self, rt):
+        # let x = x in x ni: the bound expr's x is undefined
+        editor = ExpressionEditor(let("x", ident("x"), ident("x")))
+        diags = editor.diagnostics()
+        assert len(diags) == 1
+        assert diags[0].kind == "undefined-identifier"
+
+    def test_shadowing_is_clean(self, rt):
+        editor = ExpressionEditor(
+            let("x", num(1), let("x", num(2), ident("x")))
+        )
+        kinds = [d.kind for d in editor.diagnostics()]
+        assert kinds == ["unused-binding"]  # the outer x is never used
+
+
+class TestIncrementalEditing:
+    def test_literal_edit_updates_value_not_diagnostics(self, rt):
+        editor = ExpressionEditor(sample_program())
+        editor.diagnostics()
+        editor.value()
+        literal = editor.find_nodes(lambda n: isinstance(n, IntExp))[0]
+        before = rt.stats.snapshot()
+        editor.set_literal(literal, 100)
+        assert editor.diagnostics() == []
+        delta = rt.stats.delta(before)
+        # scope checking of untouched regions stays cached
+        assert delta["executions"] < 12
+        # a = 100 + 2, b = a + 10, value = a + b
+        assert editor.value() == 102 + 112
+
+    def test_rename_use_surfaces_error_then_fix(self, rt):
+        editor = ExpressionEditor(sample_program())
+        assert editor.is_valid()
+        use = editor.find_nodes(
+            lambda n: isinstance(n, IdExp)
+            and n.field_cell("id").peek() == "b"
+        )[0]
+        editor.rename_use(use, "zz")
+        diags = editor.diagnostics()
+        assert any(
+            d.kind == "undefined-identifier" and d.name == "zz" for d in diags
+        )
+        editor.rename_use(use, "b")
+        assert editor.is_valid()
+        assert editor.value() == 16
+
+    def test_rename_binding_breaks_uses(self, rt):
+        editor = ExpressionEditor(sample_program())
+        binding = editor.find_nodes(
+            lambda n: isinstance(n, LetExp)
+            and n.field_cell("id").peek() == "a"
+        )[0]
+        editor.rename_binding(binding, "alpha")
+        diags = editor.diagnostics()
+        undefined = [d.name for d in diags if d.kind == "undefined-identifier"]
+        assert undefined.count("a") == 2  # both uses of a now dangle
+
+    def test_structural_edit(self, rt):
+        editor = ExpressionEditor(sample_program())
+        inner_let = editor.find_nodes(
+            lambda n: isinstance(n, LetExp)
+            and n.field_cell("id").peek() == "b"
+        )[0]
+        editor.replace(inner_let, "exp2", plus(ident("b"), ident("b")))
+        assert editor.is_valid()
+        assert editor.value() == 13 + 13
+
+    def test_splice_in_broken_subtree_then_repair(self, rt):
+        editor = ExpressionEditor(sample_program())
+        inner_let = editor.find_nodes(
+            lambda n: isinstance(n, LetExp)
+            and n.field_cell("id").peek() == "b"
+        )[0]
+        broken = plus(ident("nope"), num(1))
+        editor.replace(inner_let, "exp2", broken)
+        assert not editor.is_valid()
+        editor.replace(inner_let, "exp2", num(7))
+        assert editor.is_valid()
+        assert editor.value() == 7
+
+    def test_unchanged_queries_are_cache_hits(self, rt):
+        editor = ExpressionEditor(sample_program())
+        editor.diagnostics()
+        editor.free_vars()
+        editor.size()
+        before = rt.stats.snapshot()
+        editor.diagnostics()
+        editor.free_vars()
+        editor.size()
+        assert rt.stats.delta(before)["executions"] == 0
+
+
+class TestMetrics:
+    def test_free_vars(self, rt):
+        editor = ExpressionEditor(plus(ident("x"), let("y", num(1), ident("y"))))
+        assert editor.free_vars() == frozenset(["x"])
+
+    def test_size_tracks_edits(self, rt):
+        editor = ExpressionEditor(num(1))
+        assert editor.size() == 2  # root + literal
+        root_node = editor.root
+        editor.replace(root_node, "exp", plus(num(1), num(2)))
+        assert editor.size() == 4
+
+    def test_text_rendering(self, rt):
+        editor = ExpressionEditor(let("x", num(1), ident("x")))
+        assert editor.text() == "let x = 1 in x ni"
+
+    def test_diagnostic_str(self, rt):
+        d = Diagnostic("undefined-identifier", "q", 0)
+        assert "q" in str(d)

@@ -1,0 +1,129 @@
+"""Maintained DAG properties: sharing makes exhaustive-exponential
+computations linear, and edits stay path-proportional."""
+
+import pytest
+
+from repro.graphs import (
+    DagNode,
+    Sink,
+    critical_path_exhaustive,
+    diamond_chain,
+)
+
+
+class TestCriticalPath:
+    def test_single_sink(self, rt):
+        sink = Sink(cost=5)
+        assert sink.critical() == 5
+
+    def test_linear_chain(self, rt):
+        sink = Sink(cost=1)
+        node = sink
+        for _ in range(9):
+            node = DagNode(cost=1, succ_a=node)
+        assert node.critical() == 10
+
+    def test_diamond_counts_longest(self, rt):
+        sink = Sink(cost=0)
+        cheap = DagNode(cost=1, succ_a=sink)
+        costly = DagNode(cost=10, succ_a=sink)
+        split = DagNode(cost=0, succ_a=cheap, succ_b=costly)
+        assert split.critical() == 10
+
+    def test_matches_exhaustive_on_small_dag(self, rt):
+        nodes = diamond_chain(4)
+        source = nodes[0]
+        assert source.critical() == critical_path_exhaustive(source)
+
+    def test_sharing_makes_first_query_linear(self, rt):
+        depth = 24  # 2^24 source-to-sink paths, 73 nodes
+        nodes = diamond_chain(depth)
+        source = nodes[0]
+        before = rt.stats.snapshot()
+        value = source.critical()
+        delta = rt.stats.delta(before)
+        assert value == 2 * depth + 1  # split+one middle per layer +sink
+        assert delta["executions"] == len(nodes)  # ONE per node
+
+    def test_exhaustive_blows_the_visit_budget(self, rt):
+        nodes = diamond_chain(24)
+        # give the conventional recursion 100x the node count — still
+        # nowhere near enough for 2^24 paths
+        budget = [len(nodes) * 100]
+        with pytest.raises(RuntimeError, match="budget"):
+            critical_path_exhaustive(nodes[0], budget)
+
+    def test_cost_edit_is_path_proportional(self, rt):
+        nodes = diamond_chain(16)
+        source = nodes[0]
+        source.critical()
+        sink = nodes[-1]
+        before = rt.stats.snapshot()
+        sink.cost = 100
+        assert source.critical() == 2 * 16 + 100
+        delta = rt.stats.delta(before)
+        # every layer's three nodes lie on some changed path: ~3/layer,
+        # still linear in depth and executed once each (not per path)
+        assert delta["executions"] <= 3 * 16 + 2
+
+    def test_irrelevant_cost_edit_quiesces(self, rt):
+        sink = Sink(cost=0)
+        cheap = DagNode(cost=1, succ_a=sink)
+        costly = DagNode(cost=10, succ_a=sink)
+        split = DagNode(cost=0, succ_a=cheap, succ_b=costly)
+        assert split.critical() == 10
+        cheap.cost = 2  # still below 10: max unchanged at the split
+        assert split.critical() == 10
+
+    def test_edge_retargeting(self, rt):
+        sink = Sink(cost=0)
+        long_arm = DagNode(cost=50, succ_a=sink)
+        short_arm = DagNode(cost=1, succ_a=sink)
+        source = DagNode(cost=0, succ_a=short_arm)
+        assert source.critical() == 1
+        source.succ_a = long_arm
+        assert source.critical() == 50
+        source.succ_b = short_arm
+        assert source.critical() == 50
+
+
+class TestReachability:
+    def test_sink_reaches_itself(self, rt):
+        assert Sink(cost=0).reaches_sink()
+
+    def test_dead_end_does_not_reach(self, rt):
+        dead = DagNode(cost=1)  # no successors, not a Sink
+        assert not dead.reaches_sink()
+
+    def test_reachability_through_either_arm(self, rt):
+        sink = Sink(cost=0)
+        dead = DagNode(cost=1)
+        via_a = DagNode(cost=1, succ_a=sink, succ_b=dead)
+        via_b = DagNode(cost=1, succ_a=dead, succ_b=sink)
+        assert via_a.reaches_sink()
+        assert via_b.reaches_sink()
+
+    def test_cut_edge_invalidates_reachability(self, rt):
+        sink = Sink(cost=0)
+        mid = DagNode(cost=1, succ_a=sink)
+        source = DagNode(cost=1, succ_a=mid)
+        assert source.reaches_sink()
+        mid.succ_a = None  # cut
+        assert not source.reaches_sink()
+        mid.succ_a = sink  # restore
+        assert source.reaches_sink()
+
+    def test_diamond_chain_reaches(self, rt):
+        nodes = diamond_chain(8)
+        assert nodes[0].reaches_sink()
+
+
+class TestBuilders:
+    def test_diamond_chain_shape(self, rt):
+        nodes = diamond_chain(3)
+        assert len(nodes) == 3 * 3 + 1
+        assert isinstance(nodes[-1], Sink)
+
+    def test_depth_validation(self, rt):
+        with pytest.raises(ValueError):
+            diamond_chain(0)

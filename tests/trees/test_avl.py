@@ -1,0 +1,209 @@
+"""Algorithm 11: AVL trees from a maintained balance method."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime
+from repro.trees import AvlTree, ConventionalAvl
+
+
+class TestAvlBasics:
+    def test_empty_tree(self, rt):
+        t = AvlTree()
+        assert t.height() == 0
+        assert not t.lookup(1)
+        assert t.keys() == []
+        assert t.check_avl()
+
+    def test_single_insert(self, rt):
+        t = AvlTree()
+        t.insert(5)
+        assert t.lookup(5)
+        assert t.height() == 1
+        assert t.keys() == [5]
+
+    def test_sequential_inserts_stay_balanced(self, rt):
+        t = AvlTree()
+        for k in range(64):
+            t.insert(k)
+            t.rebalance()
+        assert t.check_avl()
+        assert t.keys() == list(range(64))
+        assert t.height() <= 8  # 1.44 * log2(64) ~ 8.6
+
+    def test_reverse_sequential_inserts(self, rt):
+        t = AvlTree()
+        for k in reversed(range(64)):
+            t.insert(k)
+            t.rebalance()
+        assert t.check_avl()
+        assert t.keys() == list(range(64))
+
+    def test_bulk_insert_single_rebalance(self, rt):
+        """Off-line use: arbitrary mutations, then one balance call.
+        'Thus, the algorithm is both an off-line as well as on-line
+        algorithm.'"""
+        t = AvlTree()
+        for k in range(128):
+            t.insert(k)  # builds a fully degenerate chain
+        t.rebalance()  # one exhaustive-spec invocation fixes it all
+        assert t.check_avl()
+        assert t.keys() == list(range(128))
+        assert t.height() <= 9
+
+    def test_lookup_present_and_absent(self, rt):
+        t = AvlTree()
+        for k in (8, 3, 10, 1, 6, 14, 4, 7, 13):
+            t.insert(k)
+        for k in (8, 3, 10, 1, 6, 14, 4, 7, 13):
+            assert t.lookup(k)
+        for k in (0, 2, 5, 9, 11, 12, 15):
+            assert not t.lookup(k)
+
+    def test_in_operator_and_iter(self, rt):
+        t = AvlTree()
+        for k in (2, 1, 3):
+            t.insert(k)
+        assert 2 in t
+        assert 9 not in t
+        assert list(t) == [1, 2, 3]
+
+    def test_duplicate_keys_allowed(self, rt):
+        t = AvlTree()
+        for k in (5, 5, 5, 1, 9):
+            t.insert(k)
+        t.rebalance()
+        assert t.check_avl()
+        assert t.keys() == [1, 5, 5, 5, 9]
+
+
+class TestAvlDelete:
+    def test_delete_leaf(self, rt):
+        t = AvlTree()
+        for k in (5, 3, 8):
+            t.insert(k)
+        assert t.delete(3)
+        t.rebalance()
+        assert t.keys() == [5, 8]
+        assert t.check_avl()
+
+    def test_delete_node_with_one_child(self, rt):
+        t = AvlTree()
+        for k in (5, 3, 8, 2):
+            t.insert(k)
+        assert t.delete(3)
+        t.rebalance()
+        assert t.keys() == [2, 5, 8]
+        assert t.check_avl()
+
+    def test_delete_node_with_two_children(self, rt):
+        t = AvlTree()
+        for k in (5, 3, 8, 2, 4, 7, 9):
+            t.insert(k)
+        assert t.delete(5)  # root, two children
+        t.rebalance()
+        assert t.keys() == [2, 3, 4, 7, 8, 9]
+        assert t.check_avl()
+
+    def test_delete_absent_returns_false(self, rt):
+        t = AvlTree()
+        t.insert(1)
+        assert not t.delete(99)
+        assert t.keys() == [1]
+
+    def test_delete_root_until_empty(self, rt):
+        t = AvlTree()
+        keys = [4, 2, 6, 1, 3, 5, 7]
+        for k in keys:
+            t.insert(k)
+        for k in keys:
+            assert t.delete(k)
+            t.rebalance()
+            assert t.check_avl()
+        assert t.keys() == []
+
+    def test_deletions_keep_balance(self, rt):
+        t = AvlTree()
+        for k in range(64):
+            t.insert(k)
+        t.rebalance()
+        for k in range(0, 64, 2):
+            assert t.delete(k)
+        t.rebalance()
+        assert t.check_avl()
+        assert t.keys() == list(range(1, 64, 2))
+
+
+class TestAvlIncrementalBehaviour:
+    def test_insert_after_balance_is_cheap(self, rt):
+        t = AvlTree()
+        for k in range(256):
+            t.insert(k)
+            t.rebalance()
+        before = rt.stats.snapshot()
+        t.insert(256)
+        t.rebalance()
+        delta = rt.stats.delta(before)
+        # Work is proportional to the changed path, not the 256 nodes.
+        assert delta["executions"] < 64
+
+    def test_noop_rebalance_is_a_cache_hit(self, rt):
+        t = AvlTree()
+        for k in range(32):
+            t.insert(k)
+        t.rebalance()
+        t.rebalance()  # settle marks produced by the first pass's writes
+        before = rt.stats.snapshot()
+        t.rebalance()  # fully quiescent now: nothing changed
+        delta = rt.stats.delta(before)
+        assert delta["executions"] == 0
+
+    def test_agrees_with_conventional_avl(self, rt):
+        rng = random.Random(3)
+        keys = rng.sample(range(1000), 200)
+        maintained_tree = AvlTree()
+        conventional = ConventionalAvl()
+        for k in keys:
+            maintained_tree.insert(k)
+            conventional.insert(k)
+        maintained_tree.rebalance()
+        assert maintained_tree.keys() == conventional.keys()
+        assert maintained_tree.check_avl()
+        assert conventional.check_avl()
+        # AVL height is unique only within bounds; both must satisfy them
+        assert maintained_tree.height() <= conventional.height() + 2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "query"]),
+                  st.integers(min_value=0, max_value=50)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_avl_invariants_under_random_workload(ops):
+    """After any mixed workload, the tree is a balanced BST whose key
+    multiset matches a reference implementation."""
+    runtime = Runtime()
+    with runtime.active():
+        t = AvlTree()
+        reference = []
+        for op, key in ops:
+            if op == "insert":
+                t.insert(key)
+                reference.append(key)
+            elif op == "delete":
+                removed = t.delete(key)
+                assert removed == (key in reference)
+                if removed:
+                    reference.remove(key)
+            else:
+                assert t.lookup(key) == (key in reference)
+        t.rebalance()
+        assert t.check_avl()
+        assert t.keys() == sorted(reference)

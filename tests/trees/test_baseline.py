@@ -1,0 +1,133 @@
+"""Hand-written baselines: correctness of the comparators themselves."""
+
+import random
+
+from repro.trees import ConventionalAvl, HandIncrementalHeightTree, PlainNode
+
+
+class TestPlainNode:
+    def test_exhaustive_height(self):
+        root = PlainNode.build_balanced(15)
+        assert root.exhaustive_height() == 4
+
+    def test_empty(self):
+        assert PlainNode.build_balanced(0) is None
+
+    def test_chain(self):
+        node = PlainNode(0)
+        for i in range(1, 10):
+            node = PlainNode(i, left=node)
+        assert node.exhaustive_height() == 10
+
+
+class TestHandIncrementalHeightTree:
+    def test_initial_heights(self):
+        tree = HandIncrementalHeightTree.build_balanced(15)
+        assert tree.height() == 4
+
+    def test_set_child_updates_path(self):
+        tree = HandIncrementalHeightTree.build_balanced(15)
+        node = tree.root
+        while node.left is not None:
+            node = node.left
+        graft = HandIncrementalHeightTree.build_balanced(7)
+        tree.set_child(node, "left", graft.root)
+        assert tree.height() == 4 + 3
+
+    def test_early_exit_on_no_height_change(self):
+        tree = HandIncrementalHeightTree.build_balanced(31)
+        node = tree.root
+        while node.left is not None:
+            node = node.left
+        # Replacing a missing child with a None child changes nothing.
+        before = tree.updates
+        tree.set_child(node, "left", None)
+        # one check, then early exit
+        assert tree.updates - before == 1
+        assert tree.height() == 5
+
+    def test_invalid_side_rejected(self):
+        tree = HandIncrementalHeightTree.build_balanced(3)
+        try:
+            tree.set_child(tree.root, "middle", None)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_matches_exhaustive_recomputation(self):
+        rng = random.Random(11)
+        tree = HandIncrementalHeightTree.build_balanced(63)
+        nodes = tree.nodes()
+        for _ in range(20):
+            parent = rng.choice(nodes)
+            side = rng.choice(["left", "right"])
+            graft = HandIncrementalHeightTree.build_balanced(
+                rng.randrange(0, 7)
+            )
+            subtree = graft.root
+            # avoid creating cycles: only graft fresh nodes
+            tree.set_child(parent, side, subtree)
+
+            def check(node):
+                if node is None:
+                    return 0
+                hl, hr = check(node.left), check(node.right)
+                assert node.height == 1 + max(hl, hr)
+                return node.height
+
+            check(tree.root)
+
+
+class TestConventionalAvl:
+    def test_insert_keeps_invariant(self):
+        t = ConventionalAvl()
+        for k in range(100):
+            t.insert(k)
+        assert t.check_avl()
+        assert t.keys() == list(range(100))
+        assert t.height() <= 9
+
+    def test_delete_keeps_invariant(self):
+        t = ConventionalAvl()
+        for k in range(64):
+            t.insert(k)
+        for k in range(0, 64, 3):
+            assert t.delete(k)
+        assert t.check_avl()
+        assert t.keys() == [k for k in range(64) if k % 3 != 0]
+
+    def test_delete_absent(self):
+        t = ConventionalAvl()
+        t.insert(1)
+        assert not t.delete(2)
+
+    def test_lookup(self):
+        t = ConventionalAvl()
+        for k in (5, 1, 9):
+            t.insert(k)
+        assert t.lookup(5) and t.lookup(1) and t.lookup(9)
+        assert not t.lookup(7)
+
+    def test_random_workload_against_sorted_reference(self):
+        rng = random.Random(5)
+        t = ConventionalAvl()
+        reference = []
+        for _ in range(500):
+            k = rng.randrange(100)
+            if rng.random() < 0.6:
+                t.insert(k)
+                reference.append(k)
+            elif reference:
+                removed = t.delete(k)
+                assert removed == (k in reference)
+                if removed:
+                    reference.remove(k)
+        assert t.keys() == sorted(reference)
+        assert t.check_avl()
+
+    def test_rotations_counted(self):
+        t = ConventionalAvl()
+        for k in range(32):  # sequential: forces rotations
+            t.insert(k)
+        assert t.rotations > 0

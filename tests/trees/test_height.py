@@ -1,0 +1,153 @@
+"""Algorithm 1 (maintained height): correctness and the §3.4 cost
+profile, asserted on operation counters."""
+
+import pytest
+
+from repro.trees import Tree, TreeNil, build_balanced, build_from_keys, nil
+from repro.trees.height import collect_nodes, exhaustive_height, inorder_keys
+
+
+def _leftmost_interior(root):
+    node = root
+    while True:
+        left = node.field_cell("left").peek()
+        if isinstance(left, TreeNil):
+            return node
+        node = left
+
+
+class TestHeightCorrectness:
+    def test_leaf_sentinel_height_zero(self, rt):
+        assert nil().height() == 0
+
+    def test_single_node(self, rt):
+        leaf = nil()
+        t = Tree(key=1, left=leaf, right=leaf)
+        assert t.height() == 1
+
+    def test_balanced_trees_have_log_height(self, rt):
+        leaf = nil()
+        for n, expected in [(1, 1), (3, 2), (7, 3), (15, 4), (31, 5)]:
+            root = build_balanced(n, leaf)
+            assert root.height() == expected
+
+    def test_chain_has_linear_height(self, rt):
+        leaf = nil()
+        t = Tree(key=0, left=leaf, right=leaf)
+        for i in range(1, 20):
+            t = Tree(key=i, left=t, right=leaf)
+        assert t.height() == 20
+
+    def test_matches_exhaustive_on_bst(self, rt):
+        keys = [50, 30, 70, 20, 40, 60, 80, 10, 45]
+        root = build_from_keys(keys, nil())
+        assert root.height() == exhaustive_height(root)
+        assert inorder_keys(root) == sorted(keys)
+
+    def test_height_after_child_replacement(self, rt):
+        leaf = nil()
+        root = build_balanced(7, leaf)
+        assert root.height() == 3
+        tall = build_balanced(31, leaf)
+        root.left = tall
+        assert root.height() == 6
+        assert root.height() == exhaustive_height(root)
+
+    def test_shrinking_change(self, rt):
+        leaf = nil()
+        root = build_balanced(31, leaf)
+        assert root.height() == 5
+        root.left = leaf  # cut off half the tree
+        assert root.height() == exhaustive_height(root)
+
+
+class TestHeightCostProfile:
+    def test_first_call_is_linear_repeat_is_free(self, rt):
+        leaf = nil()
+        root = build_balanced(127, leaf)
+        before = rt.stats.snapshot()
+        root.height()
+        first = rt.stats.delta(before)
+        assert first["executions"] == 128  # 127 nodes + shared leaf
+
+        before = rt.stats.snapshot()
+        root.height()
+        repeat = rt.stats.delta(before)
+        assert repeat["executions"] == 0
+        assert repeat["cache_hits"] == 1
+
+    def test_descendant_queries_also_cached(self, rt):
+        leaf = nil()
+        root = build_balanced(63, leaf)
+        root.height()
+        child = root.field_cell("left").peek()
+        before = rt.stats.snapshot()
+        assert child.height() == 5
+        assert rt.stats.delta(before)["executions"] == 0
+
+    def test_single_change_costs_path_not_tree(self, rt):
+        leaf = nil()
+        root = build_balanced(255, leaf)  # 8 levels
+        root.height()
+        node = _leftmost_interior(root)
+        chain = Tree(key=-1, left=leaf, right=leaf)
+        before = rt.stats.snapshot()
+        node.left = chain
+        root.height()
+        delta = rt.stats.delta(before)
+        # Re-executions: the new node + the root path (<= 8) plus the
+        # sentinel; far below the 256 of an exhaustive pass.
+        assert delta["executions"] <= 12
+        assert root.height() == exhaustive_height(root)
+
+    def test_equal_height_replacement_costs_only_the_path(self, rt):
+        leaf = nil()
+        root = build_balanced(127, leaf)  # 7 levels
+        root.height()
+        node = _leftmost_interior(root)
+        # Replace a leaf-child with a fresh single node.  With DEMAND
+        # evaluation the root-to-change path re-executes on the next
+        # query (each level recomputing to the same value), but nothing
+        # off the path runs: cost ~ height, not ~ tree size.
+        replacement = Tree(key=-1, left=leaf, right=leaf)
+        before = rt.stats.snapshot()
+        node.left = replacement
+        root.height()
+        delta = rt.stats.delta(before)
+        assert root.height() == exhaustive_height(root)
+        assert delta["executions"] <= 7 + 4  # path + new node + sentinel
+        assert delta["executions"] < 32  # far below the 128 exhaustive
+
+    def test_batched_changes_cost_affected_once(self, rt):
+        """§3.4: 'Changes to many pointers in the tree, however, are
+        batched ... and result in O(|AFFECTED|) computations.'"""
+        leaf = nil()
+        root = build_balanced(255, leaf)
+        root.height()
+        interior = [
+            n
+            for n in collect_nodes(root)
+            if isinstance(n.field_cell("left").peek(), TreeNil)
+        ][:16]
+        before = rt.stats.snapshot()
+        for node in interior:  # 16 changes, no queries in between
+            node.left = Tree(key=-1, left=leaf, right=leaf)
+        root.height()
+        batched = rt.stats.delta(before)["executions"]
+        assert root.height() == exhaustive_height(root)
+        # Shared ancestors recompute once, not once per change: the cost
+        # is far below 16 * path_length and far below the tree size.
+        assert batched < 16 * 8
+        assert batched < 256
+
+    def test_unrelated_subtree_not_recomputed(self, rt):
+        leaf = nil()
+        root = build_balanced(63, leaf)
+        root.height()
+        left = root.field_cell("left").peek()
+        right = root.field_cell("right").peek()
+        node = _leftmost_interior(left)
+        node.left = Tree(key=-1, left=leaf, right=leaf)
+        before = rt.stats.snapshot()
+        assert right.height() == 5  # untouched half: pure hit
+        assert rt.stats.delta(before)["executions"] == 0
