@@ -18,7 +18,7 @@ tree changes.
 """
 
 from repro import Runtime, cached, unchecked
-from repro.trees import Tree, TreeNil, build_balanced, nil
+from repro.trees import TreeNil, build_balanced, nil
 
 from .tableio import emit
 

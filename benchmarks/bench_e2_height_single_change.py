@@ -39,14 +39,15 @@ def _single_change_cost(n):
         node.left = Tree(key=-1, left=leaf, right=leaf)
         root.height()
         delta = runtime.stats.delta(before)
-    return delta["executions"], delta["propagation_steps"]
+    return delta["executions"], delta["propagation_steps"], delta
 
 
 def test_e2_single_change_is_path_proportional(benchmark):
     rows = []
+    last_delta = {}
     for n in SIZES:
         height = int(math.log2(n + 1))
-        execs, steps = _single_change_cost(n)
+        execs, steps, last_delta = _single_change_cost(n)
         rows.append((n, height, execs, steps, n))
         # shape: cost tracks the path (height + constant), far below n
         assert execs <= height + 4
@@ -56,6 +57,7 @@ def test_e2_single_change_is_path_proportional(benchmark):
         "single pointer change: re-executions ~ O(height), not O(n)",
         ["n", "height", "reexecutions", "prop_steps", "exhaustive/query"],
         rows,
+        counters={"largest_n_change_delta": last_delta},
     )
 
     # cost must grow ~logarithmically: quadrupling n adds ~2 executions

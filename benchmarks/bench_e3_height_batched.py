@@ -39,18 +39,20 @@ def _batched_cost(k):
         root.height()
         targets = _bottom_nodes(root)[:k]
         before = runtime.stats.snapshot()
-        for node in targets:  # all changes land before any query
-            node.left = Tree(key=-1, left=leaf, right=leaf)
+        with runtime.batch():  # explicit transaction: one drain at commit
+            for node in targets:
+                node.left = Tree(key=-1, left=leaf, right=leaf)
         root.height()  # one propagation serves the whole batch
         delta = runtime.stats.delta(before)
-    return delta["executions"]
+    return delta["executions"], delta
 
 
 def test_e3_batched_changes_cost_affected_once(benchmark):
     height = int(math.log2(N + 1))
     rows = []
+    last_delta = {}
     for k in BATCHES:
-        execs = _batched_cost(k)
+        execs, last_delta = _batched_cost(k)
         naive = k * (height + 2)  # one root path per change, unbatched
         rows.append((k, execs, naive, k * N))
         # each batch is served at most once per affected node: cheaper
@@ -62,6 +64,7 @@ def test_e3_batched_changes_cost_affected_once(benchmark):
         f"batched changes on n={N}: cost ~ |AFFECTED|, not k * path",
         ["k", "reexecutions", "naive k*path", "exhaustive k*n"],
         rows,
+        counters={"largest_batch_delta": last_delta},
     )
     # sublinearity in k: 256 changes cost far less than 256x one change
     one = rows[0][1]
@@ -80,8 +83,9 @@ def test_e3_batched_changes_cost_affected_once(benchmark):
 
         def batch_cycle():
             base = state["i"]
-            for node in targets[base : base + 16]:
-                node.left = Tree(key=-1, left=leaf, right=leaf)
+            with runtime.batch():
+                for node in targets[base : base + 16]:
+                    node.left = Tree(key=-1, left=leaf, right=leaf)
             state["i"] = (base + 16) % (len(targets) - 16)
             return root.height()
 

@@ -1,4 +1,4 @@
-"""Collate benchmarks/results/*.txt into one report.
+"""Collate benchmarks/results/* into reports.
 
 Usage::
 
@@ -6,17 +6,23 @@ Usage::
 
 Run after ``pytest benchmarks/ --benchmark-only``; produces the measured
 tables EXPERIMENTS.md cites, in experiment order, as a single markdown
-document (defaults to stdout).
+document (defaults to stdout), and always writes the machine-readable
+``BENCH_core.json`` next to this script: per experiment, the structured
+series (headers + rows of operation counters), any extra counter
+payload, and the wall-clock time of the tests that produced it.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import sys
-from typing import List
+from typing import Any, Dict, List
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TIMINGS_PATH = os.path.join(RESULTS_DIR, "_timings.json")
+BENCH_JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_core.json")
 
 
 def _sort_key(name: str):
@@ -45,8 +51,58 @@ def collect() -> str:
     return "\n".join(sections)
 
 
+def _load_json(path: str) -> Any:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _wall_time_for(exp_id: str, timings: Dict[str, float]) -> float:
+    """Total seconds of the tests belonging to one experiment.
+
+    Benchmark files are named ``bench_<exp>_*`` and timings are keyed by
+    pytest node id, so membership is a substring check on the filename.
+    """
+    needle = f"bench_{exp_id.lower()}_"
+    return sum(
+        seconds
+        for test_id, seconds in timings.items()
+        if needle in test_id
+    )
+
+
+def collect_json() -> Dict[str, Any]:
+    """Merge results/*.json and results/_timings.json into one record."""
+    experiments: List[Dict[str, Any]] = []
+    timings: Dict[str, float] = _load_json(TIMINGS_PATH) or {}
+    if os.path.isdir(RESULTS_DIR):
+        names = sorted(
+            (n[:-5] for n in os.listdir(RESULTS_DIR)
+             if n.endswith(".json") and not n.startswith("_")),
+            key=_sort_key,
+        )
+        for name in names:
+            record = _load_json(os.path.join(RESULTS_DIR, f"{name}.json"))
+            if not isinstance(record, dict):
+                continue
+            record["wall_time_s"] = round(_wall_time_for(name, timings), 6)
+            experiments.append(record)
+    return {
+        "suite": "alphonse-core",
+        "experiments": experiments,
+        "timings": {k: round(v, 6) for k, v in sorted(timings.items())},
+    }
+
+
 def main(argv: List[str]) -> int:
     report = collect()
+    bench = collect_json()
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {BENCH_JSON_PATH}", file=sys.stderr)
     if len(argv) > 1:
         with open(argv[1], "w", encoding="utf-8") as fh:
             fh.write(report)

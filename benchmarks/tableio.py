@@ -4,14 +4,22 @@ Every experiment prints its rows (the series the paper's claims
 describe) and also writes them to ``benchmarks/results/<exp>.txt`` so a
 captured pytest run still leaves the tables on disk.  EXPERIMENTS.md is
 written from these files.
+
+Alongside each table, :func:`emit` writes ``results/<exp>.json`` — the
+same series as structured data (headers, rows, and any extra op-counter
+payload) — and :func:`note_timing` appends wall-clock timings to
+``results/_timings.json``.  ``collect_results.py`` merges both into the
+machine-readable ``BENCH_core.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TIMINGS_PATH = os.path.join(RESULTS_DIR, "_timings.json")
 
 
 def format_table(
@@ -45,12 +53,52 @@ def emit(
     title: str,
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
+    counters: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Print the table and persist it under benchmarks/results/."""
-    text = format_table(f"[{exp_id}] {title}", headers, list(rows))
+    """Print the table and persist it under benchmarks/results/.
+
+    Writes the human-readable ``<exp>.txt`` and a machine-readable
+    ``<exp>.json`` carrying the same series plus ``counters`` (e.g. a
+    ``RuntimeStats.snapshot()`` of the measured operation).
+    """
+    materialized = [list(row) for row in rows]
+    text = format_table(f"[{exp_id}] {title}", headers, materialized)
     print("\n" + text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+    record = {
+        "experiment": exp_id,
+        "title": title,
+        "headers": list(headers),
+        "rows": materialized,
+    }
+    if counters:
+        record["counters"] = counters
+    json_path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
     return text
+
+
+def note_timing(test_id: str, seconds: float) -> None:
+    """Record one test's wall-clock time in ``results/_timings.json``.
+
+    Called by the benchmark conftest for every test in the suite; the
+    file accumulates across a run (keyed by test id, last write wins) so
+    partial runs still refresh the entries they touched.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    timings: Dict[str, float] = {}
+    if os.path.exists(TIMINGS_PATH):
+        try:
+            with open(TIMINGS_PATH, encoding="utf-8") as fh:
+                timings = json.load(fh)
+        except (OSError, ValueError):
+            timings = {}
+    timings[test_id] = seconds
+    with open(TIMINGS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(timings, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -32,12 +32,19 @@ from .core import (
     AlphonseError,
     Cell,
     CycleError,
+    EventBus,
+    EventKind,
+    HeightOrderedScheduler,
     Runtime,
     RuntimeStats,
+    Scheduler,
+    TopologicalScheduler,
+    TraceExporter,
     TrackedArray,
     TrackedDict,
     TrackedList,
     TrackedObject,
+    Transaction,
     Unbounded,
     cached,
     get_runtime,
@@ -54,10 +61,17 @@ __all__ = [
     "CycleError",
     "DEMAND",
     "EAGER",
+    "EventBus",
+    "EventKind",
     "FIFO",
+    "HeightOrderedScheduler",
     "LRU",
     "Runtime",
     "RuntimeStats",
+    "Scheduler",
+    "TopologicalScheduler",
+    "TraceExporter",
+    "Transaction",
     "TrackedArray",
     "TrackedDict",
     "TrackedList",

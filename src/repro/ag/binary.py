@@ -25,7 +25,7 @@ the sums on its root path.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from .grammar import AttributeGrammar
 from .translate import compile_grammar, link_parents

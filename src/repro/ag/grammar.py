@@ -26,7 +26,7 @@ into TrackedObject subclasses whose attribute methods are maintained.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from ..core.errors import AlphonseError
 

@@ -1,9 +1,22 @@
 """Core incremental-computation runtime — the paper's primary contribution.
 
+A layered engine (see ``docs/architecture.md``):
+
+* **kernel** — tracked storage and the dependency graph
+  (:class:`Cell`, :class:`TrackedObject`, :class:`DepNode`, edges,
+  topological order, partitions);
+* **scheduler** — pluggable propagation policy (:class:`Scheduler`,
+  :class:`TopologicalScheduler`, :class:`HeightOrderedScheduler`);
+* **transaction** — batched writes (:class:`Transaction`,
+  ``with rt.batch():``);
+* **events** — typed observability (:class:`EventBus`,
+  :class:`EventKind`, :class:`TraceExporter`); counters
+  (:class:`RuntimeStats`) are a subscriber.
+
 Public surface:
 
-* :class:`Runtime` — one independent Alphonse universe (dependency graph,
-  call stack, inconsistent sets, propagation).
+* :class:`Runtime` — one independent Alphonse universe tying the layers
+  together.
 * :func:`maintained`, :func:`cached`, :func:`unchecked` — the pragma
   equivalents.
 * :class:`Cell`, :class:`TrackedObject`, :class:`TrackedArray`,
@@ -13,6 +26,7 @@ Public surface:
 """
 
 from .cache import FIFO, LRU, ArgumentTable, CachePolicy, Unbounded
+from .events import EventBus, EventKind, TraceExporter
 from .cells import (
     MISSING,
     Cell,
@@ -32,7 +46,7 @@ from .errors import (
     TransformError,
     UnhashableArgumentsError,
 )
-from .node import NO_VALUE, DepNode, NodeKind
+from .node import NO_VALUE, DepNode, NodeKind, values_equal
 from .runtime import (
     IncrementalProcedure,
     Location,
@@ -40,8 +54,16 @@ from .runtime import (
     get_runtime,
     reset_default_runtime,
 )
-from .stats import RuntimeStats
+from .scheduler import (
+    SCHEDULERS,
+    HeightOrderedScheduler,
+    Scheduler,
+    TopologicalScheduler,
+    make_scheduler,
+)
+from .stats import RuntimeStats, StatsCollector
 from .strategy import DEMAND, EAGER, parse_strategy
+from .transaction import Transaction
 
 __all__ = [
     "AlphonseError",
@@ -53,7 +75,10 @@ __all__ = [
     "DepNode",
     "EAGER",
     "EvaluationLimitError",
+    "EventBus",
+    "EventKind",
     "FIFO",
+    "HeightOrderedScheduler",
     "IncrementalProcedure",
     "LRU",
     "Location",
@@ -65,18 +90,26 @@ __all__ = [
     "Runtime",
     "RuntimeStateError",
     "RuntimeStats",
+    "SCHEDULERS",
+    "Scheduler",
+    "StatsCollector",
+    "TopologicalScheduler",
+    "TraceExporter",
     "TrackedArray",
     "TrackedDict",
     "TrackedList",
     "TrackedObject",
+    "Transaction",
     "TransformError",
     "Unbounded",
     "UnhashableArgumentsError",
     "cached",
     "get_runtime",
     "maintained",
+    "make_scheduler",
     "parse_strategy",
     "reset_default_runtime",
     "tracked_fields",
     "unchecked",
+    "values_equal",
 ]

@@ -26,7 +26,7 @@ cell's dependency node belongs to the runtime that created it).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Type
 
 from .errors import NotTrackedError
 from .runtime import Location, get_runtime

@@ -13,6 +13,7 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional, Set
 
+from .events import EventKind
 from .node import DepNode
 from .runtime import Runtime
 
@@ -136,9 +137,20 @@ class ExecutionLog:
         return len(self.events)
 
 
+#: Bus events the recorder translates into the log's legacy kind names.
+_RECORDED_KINDS = {
+    EventKind.EXECUTION: "execute",
+    EventKind.CACHE_HIT: "hit",
+    EventKind.CHANGE_DETECTED: "change",
+}
+
+
 @contextlib.contextmanager
 def record(runtime: Runtime) -> Iterator[ExecutionLog]:
     """Record runtime events for the duration of the block.
+
+    Subscribes to the runtime's event bus (any number of recorders, the
+    stats collector, and trace exporters coexist independently).
 
     Example::
 
@@ -148,18 +160,21 @@ def record(runtime: Runtime) -> Iterator[ExecutionLog]:
         print(log.why_recomputed("height"))
     """
     log = ExecutionLog()
-    previous = runtime.on_event
 
-    def listener(kind: str, node: DepNode) -> None:
-        log.events.append(ExecutionEvent(kind, node.label, node))
-        if previous is not None:
-            previous(kind, node)
+    def listener(kind: EventKind, node: DepNode, amount: int, data: Any) -> None:
+        if kind is EventKind.EXECUTION and data is False:
+            return  # superseded re-entrant activation: no cache commit
+        log.events.append(
+            ExecutionEvent(_RECORDED_KINDS[kind], node.label, node)
+        )
 
-    runtime.on_event = listener
+    for kind in _RECORDED_KINDS:
+        runtime.events.subscribe(kind, listener)
     try:
         yield log
     finally:
-        runtime.on_event = previous
+        for kind in _RECORDED_KINDS:
+            runtime.events.unsubscribe(kind, listener)
 
 
 def parallel_schedule(runtime: Runtime) -> List[List[DepNode]]:

@@ -87,9 +87,7 @@ class _BoundMaintained:
 
     def node_for(self, *args: Any) -> Any:
         """This instance's dependency-graph node, if it exists (debugging)."""
-        rt = get_runtime()
-        table = rt._tables.get(self.proc.proc_id)
-        return table.find((self.obj, *args)) if table is not None else None
+        return get_runtime().node_for(self.proc, (self.obj, *args))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<maintained {self.proc.name} of {self.obj!r}>"

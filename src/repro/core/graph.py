@@ -13,23 +13,27 @@ from __future__ import annotations
 from typing import Any, List, Optional, Set
 
 from .edges import Edge
+from .events import EventBus, EventKind
 from .node import DepNode, NodeKind
 from .order import TopologicalOrder
 from .partition import PartitionManager
-from .stats import RuntimeStats
 
 
 class DependencyGraph:
-    """Node factory plus edge bookkeeping for one runtime instance."""
+    """Node factory plus edge bookkeeping for one runtime instance.
+
+    Part of the storage/graph kernel: it knows nothing about scheduling
+    or instrumentation — all bookkeeping is announced on the event bus.
+    """
 
     def __init__(
         self,
-        stats: RuntimeStats,
+        events: EventBus,
         order: TopologicalOrder,
         partitions: PartitionManager,
         keep_registry: bool = True,
     ) -> None:
-        self.stats = stats
+        self.events = events
         self.order = order
         self.partitions = partitions
         #: All nodes ever created, for diagnostics/debugging (the paper
@@ -41,8 +45,8 @@ class DependencyGraph:
     def new_storage_node(self, label: str, ref: Any = None) -> DepNode:
         """Node for an abstract storage location (first tracked read)."""
         node = DepNode(NodeKind.STORAGE, label=label, ref=ref)
-        self.stats.storage_nodes_created += 1
         self._register(node)
+        self.events.emit(EventKind.NODE_CREATED, node)
         return node
 
     def new_procedure_node(
@@ -52,8 +56,8 @@ class DependencyGraph:
         if kind is NodeKind.STORAGE:
             raise ValueError("procedure node kind must be DEMAND or EAGER")
         node = DepNode(kind, label=label, ref=ref)
-        self.stats.procedure_nodes_created += 1
         self._register(node)
+        self.events.emit(EventKind.NODE_CREATED, node)
         return node
 
     def _register(self, node: DepNode) -> None:
@@ -83,10 +87,12 @@ class DependencyGraph:
                 return False
             dedupe.add(id(src))
         Edge(src, dst).attach()
-        self.stats.edges_created += 1
+        self.events.emit(EventKind.EDGE_ADDED, src, data=dst)
         before = self.order.shifts
         self.order.edge_added(src, dst)
-        self.stats.order_shifts += self.order.shifts - before
+        shifted = self.order.shifts - before
+        if shifted:
+            self.events.emit(EventKind.ORDER_SHIFTED, dst, amount=shifted)
         self.partitions.union(src, dst)
         return True
 
@@ -102,7 +108,8 @@ class DependencyGraph:
         for edge in node.pred:
             edge.detach()
             removed += 1
-        self.stats.edges_removed += removed
+        if removed:
+            self.events.emit(EventKind.EDGE_REMOVED, node, amount=removed)
         return removed
 
     def remove_succ_edges(self, node: DepNode) -> int:
@@ -111,5 +118,6 @@ class DependencyGraph:
         for edge in node.succ:
             edge.detach()
             removed += 1
-        self.stats.edges_removed += removed
+        if removed:
+            self.events.emit(EventKind.EDGE_REMOVED, node, amount=removed)
         return removed

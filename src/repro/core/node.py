@@ -33,6 +33,29 @@ _node_ids = itertools.count()
 NO_VALUE = object()
 
 
+def values_equal(a: Any, b: Any) -> bool:
+    """Change-detection equality (§4.4) and quiescence equality (§4.5).
+
+    Identity is checked *before* ``==`` so that (a) re-storing the very
+    same object — including NaN, whose ``==`` is reflexively false — is
+    never reported as a change, and (b) expensive ``__eq__``
+    implementations are skipped on the common same-object write.  A
+    raising or non-boolean ``__eq__`` (e.g. ambiguous array comparisons)
+    conservatively reports "changed": over-propagation is correct,
+    a corrupted inconsistent set is not.  ``NO_VALUE`` equals nothing,
+    itself included — a node that never held a value has no basis for
+    quiescence.
+    """
+    if a is NO_VALUE or b is NO_VALUE:
+        return False
+    if a is b:
+        return True
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
 class NodeKind(enum.Enum):
     """What a dependency-graph node represents."""
 

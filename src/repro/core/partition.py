@@ -23,13 +23,13 @@ import heapq
 import itertools
 from typing import Dict, Iterable, List, Optional
 
+from .events import EventBus, EventKind
+from .node import DepNode
+
 #: Global tie-break sequence shared by every InconsistentSet, so heap
 #: entries originating in different sets never compare equal on
 #: (order, seq) and fall through to comparing DepNodes (which would raise).
 _tiebreak = itertools.count()
-
-from .node import DepNode
-from .stats import RuntimeStats
 
 
 class _Item:
@@ -120,8 +120,8 @@ class PartitionManager:
     incremental call.
     """
 
-    def __init__(self, stats: RuntimeStats, enabled: bool = True) -> None:
-        self._stats = stats
+    def __init__(self, events: EventBus, enabled: bool = True) -> None:
+        self._events = events
         self.enabled = enabled
         self._global = InconsistentSet()
         #: Registry of inconsistent sets that currently hold members, so
@@ -138,7 +138,7 @@ class PartitionManager:
             node.partition_item = _Item(node)
 
     def _find(self, item: _Item) -> _Item:
-        self._stats.partition_finds += 1
+        self._events.emit(EventKind.PARTITION_FIND, item.node)
         root = item
         while root.parent is not root:
             root = root.parent
@@ -163,7 +163,7 @@ class PartitionManager:
         rb = self._find(b.partition_item)
         if ra is rb:
             return
-        self._stats.partition_unions += 1
+        self._events.emit(EventKind.PARTITION_UNION, a, data=b)
         if ra.rank < rb.rank:
             ra, rb = rb, ra
         rb.parent = ra
@@ -185,6 +185,7 @@ class PartitionManager:
         target = self.set_of(node)
         if target.add(node):
             self.dirty[id(target)] = target
+            self._events.emit(EventKind.INCONSISTENT_MARKED, node)
             return True
         return False
 

@@ -1,152 +1,36 @@
-"""Quiescence propagation (paper Section 4.5).
+"""Deprecated module: quiescence propagation moved to
+:mod:`repro.core.scheduler`.
 
-The evaluation routine drains an inconsistent set in topological order:
+The pre-layered engine exposed one hard-wired ``Evaluator``; the layered
+engine makes propagation ordering a pluggable :class:`Scheduler` policy.
+This shim keeps the old import path and name working:
 
-* "If u represents a storage location, all elements of succ(u) are added
-  to the inconsistent set."
-* "If u represents a demand incremental procedure instance, if
-  consistent(u) is true, then we set it to false and add all elements of
-  succ(u) to the inconsistent set."
-* "If u represents an eager incremental procedure instance p, p is
-  re-executed.  If the result value is different from value(u), all
-  elements of succ(u) are added to the inconsistent set."
+* ``Evaluator`` is an alias of
+  :class:`~repro.core.scheduler.TopologicalScheduler`, whose behaviour
+  is identical to the old class (same drain/drain_budget/drain_all
+  surface, same processing rules, same topological pop order).
 
-The third rule is the quiescence cut: propagation stops along paths where
-recomputation reproduced the cached value ("Propagation becomes quiescent
-when the new result of intermediate computations matches the old value
-cached from before the computation graph change", Section 2).
+New code should import from :mod:`repro.core.scheduler`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from .scheduler import (
+    SCHEDULERS,
+    HeightOrderedScheduler,
+    Scheduler,
+    TopologicalScheduler,
+    make_scheduler,
+)
 
-from .errors import EvaluationLimitError
-from .node import DepNode, NodeKind
-from .partition import InconsistentSet
+#: Deprecated alias for the default scheduler (the old class name).
+Evaluator = TopologicalScheduler
 
-if TYPE_CHECKING:  # pragma: no cover
-    from .runtime import Runtime
-
-
-class Evaluator:
-    """Drains inconsistent sets for one runtime.
-
-    Re-entrancy: eager re-execution can itself call incremental
-    procedures, which per Algorithm 5 would try to force evaluation again.
-    We suppress nested forcing with the ``active`` flag — the outer drain
-    loop will reach any newly marked nodes anyway (they land in the same
-    or a merged partition's set).
-    """
-
-    def __init__(self, runtime: "Runtime") -> None:
-        self.runtime = runtime
-        self.active = False
-
-    def drain(self, incset: InconsistentSet) -> int:
-        """Process ``incset`` to empty; returns the number of steps."""
-        if self.active:
-            return 0
-        rt = self.runtime
-        limit = rt.eval_limit
-        steps = 0
-        self.active = True
-        try:
-            while True:
-                node = incset.pop()
-                if node is None:
-                    break
-                steps += 1
-                rt.stats.propagation_steps += 1
-                if limit is not None and steps > limit:
-                    raise EvaluationLimitError(limit)
-                self._process(node)
-        finally:
-            self.active = False
-            rt.partitions.note_drained(incset)
-        return steps
-
-    def drain_budget(self, max_steps: int) -> int:
-        """Spend up to ``max_steps`` of propagation work, then stop.
-
-        The paper's idle-cycles mode: "the evaluation routine should be
-        called whenever cycles are available (input/output, etc) and can
-        be preempted when necessary."  Unlike :meth:`drain`, running out
-        of budget is not an error — remaining work stays pending and the
-        next call (or the next forced evaluation) continues it.
-        """
-        if self.active or max_steps <= 0:
-            return 0
-        rt = self.runtime
-        done = 0
-        self.active = True
-        try:
-            while done < max_steps:
-                pending = rt.partitions.pending_sets()
-                if not pending:
-                    break
-                for incset in pending:
-                    while done < max_steps:
-                        node = incset.pop()
-                        if node is None:
-                            break
-                        done += 1
-                        rt.stats.propagation_steps += 1
-                        self._process(node)
-                    rt.partitions.note_drained(incset)
-                    if done >= max_steps:
-                        break
-        finally:
-            self.active = False
-        return done
-
-    def drain_all(self) -> int:
-        """Flush every pending partition (a global "evaluate now")."""
-        if self.active:
-            return 0
-        total = 0
-        # Draining one set can dirty another (via cross-partition unions
-        # created by re-execution), so loop to a fixpoint.
-        while True:
-            pending = self.runtime.partitions.pending_sets()
-            if not pending:
-                break
-            for incset in pending:
-                total += self.drain(incset)
-        return total
-
-    # ------------------------------------------------------------------
-
-    def _process(self, node: DepNode) -> None:
-        rt = self.runtime
-        if node.kind is NodeKind.STORAGE:
-            # The storage's node.value was already refreshed by modify();
-            # just wake the dependents.
-            self._mark_successors(node)
-        elif node.kind is NodeKind.DEMAND:
-            if node.consistent:
-                node.consistent = False
-                self._mark_successors(node)
-        else:  # EAGER: re-execute now, propagate only on value change
-            old = node.value
-            had_value = node.has_value()
-            rt.execute_node(node)
-            rt.stats.eager_reexecutions += 1
-            if had_value and self._equal(old, node.value):
-                rt.stats.quiescent_stops += 1
-            else:
-                self._mark_successors(node)
-
-    def _mark_successors(self, node: DepNode) -> None:
-        partitions = self.runtime.partitions
-        for succ in node.succ.nodes():
-            partitions.mark(succ)
-
-    @staticmethod
-    def _equal(a: object, b: object) -> bool:
-        """Value equality for quiescence; falls back to identity when a
-        user type's ``__eq__`` raises."""
-        try:
-            return bool(a == b)
-        except Exception:
-            return a is b
+__all__ = [
+    "Evaluator",
+    "Scheduler",
+    "TopologicalScheduler",
+    "HeightOrderedScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]

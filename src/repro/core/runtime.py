@@ -21,6 +21,20 @@ In the Python embedding, "tracked storage" is any location from
 :mod:`repro.core.cells` and incremental procedures are created with the
 decorators in :mod:`repro.core.decorators`.  The Alphonse-L interpreter
 (:mod:`repro.lang.interp`) drives the very same runtime.
+
+The Runtime is the thin waist of a layered engine:
+
+* **storage/graph kernel** — :mod:`cells`, :mod:`node`, :mod:`edges`,
+  :mod:`graph`, :mod:`order`, :mod:`partition`: data structures with no
+  knowledge of scheduling or instrumentation;
+* **scheduler** — :mod:`scheduler`: pluggable propagation policy
+  (``Runtime(scheduler="topological" | "height" | <class>)``);
+* **transaction** — :mod:`transaction`: ``with rt.batch():`` coalesces
+  writes and defers propagation to commit;
+* **events** — :mod:`events`: every layer announces its work on
+  ``rt.events``; counters (``rt.stats``), the debug recorder, and trace
+  exporters are subscribers.  The runtime itself never increments a
+  counter.
 """
 
 from __future__ import annotations
@@ -32,12 +46,14 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .cache import ArgumentTable, CachePolicy, Unbounded
 from .errors import CycleError, RuntimeStateError
+from .events import EventBus, EventKind
 from .graph import DependencyGraph
-from .node import NO_VALUE, DepNode, NodeKind, procedure_instance_label
+from .node import DepNode, NodeKind, procedure_instance_label, values_equal
 from .order import TopologicalOrder
 from .partition import PartitionManager
-from .propagation import Evaluator
-from .stats import RuntimeStats
+from .scheduler import Scheduler, make_scheduler
+from .stats import RuntimeStats, StatsCollector
+from .transaction import Transaction
 
 
 class _Frame:
@@ -76,6 +92,14 @@ class Runtime:
         DET violations that make propagation oscillate.
     keep_registry:
         Keep a list of every dependency-graph node for diagnostics.
+    scheduler:
+        Propagation policy: a registry name (``"topological"`` —
+        the default, ``"height"``), a :class:`Scheduler` subclass, or a
+        factory callable taking the runtime.
+    events:
+        An existing :class:`EventBus` to announce on (one is created if
+        omitted).  Useful for attaching subscribers before the kernel
+        emits its first event.
     """
 
     def __init__(
@@ -86,25 +110,60 @@ class Runtime:
         eval_limit: Optional[int] = None,
         keep_registry: bool = True,
         max_reentry: int = 10_000,
+        scheduler: Any = "topological",
+        events: Optional[EventBus] = None,
     ) -> None:
-        self.stats = RuntimeStats()
+        self.events = events if events is not None else EventBus()
+        self._collector = StatsCollector().attach(self.events)
         self.order = TopologicalOrder()
-        self.partitions = PartitionManager(self.stats, enabled=partitioning)
+        self.partitions = PartitionManager(self.events, enabled=partitioning)
         self.graph = DependencyGraph(
-            self.stats, self.order, self.partitions, keep_registry=keep_registry
+            self.events, self.order, self.partitions, keep_registry=keep_registry
         )
-        self.evaluator = Evaluator(self)
+        self.scheduler: Scheduler = make_scheduler(scheduler, self)
         self.call_stack: List[_Frame] = []
         self.strict_cycles = strict_cycles
         self.eval_limit = eval_limit
         self.max_reentry = max_reentry
         self._unchecked_depth = 0
+        #: The active ``with rt.batch():`` transaction, if any.
+        self._transaction: Optional[Transaction] = None
         #: Per-runtime argument tables, keyed by IncrementalProcedure id.
         self._tables: Dict[int, ArgumentTable] = {}
-        #: Optional observer hook ``(event, node) -> None`` with events
-        #: "execute", "hit", and "change" — the debugging benefit the
-        #: paper's introduction promises from the dependency information.
+        #: Deprecated observer hook ``(event, node) -> None`` with events
+        #: "execute", "hit", and "change" — kept as a shim over the event
+        #: bus (see :meth:`_bridge_legacy`).  New code should subscribe
+        #: to ``rt.events`` directly.
         self.on_event: Optional[Callable[[str, DepNode], None]] = None
+        for kind, name in (
+            (EventKind.EXECUTION, "execute"),
+            (EventKind.CACHE_HIT, "hit"),
+            (EventKind.CHANGE_DETECTED, "change"),
+        ):
+            self.events.subscribe(kind, self._bridge_legacy(name))
+
+    def _bridge_legacy(self, name: str):
+        """Forward a bus event to the deprecated ``on_event`` hook."""
+
+        def forward(kind: EventKind, node: Any, amount: int, data: Any) -> None:
+            callback = self.on_event
+            if callback is None:
+                return
+            if kind is EventKind.EXECUTION and data is False:
+                return  # superseded activation: never reported historically
+            callback(name, node)
+
+        return forward
+
+    @property
+    def stats(self) -> RuntimeStats:
+        """Operation counters, maintained by an event-bus subscriber."""
+        return self._collector.stats
+
+    @property
+    def evaluator(self) -> Scheduler:
+        """Deprecated alias for :attr:`scheduler` (the old field name)."""
+        return self.scheduler
 
     # ------------------------------------------------------------------
     # access / modify  (Algorithms 3 and 4)
@@ -112,11 +171,13 @@ class Runtime:
 
     def on_read(self, location: "Location") -> Any:
         """Algorithm 3.  Returns the location's current raw value."""
-        self.stats.accesses += 1
+        self.events.emit(EventKind.ACCESS, location._node)
         value = location._value
         if self.call_stack:
             if self._unchecked_depth:
-                self.stats.unchecked_suppressions += 1
+                self.events.emit(
+                    EventKind.UNCHECKED_SUPPRESSION, location._node
+                )
             else:
                 frame = self.call_stack[-1]
                 node = self._storage_node(location)
@@ -128,20 +189,28 @@ class Runtime:
         return value
 
     def on_modify(self, location: "Location", value: Any) -> None:
-        """Algorithm 4.  Stores ``value`` and tracks the change."""
+        """Algorithm 4.  Stores ``value`` and tracks the change.
+
+        Inside a ``with rt.batch():`` block the store still happens now,
+        but change detection is deferred (and coalesced per location) to
+        the transaction's commit.
+        """
         # "modify(l, v) -> access(l); l := v; ..." — the read side first,
         # so an executing procedure depends on storage it writes.
         self.on_read(location)
-        self.stats.modifies += 1
+        self.events.emit(EventKind.MODIFY, location._node)
+        transaction = self._transaction
+        if transaction is not None:
+            location._value = value
+            transaction.record(location)
+            return
         location._value = value
         node = location._node
         if node is not None:
-            if not self._values_equal(node.value, value):
+            if not values_equal(node.value, value):
                 node.value = value
-                self.stats.changes_detected += 1
+                self.events.emit(EventKind.CHANGE_DETECTED, node)
                 self.partitions.mark(node)
-                if self.on_event is not None:
-                    self.on_event("change", node)
             else:
                 node.value = value
 
@@ -184,11 +253,9 @@ class Runtime:
                 # execution: a genuinely cyclic specification (a body
                 # calling itself with no intervening state change).
                 raise CycleError(node.label)
-            self.stats.cache_hits += 1
-            if self.on_event is not None:
-                self.on_event("hit", node)
+            self.events.emit(EventKind.CACHE_HIT, node)
             return node.value
-        self.stats.cache_misses += 1
+        self.events.emit(EventKind.CACHE_MISS, node)
         return self.execute_node(node)
 
     def execute_node(self, node: DepNode) -> Any:
@@ -253,18 +320,17 @@ class Runtime:
             node.executing -= 1
             popped = self.call_stack.pop()
             assert popped is frame
-        self.stats.executions += 1
-        if node.activation_seq == my_activation:
+        committed = node.activation_seq == my_activation
+        if committed:
             node.value = result
             if node.static_edges:
                 node.edges_frozen = True
-            if self.on_event is not None:
-                self.on_event("execute", node)
+        self.events.emit(EventKind.EXECUTION, node, data=committed)
         return result
 
     def _force_evaluation_for(self, node: DepNode) -> None:
         """Flush the inconsistent set governing ``node``'s partition."""
-        if self.evaluator.active:
+        if self.scheduler.active:
             return  # nested call during propagation; outer drain continues
         forced = False
         while True:
@@ -272,9 +338,9 @@ class Runtime:
             if not incset:
                 break
             forced = True
-            self.evaluator.drain(incset)
+            self.scheduler.drain(incset)
         if forced:
-            self.stats.forced_evaluations += 1
+            self.events.emit(EventKind.FORCED_EVALUATION, node)
 
     # ------------------------------------------------------------------
     # explicit control
@@ -287,7 +353,7 @@ class Runtime:
         cycles are available (input/output, etc)".  Returns the number of
         propagation steps performed.
         """
-        return self.evaluator.drain_all()
+        return self.scheduler.drain_all()
 
     def idle_tick(self, max_steps: int = 100) -> int:
         """Spend up to ``max_steps`` of propagation work, preemptibly.
@@ -297,11 +363,27 @@ class Runtime:
         Returns the number of propagation steps performed; 0 means the
         system is fully quiescent (or a drain is already running).
         """
-        return self.evaluator.drain_budget(max_steps)
+        return self.scheduler.drain_budget(max_steps)
 
     def pending_changes(self) -> bool:
         """True if any partition has unpropagated changes."""
         return self.partitions.has_pending()
+
+    def batch(self) -> Transaction:
+        """Open a batched-write transaction (``with rt.batch(): ...``).
+
+        Writes inside the block apply to storage immediately but defer
+        change detection; repeated writes to one location coalesce to
+        its final value; commit marks the changed locations and runs at
+        most one propagation pass.  Nested ``batch()`` blocks join the
+        outermost transaction.  See :mod:`repro.core.transaction`.
+        """
+        return Transaction(self)
+
+    @property
+    def in_batch(self) -> bool:
+        """True while a ``with rt.batch():`` block is open."""
+        return self._transaction is not None
 
     @contextlib.contextmanager
     def unchecked(self):
@@ -347,21 +429,23 @@ class Runtime:
         incset = self.partitions.set_of(node)
         incset.discard(node)
         node.thunk = None
-        self.stats.cache_evictions += 1
+        self.events.emit(EventKind.CACHE_EVICTION, node)
 
     def table_size(self, proc: "IncrementalProcedure") -> int:
         """Number of live cache entries for ``proc`` in this runtime."""
         table = self._tables.get(proc.proc_id)
         return len(table) if table is not None else 0
 
-    @staticmethod
-    def _values_equal(a: Any, b: Any) -> bool:
-        if a is NO_VALUE or b is NO_VALUE:
-            return False
-        try:
-            return bool(a == b)
-        except Exception:
-            return a is b
+    def node_for(
+        self, proc: "IncrementalProcedure", args: Tuple[Any, ...]
+    ) -> Optional[DepNode]:
+        """The dependency-graph node of instance ``proc(*args)``, if it
+        has ever been called in this runtime (debugging/diagnostics)."""
+        table = self._tables.get(proc.proc_id)
+        return table.find(tuple(args)) if table is not None else None
+
+    #: Deprecated: use :func:`repro.core.node.values_equal`.
+    _values_equal = staticmethod(values_equal)
 
 
 class Location:

@@ -1,0 +1,342 @@
+"""Propagation scheduling (paper Section 4.5) behind one interface.
+
+The evaluation routine drains an inconsistent set:
+
+* "If u represents a storage location, all elements of succ(u) are added
+  to the inconsistent set."
+* "If u represents a demand incremental procedure instance, if
+  consistent(u) is true, then we set it to false and add all elements of
+  succ(u) to the inconsistent set."
+* "If u represents an eager incremental procedure instance p, p is
+  re-executed.  If the result value is different from value(u), all
+  elements of succ(u) are added to the inconsistent set."
+
+The third rule is the quiescence cut: propagation stops along paths
+where recomputation reproduced the cached value (Section 2).
+
+*What* happens per node is fixed by the paper; *which pending node goes
+next* is a policy.  The paper itself observes that "the amount of
+computation is minimized when done in a topological order with respect
+to the graph, and much research has been directed at algorithms to
+compute this order" — i.e. the order is a pluggable heuristic, not a
+correctness requirement.  :class:`Scheduler` fixes the processing rules
+and the drain lifecycles (full drain, budgeted drain, global flush) and
+leaves node selection to subclasses:
+
+* :class:`TopologicalScheduler` — the default and the pre-refactor
+  ``Evaluator``: pops the inconsistent set's min-heap, which is keyed by
+  Pearce–Kelly topological order.
+* :class:`HeightOrderedScheduler` — processes pending nodes in
+  ascending *dependency height* (longest path from storage), the
+  priority used by Hoover's earlier aggregate-update work and by
+  Incremental-style engines.  Heights are computed per refill, so it
+  trades scheduling bookkeeping for immunity to stale Pearce–Kelly keys.
+
+Schedulers announce their work on the runtime's event bus
+(``PROPAGATION_STEP``, ``EAGER_REEXECUTION``, ``QUIESCENCE_CUT``,
+``DRAIN``) and never touch counters directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type, Union
+
+from .errors import EvaluationLimitError
+from .events import EventKind
+from .node import DepNode, NodeKind, values_equal
+from .partition import InconsistentSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+
+__all__ = [
+    "Scheduler",
+    "TopologicalScheduler",
+    "HeightOrderedScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+]
+
+
+class Scheduler:
+    """Drains inconsistent sets for one runtime.
+
+    Re-entrancy: eager re-execution can itself call incremental
+    procedures, which per Algorithm 5 would try to force evaluation
+    again.  We suppress nested forcing with the ``active`` flag — the
+    outer drain loop will reach any newly marked nodes anyway (they land
+    in the same or a merged partition's set).
+
+    Subclasses override :meth:`_next` (node selection) and optionally
+    :meth:`_begin_drain` / :meth:`_abort_drain` (per-drain state).
+    """
+
+    #: Registry key; subclasses set a unique one.
+    name = "abstract"
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        self.active = False
+
+    # -- selection policy (subclass interface) ---------------------------
+
+    def _begin_drain(self) -> None:
+        """Reset any per-drain selection state."""
+
+    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
+        """Choose and remove the next pending node, or None when done."""
+        raise NotImplementedError
+
+    def _abort_drain(self, incset: InconsistentSet) -> None:
+        """Return privately buffered nodes to ``incset`` after an error."""
+
+    # -- drain lifecycles ------------------------------------------------
+
+    def drain(self, incset: InconsistentSet) -> int:
+        """Process ``incset`` to empty; returns the number of steps."""
+        if self.active:
+            return 0
+        rt = self.runtime
+        emit = rt.events.emit
+        limit = rt.eval_limit
+        steps = 0
+        self.active = True
+        self._begin_drain()
+        try:
+            while True:
+                node = self._next(incset)
+                if node is None:
+                    break
+                steps += 1
+                emit(EventKind.PROPAGATION_STEP, node)
+                if limit is not None and steps > limit:
+                    raise EvaluationLimitError(limit)
+                self._process(node)
+        except BaseException:
+            self._abort_drain(incset)
+            raise
+        finally:
+            self.active = False
+            rt.partitions.note_drained(incset)
+            if steps:
+                emit(EventKind.DRAIN, None, amount=steps)
+        return steps
+
+    def drain_budget(self, max_steps: int) -> int:
+        """Spend up to ``max_steps`` of propagation work, then stop.
+
+        The paper's idle-cycles mode: "the evaluation routine should be
+        called whenever cycles are available (input/output, etc) and can
+        be preempted when necessary."  Unlike :meth:`drain`, running out
+        of budget is not an error — remaining work stays pending and the
+        next call (or the next forced evaluation) continues it.
+        """
+        if self.active or max_steps <= 0:
+            return 0
+        rt = self.runtime
+        emit = rt.events.emit
+        done = 0
+        self.active = True
+        self._begin_drain()
+        try:
+            while done < max_steps:
+                pending = rt.partitions.pending_sets()
+                if not pending:
+                    break
+                for incset in pending:
+                    try:
+                        while done < max_steps:
+                            node = self._next(incset)
+                            if node is None:
+                                break
+                            done += 1
+                            emit(EventKind.PROPAGATION_STEP, node)
+                            self._process(node)
+                    finally:
+                        # Budget exhaustion must not orphan privately
+                        # buffered nodes: hand them back before moving on.
+                        self._abort_drain(incset)
+                    rt.partitions.note_drained(incset)
+                    if done >= max_steps:
+                        break
+        finally:
+            self.active = False
+            if done:
+                emit(EventKind.DRAIN, None, amount=done)
+        return done
+
+    def drain_all(self) -> int:
+        """Flush every pending partition (a global "evaluate now")."""
+        if self.active:
+            return 0
+        total = 0
+        # Draining one set can dirty another (via cross-partition unions
+        # created by re-execution), so loop to a fixpoint.
+        while True:
+            pending = self.runtime.partitions.pending_sets()
+            if not pending:
+                break
+            for incset in pending:
+                total += self.drain(incset)
+        return total
+
+    # -- the paper's per-node processing rules (fixed) -------------------
+
+    def _process(self, node: DepNode) -> None:
+        rt = self.runtime
+        if node.kind is NodeKind.STORAGE:
+            # The storage's node.value was already refreshed by modify();
+            # just wake the dependents.
+            self._mark_successors(node)
+        elif node.kind is NodeKind.DEMAND:
+            if node.consistent:
+                node.consistent = False
+                self._mark_successors(node)
+        else:  # EAGER: re-execute now, propagate only on value change
+            old = node.value
+            had_value = node.has_value()
+            rt.execute_node(node)
+            rt.events.emit(EventKind.EAGER_REEXECUTION, node)
+            if had_value and values_equal(old, node.value):
+                rt.events.emit(EventKind.QUIESCENCE_CUT, node)
+            else:
+                self._mark_successors(node)
+
+    def _mark_successors(self, node: DepNode) -> None:
+        partitions = self.runtime.partitions
+        for succ in node.succ.nodes():
+            partitions.mark(succ)
+
+
+class TopologicalScheduler(Scheduler):
+    """The default policy and the pre-refactor ``Evaluator``.
+
+    The inconsistent set is a min-heap keyed by Pearce–Kelly topological
+    order at insertion time, so popping it *is* the selection policy —
+    O(log n) per step, with keys that may go stale under reordering
+    (degrading schedule quality, never correctness).
+    """
+
+    name = "topological"
+
+    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
+        return incset.pop()
+
+
+class HeightOrderedScheduler(Scheduler):
+    """Processes pending nodes in ascending dependency height.
+
+    Height of a node is the longest pred-path to a storage node (storage
+    itself is height 0).  Each refill drains the whole inconsistent set
+    into a private buffer, computes heights once, and serves the buffer
+    smallest-height first; nodes marked *during* processing are picked
+    up by the next refill.  Unlike the insertion-time heap keys this
+    priority is always fresh, at the cost of an O(affected subgraph)
+    height computation per refill — the classic throughput-vs-overhead
+    scheduling trade the Scheduler interface exists to let callers make.
+    """
+
+    name = "height"
+
+    def __init__(self, runtime: "Runtime") -> None:
+        super().__init__(runtime)
+        self._buffer: List[DepNode] = []
+
+    def _begin_drain(self) -> None:
+        self._buffer.clear()
+
+    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
+        if not self._buffer:
+            batch: List[DepNode] = []
+            while True:
+                node = incset.pop()
+                if node is None:
+                    break
+                batch.append(node)
+            if not batch:
+                return None
+            memo: Dict[int, int] = {}
+            batch.sort(key=lambda n: self._height(n, memo), reverse=True)
+            self._buffer = batch  # tail = smallest height
+        return self._buffer.pop()
+
+    def _abort_drain(self, incset: InconsistentSet) -> None:
+        for node in self._buffer:
+            self.runtime.partitions.mark(node)
+        self._buffer.clear()
+
+    @staticmethod
+    def _height(node: DepNode, memo: Dict[int, int]) -> int:
+        """Longest pred-path from storage, iteratively (graphs are deep).
+
+        Nodes currently on the DFS stack (re-entrant dependency cycles)
+        contribute 0, matching the paper's tolerance of cycles: the
+        order is a heuristic, quiescence bounds the work.
+        """
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        on_stack: Dict[int, None] = {}
+        stack: List[tuple] = [(node, None)]
+        while stack:
+            current, pred_iter = stack.pop()
+            key = id(current)
+            if pred_iter is None:
+                if key in memo or key in on_stack:
+                    continue
+                if current.kind is NodeKind.STORAGE:
+                    memo[key] = 0
+                    continue
+                on_stack[key] = None
+                pred_iter = iter(list(current.pred.nodes()))
+            advanced = False
+            for pred in pred_iter:
+                pk = id(pred)
+                if pk not in memo and pk not in on_stack:
+                    stack.append((current, pred_iter))
+                    stack.append((pred, None))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            del on_stack[key]
+            best = 0
+            for pred in current.pred.nodes():
+                best = max(best, memo.get(id(pred), 0))
+            memo[key] = best + 1
+        return memo.get(id(node), 0)
+
+
+#: Scheduler registry for ``Runtime(scheduler="...")``.
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    "topological": TopologicalScheduler,
+    "topo": TopologicalScheduler,
+    "height": HeightOrderedScheduler,
+}
+
+SchedulerSpec = Union[str, Type[Scheduler], Callable[["Runtime"], Scheduler]]
+
+
+def make_scheduler(spec: SchedulerSpec, runtime: "Runtime") -> Scheduler:
+    """Resolve a scheduler spec: registry name, Scheduler subclass, or a
+    factory callable taking the runtime."""
+    if isinstance(spec, str):
+        try:
+            cls: Callable[["Runtime"], Scheduler] = SCHEDULERS[spec]
+        except KeyError:
+            known = ", ".join(sorted(set(SCHEDULERS)))
+            raise ValueError(
+                f"unknown scheduler {spec!r} (known: {known})"
+            ) from None
+        return cls(runtime)
+    if isinstance(spec, type) and issubclass(spec, Scheduler):
+        return spec(runtime)
+    if callable(spec):
+        scheduler = spec(runtime)
+        if not isinstance(scheduler, Scheduler):
+            raise TypeError(
+                f"scheduler factory returned {type(scheduler).__name__}, "
+                "expected a Scheduler"
+            )
+        return scheduler
+    raise TypeError(f"cannot interpret scheduler spec {spec!r}")

@@ -6,12 +6,21 @@ steps) rather than machine time.  This module is the measurement
 substrate the benchmark harness asserts complexity *shapes* on: counters
 are machine-independent, so "repeat queries are O(1)" or "a change costs
 O(height)" can be checked deterministically.
+
+Counters are maintained by :class:`StatsCollector`, an
+:class:`~repro.core.events.EventBus` subscriber — the engine itself
+never touches a counter.  ``Runtime.stats`` is the collector's
+:class:`RuntimeStats`, so the measurement API is unchanged from the
+pre-layered engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from .events import EventBus, EventKind
+from .node import NodeKind
 
 
 @dataclass
@@ -69,6 +78,18 @@ class RuntimeStats:
     #: Dependency edges suppressed inside unchecked() regions (§6.4).
     unchecked_suppressions: int = 0
 
+    #: Nodes newly added to a partition's inconsistent set (a superset
+    #: of changes_detected: propagation marking counts too).
+    inconsistent_marks: int = 0
+
+    #: Completed top-level scheduler drains that performed >= 1 step.
+    drains: int = 0
+
+    #: ``with rt.batch():`` commits, and repeated same-location writes
+    #: those commits coalesced into a single change check.
+    batch_commits: int = 0
+    batch_writes_coalesced: int = 0
+
     def reset(self) -> None:
         """Zero every counter."""
         for f in fields(self):
@@ -96,3 +117,98 @@ class RuntimeStats:
         width = max(len(name) for name in snap)
         lines = [f"{name:<{width}}  {value}" for name, value in snap.items() if value]
         return "\n".join(lines) if lines else "(no operations recorded)"
+
+
+#: Event kinds that map one-to-one onto a counter; the handler adds the
+#: event's ``amount`` to the named field.
+_COUNTER_FOR = {
+    EventKind.EDGE_ADDED: "edges_created",
+    EventKind.EDGE_REMOVED: "edges_removed",
+    EventKind.ORDER_SHIFTED: "order_shifts",
+    EventKind.ACCESS: "accesses",
+    EventKind.MODIFY: "modifies",
+    EventKind.CHANGE_DETECTED: "changes_detected",
+    EventKind.INCONSISTENT_MARKED: "inconsistent_marks",
+    EventKind.EXECUTION: "executions",
+    EventKind.CACHE_HIT: "cache_hits",
+    EventKind.CACHE_MISS: "cache_misses",
+    EventKind.CACHE_EVICTION: "cache_evictions",
+    EventKind.PROPAGATION_STEP: "propagation_steps",
+    EventKind.EAGER_REEXECUTION: "eager_reexecutions",
+    EventKind.QUIESCENCE_CUT: "quiescent_stops",
+    EventKind.FORCED_EVALUATION: "forced_evaluations",
+    EventKind.UNCHECKED_SUPPRESSION: "unchecked_suppressions",
+    EventKind.PARTITION_UNION: "partition_unions",
+    EventKind.PARTITION_FIND: "partition_finds",
+}
+
+
+class StatsCollector:
+    """EventBus subscriber that maintains a :class:`RuntimeStats`.
+
+    The only component allowed to increment counters.  Handlers are
+    per-kind closures over the stats object (no per-event dict lookup),
+    keeping the tracked-read hot path cheap.
+    """
+
+    def __init__(self, stats: Optional[RuntimeStats] = None) -> None:
+        self.stats = stats if stats is not None else RuntimeStats()
+        self._bus: Optional[EventBus] = None
+        self._handlers: Dict[EventKind, Any] = {}
+
+    def attach(self, bus: EventBus) -> "StatsCollector":
+        """Subscribe every counter handler to ``bus``."""
+        if self._bus is not None:
+            raise RuntimeError("StatsCollector is already attached")
+        stats = self.stats
+        for kind, name in _COUNTER_FOR.items():
+            self._handlers[kind] = bus.subscribe(kind, _adder(stats, name))
+        self._handlers[EventKind.NODE_CREATED] = bus.subscribe(
+            EventKind.NODE_CREATED, self._on_node_created
+        )
+        self._handlers[EventKind.BATCH_COMMIT] = bus.subscribe(
+            EventKind.BATCH_COMMIT, self._on_batch_commit
+        )
+        self._handlers[EventKind.DRAIN] = bus.subscribe(
+            EventKind.DRAIN, self._on_drain
+        )
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for kind, handler in self._handlers.items():
+            self._bus.unsubscribe(kind, handler)
+        self._handlers.clear()
+        self._bus = None
+
+    # -- structured handlers --------------------------------------------
+
+    def _on_node_created(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        if node is not None and node.kind is NodeKind.STORAGE:
+            self.stats.storage_nodes_created += amount
+        else:
+            self.stats.procedure_nodes_created += amount
+
+    def _on_batch_commit(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        self.stats.batch_commits += amount
+        if data:
+            self.stats.batch_writes_coalesced += data.get("coalesced", 0)
+
+    def _on_drain(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        # DRAIN's ``amount`` is the step count; the counter tracks passes.
+        self.stats.drains += 1
+
+
+def _adder(stats: RuntimeStats, name: str):
+    def handle(kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        setattr(stats, name, getattr(stats, name) + amount)
+
+    return handle

@@ -1,0 +1,150 @@
+"""Batched writes — the transaction layer of the engine.
+
+The paper's §3.4 cost claim for trees is that "changes to many pointers
+... are batched by the evaluation algorithm and result in O(|AFFECTED|)
+computations".  In the pre-layered engine that batching was an *implicit
+pattern*: perform all writes, then query.  This module makes it a
+first-class API::
+
+    with rt.batch():
+        for node in targets:
+            node.left = subtree      # writes apply, propagation waits
+
+    root.height()                    # one propagation serves the batch
+
+Inside a ``with rt.batch():`` block:
+
+* Writes store to the underlying location immediately (later reads in
+  the block see them), but change detection and inconsistent-set
+  marking are deferred to commit.
+* Repeated writes to one location are **coalesced**: only the final
+  value is compared against the location's pre-batch cached value, so a
+  write cycle A → B → A detects *no* change at all.
+* Commit performs change detection per distinct location, marks the
+  changed ones, and triggers at most one propagation drain pass —
+  regardless of how many writes the block performed.
+
+Caveats (documented, not enforced): derived values *read* inside the
+block may be stale with respect to the block's own writes, since
+invalidation happens only at commit; batches are meant to wrap bursts
+of input changes, not incremental procedure bodies.  If the block
+raises, storage keeps the values written so far, so commit still
+reconciles graph nodes and marks changes (correctness), but skips the
+propagation drain (the exception wins).
+
+Nesting is flattening: an inner ``rt.batch()`` joins the outer
+transaction, and everything commits when the outermost block exits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from .events import EventKind
+from .node import values_equal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Location, Runtime
+
+__all__ = ["Transaction"]
+
+#: Baseline marker for "location had no graph node when first written in
+#: this batch" — distinct from NO_VALUE, which is a legal node state.
+_NO_NODE = object()
+
+
+class Transaction:
+    """One ``with rt.batch():`` scope: deferred, coalesced change tracking.
+
+    Created by :meth:`Runtime.batch`.  While installed as the runtime's
+    active transaction, ``Runtime.on_modify`` routes every tracked write
+    here via :meth:`record` instead of marking the inconsistent set.
+    """
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+        #: id(location) -> (location, baseline cached value at first write).
+        self._writes: Dict[int, Tuple["Location", Any]] = {}
+        #: Repeated writes absorbed into an already-recorded location.
+        self.coalesced = 0
+        self._parent: Optional[Transaction] = None
+        self._committed = False
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        rt = self.runtime
+        self._parent = rt._transaction
+        if self._parent is not None:
+            return self._parent  # nested batch: join the outer transaction
+        rt._transaction = self
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._parent is not None:
+            self._parent = None
+            return  # the outer batch owns the commit
+        self.runtime._transaction = None
+        self.commit(drain=exc_type is None)
+
+    # -- write tracking --------------------------------------------------
+
+    def record(self, location: "Location") -> None:
+        """Note a write to ``location`` (value already stored).
+
+        The first write captures the baseline the commit-time change
+        check compares against: the graph node's cached value, which is
+        what every consistent dependent computed from.  Later writes to
+        the same location coalesce into the existing entry — commit only
+        ever looks at the location's final value.
+        """
+        key = id(location)
+        if key in self._writes:
+            self.coalesced += 1
+            return
+        node = location._node
+        baseline = node.value if node is not None else _NO_NODE
+        self._writes[key] = (location, baseline)
+
+    def __len__(self) -> int:
+        """Distinct locations written so far."""
+        return len(self._writes)
+
+    # -- commit ----------------------------------------------------------
+
+    def commit(self, drain: bool = True) -> int:
+        """Run deferred change detection; returns locations marked changed.
+
+        For each distinct written location with a dependency-graph node,
+        the final stored value is compared against the baseline with the
+        same identity-then-equality guard as an unbatched write.  A
+        location whose node was only created *during* the batch (by a
+        tracked read between writes) is conservatively marked changed:
+        its readers may have seen an intermediate value.  When ``drain``
+        is true and anything was marked, one global propagation pass
+        runs — eager dependents re-execute now, demand dependents are
+        invalidated for their next call.
+        """
+        if self._committed:
+            return 0
+        self._committed = True
+        rt = self.runtime
+        changed = 0
+        for location, baseline in self._writes.values():
+            node = location._node
+            if node is None:
+                continue  # never read by any procedure: no dependents
+            final = location._value
+            node.value = final
+            if baseline is _NO_NODE or not values_equal(baseline, final):
+                changed += 1
+                rt.events.emit(EventKind.CHANGE_DETECTED, node)
+                rt.partitions.mark(node)
+        rt.events.emit(
+            EventKind.BATCH_COMMIT,
+            None,
+            data={"writes": len(self._writes), "coalesced": self.coalesced},
+        )
+        if drain and changed:
+            rt.scheduler.drain_all()
+        return changed

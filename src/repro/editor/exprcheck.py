@@ -24,18 +24,16 @@ exactly the paper's pitch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, List, Optional, Tuple, Union
+from typing import FrozenSet, List, Tuple, Union
 
 from ..core import TrackedObject, maintained
 from ..ag.expr import (
-    Env,
     Exp,
     IdExp,
     IntExp,
     LetExp,
     PlusExp,
     RootExp,
-    UndefinedIdentifier,
     exp_to_text,
 )
 

@@ -70,6 +70,12 @@ def build_argparser() -> argparse.ArgumentParser:
         default=None,
         help="abort after this many interpreter statements",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL runtime-event trace (alphonse mode only)",
+    )
     return parser
 
 
@@ -102,12 +108,42 @@ def main(argv=None) -> int:
                 result = transform(info, optimize=not args.no_optimize)
                 print(unparse(result.module))
                 return 0
-        interp = run_source(
-            source,
-            mode=args.mode,
-            optimize=not args.no_optimize,
-            max_steps=args.max_steps,
-        )
+        trace = None
+        runtime = None
+        trace_failed = False
+        if args.trace is not None:
+            if args.mode != "alphonse":
+                print(
+                    "warning: --trace has no effect in conventional mode",
+                    file=sys.stderr,
+                )
+            else:
+                from ..core import Runtime, TraceExporter
+
+                trace = TraceExporter()
+                runtime = Runtime()
+                trace.attach(runtime.events)
+        try:
+            interp = run_source(
+                source,
+                mode=args.mode,
+                runtime=runtime,
+                optimize=not args.no_optimize,
+                max_steps=args.max_steps,
+            )
+        finally:
+            if trace is not None:
+                trace.detach()
+                try:
+                    count = trace.write(args.trace)
+                except OSError as exc:
+                    trace_failed = True
+                    print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                else:
+                    print(
+                        f"trace: {count} events -> {args.trace}",
+                        file=sys.stderr,
+                    )
     except AlphonseError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -119,7 +155,7 @@ def main(argv=None) -> int:
         print(f"dynamic checks: {interp.dynamic_checks}", file=sys.stderr)
         if interp.runtime is not None:
             print(interp.runtime.stats.summary(), file=sys.stderr)
-    return 0
+    return 1 if trace_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

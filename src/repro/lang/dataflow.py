@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Set
 
 from . import ast
 from .builtins import BUILTIN_ARITIES
-from .symbols import ModuleInfo, ProcInfo
+from .symbols import ModuleInfo
 
 
 class SiteClass(enum.Enum):

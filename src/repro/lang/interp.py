@@ -24,6 +24,7 @@ parameter to a tracked cell is tracked.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core import LRU, FIFO, Runtime
@@ -212,6 +213,20 @@ class Interpreter:
                         self.globals[name]._value = value
             self.exec_stmts(self.code_module.body, module_env)
         return self.output
+
+    def batch(self):
+        """Coalesce a burst of mutator-side writes (``rt.batch()``).
+
+        In alphonse mode this is a passthrough to the runtime's
+        transaction layer: writes made via :meth:`call_procedure` /
+        :meth:`call_method` inside the block defer change detection and
+        share one propagation drain at exit.  Conventional mode has no
+        runtime and nothing to defer, so the block is a no-op — the same
+        driver code runs unchanged in both modes.
+        """
+        if self.runtime is not None:
+            return self.runtime.batch()
+        return contextlib.nullcontext()
 
     def call_procedure(self, name: str, *args: Any) -> Any:
         """Mutator-side entry point: call a top-level procedure by name.

@@ -19,7 +19,7 @@ the conservative restriction checks of paper Section 3.5:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from ..core.errors import AlphonseError
 from . import ast

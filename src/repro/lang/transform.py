@@ -25,8 +25,8 @@ pragmas").
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..core.errors import TransformError
 from . import ast

@@ -25,11 +25,11 @@ Type language:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from . import ast
 from .builtins import BUILTIN_ARITIES
-from .symbols import ModuleInfo, TypeInfo
+from .symbols import ModuleInfo
 
 # -- the type lattice ----------------------------------------------------
 

@@ -11,9 +11,9 @@ cell in the array and return the result of its value method."
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
-from ..core import TrackedObject, maintained
+from ..core import TrackedObject, get_runtime, maintained
 from ..core.errors import AlphonseError, CycleError
 from ..ag.expr import Exp, root
 
@@ -146,6 +146,19 @@ class Spreadsheet:
 
     def clear(self, row: int, col: int) -> None:
         self.set_formula(row, col, None)
+
+    def bulk_update(self, updates: Iterable[Tuple[int, int, Any]]) -> None:
+        """Install many ``(row, col, formula)`` assignments as one batch.
+
+        A paste or an imported block is a burst of writes whose
+        intermediate states nobody will ever read, so the whole burst is
+        wrapped in ``rt.batch()``: change detection happens once per
+        cell against its pre-paste value, and dependents of several
+        changed cells recompute once, not once per assignment.
+        """
+        with get_runtime().batch():
+            for row, col, formula in updates:
+                self.set_formula(row, col, formula)
 
     # -- queries ---------------------------------------------------------
 

@@ -18,7 +18,7 @@ with less than two children").
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core import TrackedObject, maintained
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ag import AttributeGrammar, Production
+from repro.ag import AttributeGrammar
 from repro.ag.grammar import GrammarError
 
 

@@ -1,8 +1,6 @@
 """Grammar compilation with non-default strategies, and framework
 corner cases."""
 
-import pytest
-
 from repro import EAGER
 from repro.ag import AttributeGrammar, compile_grammar
 from repro.ag.translate import link_parents

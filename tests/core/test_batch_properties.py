@@ -1,0 +1,107 @@
+"""Property: for ANY write sequence, ``with rt.batch():`` costs no more
+executions than applying the same writes sequentially, and both leave
+every cached value identical (ISSUE satellite).  The batch is a pure
+economy — it may only remove work, never change answers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cell, EAGER, Runtime, cached
+
+N_CELLS = 4
+
+#: A write is (cell index, value).  Small value ranges force collisions:
+#: repeated writes to one cell, rewrites of the current value, and A→B→A
+#: cycles — the cases coalescing exists for.
+write_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=N_CELLS - 1),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def _build(strategy):
+    """A fresh runtime with N_CELLS inputs and derived layers over them."""
+    rt = Runtime()
+    with rt.active():
+        cells = [Cell(0, label=f"c{i}") for i in range(N_CELLS)]
+
+        @cached(strategy=strategy)
+        def total():
+            return sum(c.get() for c in cells)
+
+        @cached(strategy=strategy)
+        def parity():
+            return total() % 2
+
+        @cached(strategy=strategy)
+        def head_pair():
+            return (cells[0].get(), cells[1].get())
+
+        queries = (total, parity, head_pair)
+        for q in queries:
+            q()
+    return rt, cells, queries
+
+
+def _run(writes, strategy, batched):
+    rt, cells, queries = _build(strategy)
+    with rt.active():
+        if batched:
+            with rt.batch():
+                for index, value in writes:
+                    cells[index].set(value)
+        else:
+            for index, value in writes:
+                cells[index].set(value)
+                rt.flush()
+        rt.flush()
+        results = tuple(q() for q in queries)
+    return results, rt.stats
+
+
+@given(writes=write_lists, strategy=st.sampled_from([None, EAGER]))
+@settings(max_examples=60, deadline=None)
+def test_batch_never_costs_more_and_agrees(writes, strategy):
+    from repro.core.strategy import DEMAND
+
+    strategy = strategy if strategy is not None else DEMAND
+    seq_results, seq_stats = _run(writes, strategy, batched=False)
+    bat_results, bat_stats = _run(writes, strategy, batched=True)
+
+    # identical cached values after the dust settles
+    assert bat_results == seq_results
+
+    # the batch coalesces: it can only save executions, never add them
+    assert bat_stats.executions <= seq_stats.executions
+
+    # and it detects at most one change per distinct cell written
+    distinct = len({index for index, _ in writes})
+    assert bat_stats.changes_detected <= distinct
+
+    # at most one drain serves the whole commit (plus the per-query
+    # forced flushes, which both runs share)
+    assert bat_stats.drains <= seq_stats.drains
+    assert bat_stats.batch_commits == 1
+
+
+@given(writes=write_lists)
+@settings(max_examples=40, deadline=None)
+def test_batch_noop_when_final_equals_initial(writes):
+    """Writes that end where they started detect nothing at commit."""
+    rt, cells, queries = _build(EAGER)
+    with rt.active():
+        baseline = tuple(q() for q in queries)
+        before = rt.stats.snapshot()
+        with rt.batch():
+            for index, value in writes:
+                cells[index].set(value)
+            for cell in cells:
+                cell.set(0)  # restore every cell to its initial value
+        delta = rt.stats.delta(before)
+        assert delta["changes_detected"] == 0
+        assert delta["executions"] == 0
+        assert tuple(q() for q in queries) == baseline

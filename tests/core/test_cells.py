@@ -4,7 +4,7 @@ TrackedDict."""
 import pytest
 
 from repro import Cell, TrackedArray, TrackedDict, TrackedObject, cached, maintained
-from repro.core.cells import MISSING, tracked_fields
+from repro.core.cells import tracked_fields
 from repro.core.errors import NotTrackedError
 
 

@@ -1,11 +1,8 @@
 """The pragma surface: @maintained, @cached, unchecked(), strategies,
 cache policies."""
 
-import pytest
-
 from repro import (
     Cell,
-    DEMAND,
     EAGER,
     LRU,
     Runtime,

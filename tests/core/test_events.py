@@ -1,0 +1,259 @@
+"""The EventBus observability layer: typed events, subscribers, the
+stats collector, the trace exporter, and the no-hand-counting invariant."""
+
+import pytest
+
+from repro import Cell, EAGER, cached
+from repro.core.events import EventBus, EventKind, TraceExporter
+from repro.core.stats import StatsCollector
+
+
+def _collect(bus, kind, sink):
+    bus.subscribe(
+        kind, lambda k, node, amount, data: sink.append((node, amount, data))
+    )
+
+
+class TestEventBus:
+    def test_subscribe_and_emit(self):
+        bus = EventBus()
+        seen = []
+        _collect(bus, EventKind.ACCESS, seen)
+        bus.emit(EventKind.ACCESS, "n")
+        assert seen == [("n", 1, None)]
+
+    def test_kind_isolation(self):
+        bus = EventBus()
+        seen = []
+        _collect(bus, EventKind.ACCESS, seen)
+        bus.emit(EventKind.MODIFY)
+        assert seen == []
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+
+        def handler(kind, node, amount, data):
+            seen.append(kind)
+
+        bus.subscribe(EventKind.ACCESS, handler)
+        bus.emit(EventKind.ACCESS)
+        bus.unsubscribe(EventKind.ACCESS, handler)
+        bus.emit(EventKind.ACCESS)
+        assert len(seen) == 1
+        # unsubscribing twice is a no-op
+        bus.unsubscribe(EventKind.ACCESS, handler)
+
+    def test_subscribe_all_sees_every_kind(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(lambda k, n, a, d: seen.append(k))
+        bus.emit(EventKind.ACCESS)
+        bus.emit(EventKind.EXECUTION)
+        assert seen == [EventKind.ACCESS, EventKind.EXECUTION]
+        bus.unsubscribe_all(bus._all[0])
+        bus.emit(EventKind.ACCESS)
+        assert len(seen) == 2
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count(EventKind.ACCESS) == 0
+        bus.subscribe(EventKind.ACCESS, lambda *a: None)
+        bus.subscribe_all(lambda *a: None)
+        assert bus.subscriber_count(EventKind.ACCESS) == 2
+        assert bus.subscriber_count(EventKind.MODIFY) == 1
+        assert bus.subscriber_count() == 1
+
+    def test_amount_batches(self):
+        bus = EventBus()
+        seen = []
+        _collect(bus, EventKind.EDGE_REMOVED, seen)
+        bus.emit(EventKind.EDGE_REMOVED, None, amount=7)
+        assert seen == [(None, 7, None)]
+
+
+class TestRuntimeEmitsTypedEvents:
+    def test_node_and_edge_events(self, rt):
+        seen = {"nodes": [], "edges": []}
+        rt.events.subscribe(
+            EventKind.NODE_CREATED,
+            lambda k, n, a, d: seen["nodes"].append(n.label),
+        )
+        rt.events.subscribe(
+            EventKind.EDGE_ADDED,
+            lambda k, n, a, d: seen["edges"].append((n.label, d.label)),
+        )
+        cell = Cell(1, label="src")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        assert "src" in seen["nodes"]
+        assert any(label.startswith("reader") for label in seen["nodes"])
+        assert ("src", "reader()") in seen["edges"]
+
+    def test_inconsistent_marked_event(self, rt):
+        marked = []
+        rt.events.subscribe(
+            EventKind.INCONSISTENT_MARKED,
+            lambda k, n, a, d: marked.append(n.label),
+        )
+        cell = Cell(1, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        cell.set(2)
+        assert marked == ["c"]
+
+    def test_quiescence_cut_event(self, rt):
+        cuts = []
+        rt.events.subscribe(
+            EventKind.QUIESCENCE_CUT, lambda k, n, a, d: cuts.append(n.label)
+        )
+        cell = Cell(5, label="x")
+
+        @cached(strategy=EAGER)
+        def sign():
+            return 1 if cell.get() > 0 else -1
+
+        sign()
+        cell.set(7)  # recomputes to 1: quiescent
+        rt.flush()
+        assert cuts and cuts[0].startswith("sign")
+
+    def test_execution_event_reports_commit_flag(self, rt):
+        flags = []
+        rt.events.subscribe(
+            EventKind.EXECUTION, lambda k, n, a, d: flags.append(d)
+        )
+        cell = Cell(1, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        assert flags == [True]
+
+
+class TestStatsCollector:
+    def test_runtime_stats_flow_through_bus(self, rt):
+        """The acceptance invariant: counters are bus subscribers, so a
+        second collector on the same bus sees identical traffic."""
+        shadow = StatsCollector().attach(rt.events)
+        cell = Cell(1, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        reader()
+        cell.set(2)
+        reader()
+        rt.flush()
+        assert shadow.stats.snapshot() == rt.stats.snapshot()
+        assert rt.stats.executions == 2
+        assert rt.stats.cache_hits == 1
+        assert rt.stats.changes_detected == 1
+
+    def test_detach_stops_counting(self, rt):
+        shadow = StatsCollector().attach(rt.events)
+        shadow.detach()
+        Cell(1, label="c").set(2)
+        assert shadow.stats.modifies == 0
+        assert rt.stats.modifies == 1
+
+    def test_double_attach_rejected(self, rt):
+        shadow = StatsCollector().attach(rt.events)
+        with pytest.raises(RuntimeError):
+            shadow.attach(rt.events)
+
+    def test_runtime_source_has_no_hand_counting(self):
+        """`Runtime` must not increment stats counters directly — all
+        instrumentation flows through EventBus subscribers."""
+        import inspect
+
+        import repro.core.runtime as runtime_mod
+        import repro.core.graph as graph_mod
+        import repro.core.scheduler as scheduler_mod
+        import repro.core.partition as partition_mod
+        import repro.core.transaction as transaction_mod
+
+        for mod in (
+            runtime_mod,
+            graph_mod,
+            scheduler_mod,
+            partition_mod,
+            transaction_mod,
+        ):
+            source = inspect.getsource(mod)
+            assert ".stats." not in source.replace("self._collector.stats", "")
+            assert "stats +=" not in source
+
+
+class TestTraceExporter:
+    def test_capture_and_counts(self, rt):
+        trace = TraceExporter()
+        cell = Cell(1, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        with trace.capture(rt):
+            reader()
+            cell.set(2)
+            reader()
+        counts = trace.counts()
+        assert counts["execution"] == 2
+        assert counts["change-detected"] == 1
+        assert counts["access"] >= 2
+
+    def test_jsonl_round_trip(self, rt, tmp_path):
+        import json
+
+        trace = TraceExporter()
+        cell = Cell(1, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        with trace.capture(rt):
+            reader()
+        path = tmp_path / "trace.jsonl"
+        written = trace.write(str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(trace) == len(lines)
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        events = {r["event"] for r in records}
+        assert {"node-created", "edge-added", "execution"} <= events
+        # edge events carry the destination label as data
+        edge = next(r for r in records if r["event"] == "edge-added")
+        assert edge["node"] == "c"
+        assert edge["data"] == "reader()"
+
+    def test_limit_keeps_tail(self, rt):
+        trace = TraceExporter(limit=5)
+        cell = Cell(0, label="c")
+        with trace.capture(rt):
+            for i in range(20):
+                cell.set(i)
+        assert len(trace) == 5
+        seqs = [r["seq"] for r in trace.records]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] > 5  # the tail, not the head
+
+    def test_detached_exporter_records_nothing(self, rt):
+        trace = TraceExporter()
+        with trace.capture(rt):
+            pass
+        Cell(1, label="c").set(2)
+        assert len(trace) == 0

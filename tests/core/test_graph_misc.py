@@ -1,20 +1,22 @@
 """Dependency-graph bookkeeping not covered elsewhere."""
 
 from repro import Cell, Runtime, cached
+from repro.core.events import EventBus
 from repro.core.graph import DependencyGraph
-from repro.core.node import DepNode, NodeKind
+from repro.core.node import NodeKind
 from repro.core.order import TopologicalOrder
 from repro.core.partition import PartitionManager
-from repro.core.stats import RuntimeStats
+from repro.core.stats import StatsCollector
 
 
 def _graph(keep_registry=True):
-    stats = RuntimeStats()
+    events = EventBus()
+    stats = StatsCollector().attach(events).stats
     return (
         DependencyGraph(
-            stats,
+            events,
             TopologicalOrder(),
-            PartitionManager(stats, enabled=True),
+            PartitionManager(events, enabled=True),
             keep_registry=keep_registry,
         ),
         stats,

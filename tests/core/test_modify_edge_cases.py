@@ -1,0 +1,161 @@
+"""Change-detection edge cases in ``modify`` (Algorithm 4, §4.4).
+
+The paper compares the written value against the cached one to decide
+whether dependents go inconsistent.  Python values can make that
+comparison lie (NaN != NaN) or blow up (a raising ``__eq__``); the
+``values_equal`` guard must stay conservative — when equality cannot be
+trusted, treat the write as a change."""
+
+import math
+
+from repro import Cell, cached
+from repro.core.node import NO_VALUE, values_equal
+
+
+class _BrokenEq:
+    """Equality that raises — e.g. a numpy-style array or a proxy."""
+
+    def __eq__(self, other):
+        raise RuntimeError("ambiguous comparison")
+
+    __hash__ = object.__hash__
+
+
+class _ExpensiveEq:
+    """Equality that must not be consulted for the identical object."""
+
+    def __init__(self):
+        self.comparisons = 0
+
+    def __eq__(self, other):
+        self.comparisons += 1
+        return self is other
+
+    __hash__ = object.__hash__
+
+
+class TestValuesEqual:
+    def test_no_value_never_equal(self):
+        assert not values_equal(NO_VALUE, NO_VALUE)
+        assert not values_equal(NO_VALUE, 1)
+        assert not values_equal(1, NO_VALUE)
+
+    def test_identity_short_circuits(self):
+        nan = float("nan")
+        assert values_equal(nan, nan)
+        obj = _ExpensiveEq()
+        assert values_equal(obj, obj)
+        assert obj.comparisons == 0
+
+    def test_distinct_nans_are_a_change(self):
+        assert not values_equal(float("nan"), float("nan"))
+
+    def test_raising_eq_is_a_change(self):
+        assert not values_equal(_BrokenEq(), _BrokenEq())
+
+    def test_truthiness_coercion(self):
+        # __eq__ returning a non-bool truthy/falsy object (numpy-style
+        # scalars) must coerce, not leak
+        class _Weird:
+            def __eq__(self, other):
+                return []  # falsy non-bool
+
+            __hash__ = object.__hash__
+
+        assert not values_equal(_Weird(), _Weird())
+
+
+class TestModifyWithHostileValues:
+    def test_same_nan_rewrite_is_not_a_change(self, rt):
+        nan = float("nan")
+        cell = Cell(nan, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        assert math.isnan(reader())
+        before = rt.stats.snapshot()
+        cell.set(nan)  # identical object: no change
+        delta = rt.stats.delta(before)
+        assert delta["changes_detected"] == 0
+        assert delta["executions"] == 0
+        assert math.isnan(reader())
+
+    def test_fresh_nan_write_is_a_change(self, rt):
+        cell = Cell(float("nan"), label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        before = rt.stats.snapshot()
+        cell.set(float("nan"))  # distinct NaN: conservatively a change
+        assert rt.stats.delta(before)["changes_detected"] == 1
+        assert math.isnan(reader())
+        assert rt.stats.delta(before)["executions"] == 1
+
+    def test_broken_eq_write_recomputes_instead_of_raising(self, rt):
+        first, second = _BrokenEq(), _BrokenEq()
+        cell = Cell(first, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        assert reader() is first
+        cell.set(second)  # must not propagate the RuntimeError
+        assert reader() is second
+
+    def test_broken_eq_same_object_rewrite_no_change(self, rt):
+        obj = _BrokenEq()
+        cell = Cell(obj, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        before = rt.stats.snapshot()
+        cell.set(obj)
+        assert rt.stats.delta(before)["changes_detected"] == 0
+
+    def test_identity_guard_skips_expensive_eq(self, rt):
+        value = _ExpensiveEq()
+        cell = Cell(value, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        cell.set(value)
+        assert value.comparisons == 0
+
+    def test_batch_commit_uses_same_guard(self, rt):
+        nan = float("nan")
+        cell = Cell(nan, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        before = rt.stats.snapshot()
+        with rt.batch():
+            cell.set(float("nan"))
+            cell.set(nan)  # final value identical to baseline
+        assert rt.stats.delta(before)["changes_detected"] == 0
+
+    def test_plain_equal_values_still_coalesce(self, rt):
+        cell = Cell(5, label="c")
+
+        @cached
+        def reader():
+            return cell.get()
+
+        reader()
+        before = rt.stats.snapshot()
+        cell.set(5.0)  # == but not is: still no change
+        assert rt.stats.delta(before)["changes_detected"] == 0

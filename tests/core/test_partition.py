@@ -1,8 +1,8 @@
 """Tests for union-find partitioning and per-partition worklists (§6.3)."""
 
+from repro.core.events import EventBus
 from repro.core.node import DepNode, NodeKind
 from repro.core.partition import InconsistentSet, PartitionManager
-from repro.core.stats import RuntimeStats
 
 
 def _node(label="n", kind=NodeKind.STORAGE):
@@ -10,7 +10,7 @@ def _node(label="n", kind=NodeKind.STORAGE):
 
 
 def _mgr(enabled=True):
-    return PartitionManager(RuntimeStats(), enabled=enabled)
+    return PartitionManager(EventBus(), enabled=enabled)
 
 
 class TestInconsistentSet:
@@ -101,14 +101,22 @@ class TestPartitionManager:
         assert mgr.set_of(a) is mgr.set_of(b)
 
     def test_union_is_idempotent(self):
-        mgr = _mgr()
+        from repro.core.events import EventKind
+
+        events = EventBus()
+        unions = []
+        events.subscribe(
+            EventKind.PARTITION_UNION,
+            lambda kind, node, amount, data: unions.append(node),
+        )
+        mgr = PartitionManager(events, enabled=True)
         a, b = _node("a"), _node("b")
         mgr.register(a)
         mgr.register(b)
         mgr.union(a, b)
-        unions_before = mgr._stats.partition_unions
+        assert len(unions) == 1
         mgr.union(a, b)
-        assert mgr._stats.partition_unions == unions_before
+        assert len(unions) == 1  # merged roots: no second union event
 
     def test_union_merges_pending_members(self):
         mgr = _mgr()

@@ -1,9 +1,6 @@
 """Algorithm 3/4 semantics: access and modify."""
 
-import pytest
-
-from repro import Cell, Runtime, cached, maintained
-from repro.core import TrackedObject
+from repro import Cell, cached
 
 
 class TestAccess:

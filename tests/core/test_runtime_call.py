@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import Cell, CycleError, Runtime, cached, maintained
-from repro.core import TrackedObject
+from repro import Cell, CycleError, cached
 from repro.core.errors import UnhashableArgumentsError
 
 

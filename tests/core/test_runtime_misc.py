@@ -6,7 +6,6 @@ import threading
 import pytest
 
 from repro import Cell, Runtime, cached, get_runtime, reset_default_runtime
-from repro.core.errors import RuntimeStateError
 from repro.core.node import NO_VALUE, DepNode, NodeKind, procedure_instance_label
 from repro.core.runtime import IncrementalProcedure, Location
 from repro.core.strategy import parse_strategy

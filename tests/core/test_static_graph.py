@@ -1,8 +1,6 @@
 """§6.2 static graph construction: statically declared dependency
 subgraphs are built once and reused across re-executions."""
 
-import pytest
-
 from repro import Cell, cached, maintained
 from repro.core import TrackedObject
 

@@ -20,6 +20,7 @@ SCRIPTS = [
     "alphonse_l_spreadsheet.py",
     "dag_critical_path.py",
     "incremental_editor.py",
+    "batch_and_events.py",
 ]
 
 

@@ -3,8 +3,6 @@ in Alphonse-L and executed by the interpreter — the end-to-end fidelity
 test: language front end, §5 transformation, runtime re-entrancy, and
 incremental rebalancing all at once."""
 
-import pytest
-
 from repro.lang import analyze, parse_module, run_source, typecheck
 
 ALGORITHM_11 = """

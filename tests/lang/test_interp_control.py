@@ -1,8 +1,6 @@
 """Interpreter control-flow and parameter-passing corner cases."""
 
-import pytest
-
-from repro.lang import InterpError, run_source
+from repro.lang import run_source
 
 
 def wrap(body, decls=""):

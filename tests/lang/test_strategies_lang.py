@@ -1,7 +1,5 @@
 """Evaluation strategies and partitioning as seen from Alphonse-L."""
 
-import pytest
-
 from repro.lang import run_source
 
 EAGER_TREE = """

@@ -1,9 +1,6 @@
 """Section 5 transformation: wrapper placement, optimization, unparse."""
 
-import pytest
-
 from repro.lang import analyze, parse_module, transform, unparse
-from repro.lang import ast
 
 
 def tx_source(src, optimize=True):

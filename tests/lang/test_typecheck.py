@@ -1,7 +1,5 @@
 """The optional static type checker."""
 
-import pytest
-
 from repro.lang import analyze, parse_module, typecheck
 
 

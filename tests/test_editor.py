@@ -1,8 +1,6 @@
 """The incremental editing environment (§10's language-based-editor use
 case built on Alphonse)."""
 
-import pytest
-
 from repro.ag.expr import IdExp, IntExp, LetExp, ident, let, num, plus
 from repro.editor import Diagnostic, ExpressionEditor
 

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cell, Runtime, cached
-from repro.trees import Tree, TreeNil, build_balanced, nil
+from repro.trees import Tree, build_balanced, nil
 from repro.trees.height import collect_nodes, exhaustive_height
 from repro.spreadsheet import CircularReference, Spreadsheet
 

@@ -1,8 +1,6 @@
 """Algorithm 1 (maintained height): correctness and the §3.4 cost
 profile, asserted on operation counters."""
 
-import pytest
-
 from repro.trees import Tree, TreeNil, build_balanced, build_from_keys, nil
 from repro.trees.height import collect_nodes, exhaustive_height, inorder_keys
 
