@@ -35,6 +35,10 @@ from .core import (
     EventBus,
     EventKind,
     HeightOrderedScheduler,
+    IntegrityError,
+    NodeExecutionError,
+    Poisoned,
+    PropagationBudgetError,
     Runtime,
     RuntimeStats,
     Scheduler,
@@ -46,6 +50,7 @@ from .core import (
     TrackedObject,
     Transaction,
     Unbounded,
+    Watchdog,
     cached,
     get_runtime,
     maintained,
@@ -65,7 +70,11 @@ __all__ = [
     "EventKind",
     "FIFO",
     "HeightOrderedScheduler",
+    "IntegrityError",
     "LRU",
+    "NodeExecutionError",
+    "Poisoned",
+    "PropagationBudgetError",
     "Runtime",
     "RuntimeStats",
     "Scheduler",
@@ -77,6 +86,7 @@ __all__ = [
     "TrackedList",
     "TrackedObject",
     "Unbounded",
+    "Watchdog",
     "cached",
     "get_runtime",
     "maintained",

@@ -11,7 +11,12 @@ A layered engine (see ``docs/architecture.md``):
   ``with rt.batch():``);
 * **events** — typed observability (:class:`EventBus`,
   :class:`EventKind`, :class:`TraceExporter`); counters
-  (:class:`RuntimeStats`) are a subscriber.
+  (:class:`RuntimeStats`) are a subscriber;
+* **robustness** — fault containment (:class:`Poisoned`,
+  :class:`NodeExecutionError`), transactional rollback
+  (``rt.batch(rollback_on_error=True)``), drain budgets
+  (:class:`Watchdog`), and the structural auditor
+  (``rt.check_invariants()``); see ``docs/robustness.md``.
 
 Public surface:
 
@@ -41,12 +46,15 @@ from .errors import (
     AlphonseError,
     CycleError,
     EvaluationLimitError,
+    IntegrityError,
+    NodeExecutionError,
     NotTrackedError,
+    PropagationBudgetError,
     RuntimeStateError,
     TransformError,
     UnhashableArgumentsError,
 )
-from .node import NO_VALUE, DepNode, NodeKind, values_equal
+from .node import NO_VALUE, DepNode, NodeKind, Poisoned, values_equal
 from .runtime import (
     IncrementalProcedure,
     Location,
@@ -64,6 +72,7 @@ from .scheduler import (
 from .stats import RuntimeStats, StatsCollector
 from .strategy import DEMAND, EAGER, parse_strategy
 from .transaction import Transaction
+from .watchdog import Watchdog
 
 __all__ = [
     "AlphonseError",
@@ -80,13 +89,17 @@ __all__ = [
     "FIFO",
     "HeightOrderedScheduler",
     "IncrementalProcedure",
+    "IntegrityError",
     "LRU",
     "Location",
     "MISSING",
     "MaintainedMethod",
     "NO_VALUE",
+    "NodeExecutionError",
     "NodeKind",
     "NotTrackedError",
+    "Poisoned",
+    "PropagationBudgetError",
     "Runtime",
     "RuntimeStateError",
     "RuntimeStats",
@@ -102,6 +115,7 @@ __all__ = [
     "Transaction",
     "TransformError",
     "Unbounded",
+    "Watchdog",
     "UnhashableArgumentsError",
     "cached",
     "get_runtime",

@@ -13,7 +13,19 @@ from __future__ import annotations
 
 
 class AlphonseError(Exception):
-    """Base class for all errors raised by the incremental runtime."""
+    """Base class for all errors raised by the incremental runtime.
+
+    ``containable`` governs fault containment (see ``Runtime.execute_node``
+    and ``docs/robustness.md``): engine-control errors — cycles, budget
+    violations, corrupted-state reports — must tear through propagation so
+    the operator sees them, and therefore are *not* captured into
+    :class:`~repro.core.node.Poisoned` values.  Ordinary exceptions raised
+    by user procedure bodies default to containable; error types outside
+    this hierarchy opt in implicitly (any plain :class:`Exception` is
+    containable) and subclasses may opt back in by setting the flag.
+    """
+
+    containable = False
 
 
 class CycleError(AlphonseError):
@@ -63,6 +75,83 @@ class RuntimeStateError(AlphonseError):
 
 class TransformError(AlphonseError):
     """Raised by the Alphonse-L transformer for untransformable programs."""
+
+
+class NodeExecutionError(AlphonseError):
+    """A demand read reached a *poisoned* incremental procedure instance.
+
+    When a procedure body raises a containable exception, the runtime
+    captures it into a :class:`~repro.core.node.Poisoned` value on the
+    instance's node and finishes propagation deterministically.  Reading
+    that instance's result — directly or through any dependent — raises
+    this error; the original exception is ``root`` (and the ``__cause__``
+    chain), and ``origin`` names the instance whose body actually raised.
+    The next write that re-marks the poisoned region inconsistent heals
+    it: the body re-executes and, if it succeeds, the poison is replaced
+    by the fresh value.
+
+    This error is itself containable so that poison propagates through
+    demand chains: a body that reads a poisoned input becomes poisoned
+    in turn instead of aborting mid-propagation.
+    """
+
+    containable = True
+
+    def __init__(self, node_label: str, poison: "object") -> None:
+        root = getattr(poison, "error", poison)
+        origin = getattr(poison, "origin", node_label)
+        if origin == node_label:
+            where = f"its body raised {type(root).__name__}: {root}"
+        else:
+            where = (
+                f"its input {origin!r} raised {type(root).__name__}: {root}"
+            )
+        super().__init__(
+            f"incremental procedure {node_label!r} is poisoned: {where}; "
+            f"a write that re-marks the region inconsistent will heal it"
+        )
+        self.node_label = node_label
+        self.origin = origin
+        self.root = root
+
+
+class PropagationBudgetError(AlphonseError):
+    """A drain watchdog budget was exhausted (steps, wall time, or
+    livelock).
+
+    Carries a diagnostic of the hot region: ``kind`` is one of
+    ``"steps"``, ``"wall-time"``, or ``"livelock"``, and ``hot_nodes``
+    lists ``(label, times_processed)`` pairs for the most frequently
+    re-processed nodes of the aborted drain — the usual suspects for a
+    DET violation or an oscillating eager region.
+    """
+
+    def __init__(self, kind: str, detail: str, hot_nodes: list) -> None:
+        region = ", ".join(
+            f"{label} x{count}" for label, count in hot_nodes
+        )
+        suffix = f" (hot region: {region})" if region else ""
+        super().__init__(
+            f"propagation watchdog tripped [{kind}]: {detail}{suffix}"
+        )
+        self.kind = kind
+        self.hot_nodes = hot_nodes
+
+
+class IntegrityError(AlphonseError):
+    """``Runtime.check_invariants`` found the dependency graph corrupted.
+
+    The message lists every violated invariant; ``violations`` carries
+    them as a list of strings for programmatic inspection.
+    """
+
+    def __init__(self, violations: list) -> None:
+        lines = "\n  - ".join(violations)
+        super().__init__(
+            f"dependency-graph integrity violated "
+            f"({len(violations)} finding(s)):\n  - {lines}"
+        )
+        self.violations = list(violations)
 
 
 class EvaluationLimitError(AlphonseError):

@@ -82,6 +82,18 @@ class EventKind(enum.Enum):
     #: A top-level scheduler drain completed; ``amount`` is the number
     #: of propagation steps it performed.
     DRAIN = "drain"
+    #: A drain was torn down by an escaping exception; ``node`` is the
+    #: node in flight (re-marked pending, None if selection itself
+    #: failed), ``amount`` the steps completed before the abort, and
+    #: ``data`` the exception class name.
+    DRAIN_ABORTED = "drain-aborted"
+
+    #: A procedure body raised a containable exception and its node now
+    #: caches a :class:`~repro.core.node.Poisoned` value; ``data`` is a
+    #: dict with ``error`` (exception class name) and ``origin`` (label
+    #: of the root-cause node — differs from ``node`` when poison
+    #: propagated from an input).
+    NODE_POISONED = "node-poisoned"
 
     #: A read/call inside an ``unchecked()`` region skipped edge
     #: creation (§6.4).
@@ -91,6 +103,12 @@ class EventKind(enum.Enum):
     #: ``writes`` (distinct locations written) and ``coalesced``
     #: (repeated writes absorbed into their location's final value).
     BATCH_COMMIT = "batch-commit"
+    #: A ``with rt.batch(rollback_on_error=True):`` block raised and
+    #: restored every written location to its pre-batch value; ``data``
+    #: is a dict with ``restored`` (locations rewound) and ``marked``
+    #: (locations whose mid-batch value had leaked to a reader and were
+    #: conservatively re-marked inconsistent).
+    ROLLBACK = "rollback"
 
     #: A union-find union/find was performed (§6.3 bookkeeping).
     PARTITION_UNION = "partition-union"

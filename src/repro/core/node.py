@@ -33,6 +33,32 @@ _node_ids = itertools.count()
 NO_VALUE = object()
 
 
+class Poisoned:
+    """A captured procedure-body failure, cached in place of a value.
+
+    When fault containment is on (``Runtime(containment=True)``, the
+    default) and an incremental procedure body raises a containable
+    exception, the exception is recorded here instead of tearing down
+    propagation: ``error`` is the original exception and ``origin`` the
+    label of the node whose body raised it (poison read through a
+    dependency chain keeps pointing at the root cause).  A poisoned node
+    is *consistent* — its poison faithfully reflects its current inputs
+    — and demand reads surface it as a typed
+    :class:`~repro.core.errors.NodeExecutionError`.  A ``Poisoned``
+    value equals nothing (see :func:`values_equal`), so healing writes
+    always propagate past it.
+    """
+
+    __slots__ = ("error", "origin")
+
+    def __init__(self, error: BaseException, origin: str) -> None:
+        self.error = error
+        self.origin = origin
+
+    def __repr__(self) -> str:
+        return f"<poisoned by {type(self.error).__name__} at {self.origin!r}>"
+
+
 def values_equal(a: Any, b: Any) -> bool:
     """Change-detection equality (§4.4) and quiescence equality (§4.5).
 
@@ -44,9 +70,13 @@ def values_equal(a: Any, b: Any) -> bool:
     conservatively reports "changed": over-propagation is correct,
     a corrupted inconsistent set is not.  ``NO_VALUE`` equals nothing,
     itself included — a node that never held a value has no basis for
-    quiescence.
+    quiescence.  ``Poisoned`` likewise equals nothing, not even an
+    identical poison: propagation must never quiesce on a failure, or
+    healing writes could be cut off downstream of it.
     """
     if a is NO_VALUE or b is NO_VALUE:
+        return False
+    if type(a) is Poisoned or type(b) is Poisoned:
         return False
     if a is b:
         return True
@@ -90,6 +120,7 @@ class DepNode:
         "in_inconsistent_set",
         "static_edges",
         "edges_frozen",
+        "disposed",
     )
 
     def __init__(
@@ -139,6 +170,10 @@ class DepNode:
         self.static_edges: bool = False
         #: True once a static-edge node's first execution built its edges.
         self.edges_frozen: bool = False
+        #: Set by cache eviction: the node must stay detached from the
+        #: graph and out of every inconsistent set (audited by
+        #: ``Runtime.check_invariants``).
+        self.disposed: bool = False
 
     @property
     def is_storage(self) -> bool:

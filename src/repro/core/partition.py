@@ -94,6 +94,21 @@ class InconsistentSet:
             node.in_inconsistent_set = False
             self._size -= 1
 
+    def members(self) -> List[DepNode]:
+        """The distinct nodes currently in this set (diagnostics/audit).
+
+        Walks the heap, skipping lazily-deleted entries and duplicates;
+        does not disturb membership.
+        """
+        seen: set = set()
+        out: List[DepNode] = []
+        for entry in self._heap:
+            node = entry[2]
+            if node.in_inconsistent_set and id(node) not in seen:
+                seen.add(id(node))
+                out.append(node)
+        return out
+
     def merge_from(self, other: "InconsistentSet") -> None:
         """Absorb all members of ``other`` (used when partitions union)."""
         for entry in other._heap:

@@ -45,15 +45,22 @@ import threading
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .cache import ArgumentTable, CachePolicy, Unbounded
-from .errors import CycleError, RuntimeStateError
+from .errors import CycleError, NodeExecutionError, RuntimeStateError
 from .events import EventBus, EventKind
 from .graph import DependencyGraph
-from .node import DepNode, NodeKind, procedure_instance_label, values_equal
+from .node import (
+    DepNode,
+    NodeKind,
+    Poisoned,
+    procedure_instance_label,
+    values_equal,
+)
 from .order import TopologicalOrder
 from .partition import PartitionManager
 from .scheduler import Scheduler, make_scheduler
 from .stats import RuntimeStats, StatsCollector
 from .transaction import Transaction
+from .watchdog import Watchdog
 
 
 class _Frame:
@@ -100,6 +107,19 @@ class Runtime:
         An existing :class:`EventBus` to announce on (one is created if
         omitted).  Useful for attaching subscribers before the kernel
         emits its first event.
+    containment:
+        Fault containment (the default).  A containable exception raised
+        by a procedure body is captured into a
+        :class:`~repro.core.node.Poisoned` cached value instead of
+        tearing down propagation; demand reads of a poisoned result
+        raise :class:`~repro.core.errors.NodeExecutionError`, and the
+        next write reaching the poisoned region heals it through
+        ordinary re-evaluation.  ``containment=False`` restores the
+        pre-containment behaviour: body exceptions propagate raw and the
+        node is simply left inconsistent.
+    watchdog:
+        Optional :class:`~repro.core.watchdog.Watchdog` enforcing
+        per-drain step/wall-time budgets and livelock detection.
     """
 
     def __init__(
@@ -112,6 +132,8 @@ class Runtime:
         max_reentry: int = 10_000,
         scheduler: Any = "topological",
         events: Optional[EventBus] = None,
+        containment: bool = True,
+        watchdog: Optional[Watchdog] = None,
     ) -> None:
         self.events = events if events is not None else EventBus()
         self._collector = StatsCollector().attach(self.events)
@@ -125,6 +147,18 @@ class Runtime:
         self.strict_cycles = strict_cycles
         self.eval_limit = eval_limit
         self.max_reentry = max_reentry
+        self.containment = containment
+        self.watchdog = watchdog
+        #: Fault-injection hook (see :mod:`repro.testing.chaos`): when
+        #: set, ``execute_node`` routes every body run through
+        #: ``injector.run(node, thunk)``.  Testing-only; None in
+        #: production, costing one attribute check per execution.
+        self._fault_injector: Optional[Any] = None
+        #: Number of graph nodes currently caching a Poisoned value — an
+        #: optimization gate only (the eager poisoned-input shortcut is
+        #: skipped entirely while it is zero); correctness never depends
+        #: on it.
+        self._poison_live = 0
         self._unchecked_depth = 0
         #: The active ``with rt.batch():`` transaction, if any.
         self._transaction: Optional[Transaction] = None
@@ -201,8 +235,10 @@ class Runtime:
         self.events.emit(EventKind.MODIFY, location._node)
         transaction = self._transaction
         if transaction is not None:
-            location._value = value
+            # Record first: the transaction captures the pre-write stored
+            # value as its rollback baseline.
             transaction.record(location)
+            location._value = value
             return
         location._value = value
         node = location._node
@@ -248,13 +284,30 @@ class Runtime:
                 )
 
         if node.consistent:
-            if not node.has_value():
+            value = node.value
+            if type(value) is Poisoned:
+                if not len(node.pred):
+                    # The body raised before performing a single tracked
+                    # read, so no write can ever re-mark this node — a
+                    # cached poison here would be permanent.  Such
+                    # zero-read failures (e.g. a transient error in a
+                    # prologue) are retried on demand instead.  Nodes
+                    # that *did* read anything keep their poison: to
+                    # change the outcome the caller must change one of
+                    # those inputs, and that write heals the node
+                    # through ordinary propagation.
+                    node.consistent = False
+                else:
+                    self.events.emit(EventKind.CACHE_HIT, node)
+                    raise NodeExecutionError(node.label, value)
+            elif not node.has_value():
                 # Consistent-but-valueless is only possible mid-first-
                 # execution: a genuinely cyclic specification (a body
                 # calling itself with no intervening state change).
                 raise CycleError(node.label)
-            self.events.emit(EventKind.CACHE_HIT, node)
-            return node.value
+            else:
+                self.events.emit(EventKind.CACHE_HIT, node)
+                return node.value
         self.events.emit(EventKind.CACHE_MISS, node)
         return self.execute_node(node)
 
@@ -308,12 +361,34 @@ class Runtime:
         # and must record its own read set, so tracking resumes here.
         saved_unchecked = self._unchecked_depth
         self._unchecked_depth = 0
+        injector = self._fault_injector
         try:
-            result = node.thunk()
-        except BaseException:
-            # A raising body leaves no trustworthy cached value.
-            if node.activation_seq == my_activation:
-                node.consistent = False
+            if injector is not None:
+                result = injector.run(node, node.thunk)
+            else:
+                result = node.thunk()
+        except BaseException as exc:
+            if node.activation_seq != my_activation:
+                # A newer activation already owns the cache entry; this
+                # superseded activation just unwinds to its own caller.
+                raise
+            if (
+                self.containment
+                and isinstance(exc, Exception)
+                and getattr(exc, "containable", True)
+            ):
+                # Fault containment: capture the failure as this node's
+                # cached outcome.  The node stays *consistent* — poison
+                # faithfully reflects its current inputs — and the typed
+                # wrapper re-raised here is itself containable, so a
+                # calling procedure body becomes poisoned in turn with
+                # the origin preserved (the eager scheduler absorbs it
+                # instead, keeping the drain alive).
+                poison = self._poison(node, exc)
+                raise NodeExecutionError(node.label, poison) from exc
+            # Non-containable (engine-control errors, KeyboardInterrupt,
+            # containment off): leave no trustworthy cached value.
+            node.consistent = False
             raise
         finally:
             self._unchecked_depth = saved_unchecked
@@ -322,11 +397,57 @@ class Runtime:
             assert popped is frame
         committed = node.activation_seq == my_activation
         if committed:
+            if type(node.value) is Poisoned:
+                self._poison_live -= 1  # healed: success replaces poison
             node.value = result
             if node.static_edges:
                 node.edges_frozen = True
         self.events.emit(EventKind.EXECUTION, node, data=committed)
         return result
+
+    # ------------------------------------------------------------------
+    # fault containment
+    # ------------------------------------------------------------------
+
+    def _poison(self, node: DepNode, exc: Exception) -> Poisoned:
+        """Cache ``exc`` as ``node``'s Poisoned outcome; returns it.
+
+        Poison read through a dependency chain keeps pointing at the
+        root cause: containing a :class:`NodeExecutionError` re-uses its
+        original error and origin rather than nesting wrappers.
+        """
+        if isinstance(exc, NodeExecutionError):
+            poison = Poisoned(exc.root, exc.origin)
+        else:
+            poison = Poisoned(exc, node.label)
+        if type(node.value) is not Poisoned:
+            self._poison_live += 1
+        node.value = poison
+        self.events.emit(
+            EventKind.NODE_POISONED,
+            node,
+            data={
+                "error": type(poison.error).__name__,
+                "origin": poison.origin,
+            },
+        )
+        return poison
+
+    def _poison_from_input(self, node: DepNode, source: Poisoned) -> None:
+        """Poison an eager ``node`` whose input holds ``source`` without
+        re-running its body (the scheduler's containment shortcut)."""
+        if type(node.value) is not Poisoned:
+            self._poison_live += 1
+        node.value = Poisoned(source.error, source.origin)
+        node.consistent = True
+        self.events.emit(
+            EventKind.NODE_POISONED,
+            node,
+            data={
+                "error": type(source.error).__name__,
+                "origin": source.origin,
+            },
+        )
 
     def _force_evaluation_for(self, node: DepNode) -> None:
         """Flush the inconsistent set governing ``node``'s partition."""
@@ -369,16 +490,31 @@ class Runtime:
         """True if any partition has unpropagated changes."""
         return self.partitions.has_pending()
 
-    def batch(self) -> Transaction:
+    def check_invariants(self, *, raise_on_violation: bool = True) -> List[str]:
+        """Audit the runtime's structural invariants (edge symmetry,
+        inconsistent-set/flag agreement, quiescent frame stack, disposed
+        nodes detached).  Returns the violations found; raises
+        :class:`~repro.core.errors.IntegrityError` on any when
+        ``raise_on_violation`` (the default).  See
+        :mod:`repro.core.integrity`.
+        """
+        from .integrity import audit
+
+        return audit(self, raise_on_violation=raise_on_violation)
+
+    def batch(self, *, rollback_on_error: bool = False) -> Transaction:
         """Open a batched-write transaction (``with rt.batch(): ...``).
 
         Writes inside the block apply to storage immediately but defer
         change detection; repeated writes to one location coalesce to
         its final value; commit marks the changed locations and runs at
         most one propagation pass.  Nested ``batch()`` blocks join the
-        outermost transaction.  See :mod:`repro.core.transaction`.
+        outermost transaction.  With ``rollback_on_error=True``, an
+        exception escaping the block restores every written location to
+        its pre-batch value instead of committing the partial burst.
+        See :mod:`repro.core.transaction`.
         """
-        return Transaction(self)
+        return Transaction(self, rollback_on_error=rollback_on_error)
 
     @property
     def in_batch(self) -> bool:
@@ -429,6 +565,9 @@ class Runtime:
         incset = self.partitions.set_of(node)
         incset.discard(node)
         node.thunk = None
+        node.disposed = True
+        if type(node.value) is Poisoned:
+            self._poison_live -= 1
         self.events.emit(EventKind.CACHE_EVICTION, node)
 
     def table_size(self, proc: "IncrementalProcedure") -> int:

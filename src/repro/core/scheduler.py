@@ -41,9 +41,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type, Union
 
-from .errors import EvaluationLimitError
+from .errors import EvaluationLimitError, NodeExecutionError
 from .events import EventKind
-from .node import DepNode, NodeKind, values_equal
+from .node import DepNode, NodeKind, Poisoned, values_equal
 from .partition import InconsistentSet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -93,27 +93,52 @@ class Scheduler:
     # -- drain lifecycles ------------------------------------------------
 
     def drain(self, incset: InconsistentSet) -> int:
-        """Process ``incset`` to empty; returns the number of steps."""
+        """Process ``incset`` to empty; returns the number of steps.
+
+        Abort safety: if anything escapes — a watchdog trip, a strict-
+        mode cycle, a KeyboardInterrupt — the node in flight is returned
+        to its partition's inconsistent set along with any privately
+        buffered nodes (:meth:`_abort_drain`), so no pending work is
+        stranded and the next flush resumes exactly where this drain
+        stopped.
+        """
         if self.active:
             return 0
         rt = self.runtime
         emit = rt.events.emit
         limit = rt.eval_limit
+        watchdog = rt.watchdog
+        if watchdog is not None and not watchdog.enabled:
+            watchdog = None
         steps = 0
+        current: Optional[DepNode] = None
         self.active = True
         self._begin_drain()
+        if watchdog is not None:
+            watchdog.begin()
         try:
             while True:
-                node = self._next(incset)
-                if node is None:
+                current = self._next(incset)
+                if current is None:
                     break
                 steps += 1
-                emit(EventKind.PROPAGATION_STEP, node)
+                emit(EventKind.PROPAGATION_STEP, current)
                 if limit is not None and steps > limit:
                     raise EvaluationLimitError(limit)
-                self._process(node)
-        except BaseException:
+                if watchdog is not None:
+                    watchdog.step(current)
+                self._process(current)
+                current = None
+        except BaseException as exc:
+            if current is not None:
+                rt.partitions.mark(current)
             self._abort_drain(incset)
+            emit(
+                EventKind.DRAIN_ABORTED,
+                current,
+                amount=steps,
+                data=type(exc).__name__,
+            )
             raise
         finally:
             self.active = False
@@ -135,15 +160,21 @@ class Scheduler:
             return 0
         rt = self.runtime
         emit = rt.events.emit
+        watchdog = rt.watchdog
+        if watchdog is not None and not watchdog.enabled:
+            watchdog = None
         done = 0
         self.active = True
         self._begin_drain()
+        if watchdog is not None:
+            watchdog.begin()
         try:
             while done < max_steps:
                 pending = rt.partitions.pending_sets()
                 if not pending:
                     break
                 for incset in pending:
+                    node: Optional[DepNode] = None
                     try:
                         while done < max_steps:
                             node = self._next(incset)
@@ -151,7 +182,20 @@ class Scheduler:
                                 break
                             done += 1
                             emit(EventKind.PROPAGATION_STEP, node)
+                            if watchdog is not None:
+                                watchdog.step(node)
                             self._process(node)
+                            node = None
+                    except BaseException as exc:
+                        if node is not None:
+                            rt.partitions.mark(node)
+                        emit(
+                            EventKind.DRAIN_ABORTED,
+                            node,
+                            amount=done,
+                            data=type(exc).__name__,
+                        )
+                        raise
                     finally:
                         # Budget exhaustion must not orphan privately
                         # buffered nodes: hand them back before moving on.
@@ -193,14 +237,39 @@ class Scheduler:
                 node.consistent = False
                 self._mark_successors(node)
         else:  # EAGER: re-execute now, propagate only on value change
+            if rt._poison_live and rt.containment:
+                # Error containment: an eager node whose input is
+                # currently poisoned becomes poisoned itself without
+                # re-running its body — the body would only re-raise
+                # through the poisoned read, and skipping it keeps the
+                # drain deterministic.
+                source = self._poisoned_input(node)
+                if source is not None:
+                    rt._poison_from_input(node, source)
+                    self._mark_successors(node)
+                    return
             old = node.value
             had_value = node.has_value()
-            rt.execute_node(node)
+            try:
+                rt.execute_node(node)
+            except NodeExecutionError:
+                # Containment captured the body's failure into a
+                # Poisoned value on the node; the drain continues and
+                # the poison propagates as an ordinary value change.
+                pass
             rt.events.emit(EventKind.EAGER_REEXECUTION, node)
             if had_value and values_equal(old, node.value):
                 rt.events.emit(EventKind.QUIESCENCE_CUT, node)
             else:
                 self._mark_successors(node)
+
+    @staticmethod
+    def _poisoned_input(node: DepNode) -> Optional[Poisoned]:
+        for pred in node.pred.nodes():
+            value = pred.value
+            if type(value) is Poisoned:
+                return value
+        return None
 
     def _mark_successors(self, node: DepNode) -> None:
         partitions = self.runtime.partitions

@@ -84,6 +84,17 @@ class RuntimeStats:
 
     #: Completed top-level scheduler drains that performed >= 1 step.
     drains: int = 0
+    #: Drains torn down by an escaping exception (watchdog trip, strict
+    #: cycle, KeyboardInterrupt); pending work is re-marked, not lost.
+    drains_aborted: int = 0
+
+    #: Procedure bodies whose containable failure was captured into a
+    #: Poisoned cached value instead of aborting propagation.
+    nodes_poisoned: int = 0
+
+    #: ``rt.batch(rollback_on_error=True)`` blocks that raised and had
+    #: their writes rewound to the pre-batch values.
+    rollbacks: int = 0
 
     #: ``with rt.batch():`` commits, and repeated same-location writes
     #: those commits coalesced into a single change check.
@@ -140,6 +151,8 @@ _COUNTER_FOR = {
     EventKind.UNCHECKED_SUPPRESSION: "unchecked_suppressions",
     EventKind.PARTITION_UNION: "partition_unions",
     EventKind.PARTITION_FIND: "partition_finds",
+    EventKind.NODE_POISONED: "nodes_poisoned",
+    EventKind.ROLLBACK: "rollbacks",
 }
 
 
@@ -171,6 +184,9 @@ class StatsCollector:
         )
         self._handlers[EventKind.DRAIN] = bus.subscribe(
             EventKind.DRAIN, self._on_drain
+        )
+        self._handlers[EventKind.DRAIN_ABORTED] = bus.subscribe(
+            EventKind.DRAIN_ABORTED, self._on_drain_aborted
         )
         self._bus = bus
         return self
@@ -205,6 +221,12 @@ class StatsCollector:
     ) -> None:
         # DRAIN's ``amount`` is the step count; the counter tracks passes.
         self.stats.drains += 1
+
+    def _on_drain_aborted(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        # DRAIN_ABORTED's ``amount`` is the steps completed pre-abort.
+        self.stats.drains_aborted += 1
 
 
 def _adder(stats: RuntimeStats, name: str):

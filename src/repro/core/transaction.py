@@ -32,14 +32,30 @@ raises, storage keeps the values written so far, so commit still
 reconciles graph nodes and marks changes (correctness), but skips the
 propagation drain (the exception wins).
 
+``rt.batch(rollback_on_error=True)`` upgrades the exception path to a
+**transactional rollback**: every written location is restored to its
+pre-batch stored value, so a partially-applied burst of updates never
+leaks into the incremental state.  The baseline each location rolls
+back to is captured at its *first* write of the batch (coalescing makes
+later writes free).  Rollback is conservative about visibility — a
+location whose mid-batch value may have reached a reader (a tracked
+read inside the block, or a node created during the batch) is re-marked
+inconsistent after restoration and one drain re-settles its dependents.
+
 Nesting is flattening: an inner ``rt.batch()`` joins the outer
 transaction, and everything commits when the outermost block exits.
+The rollback guarantee is a property of the *outermost* batch: an inner
+``rt.batch(rollback_on_error=True)`` cannot retroactively add rollback
+to an outer batch that started without it, and raises
+:class:`~repro.core.errors.RuntimeStateError` instead of silently
+weakening the requested guarantee.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
+from .errors import RuntimeStateError
 from .events import EventKind
 from .node import values_equal
 
@@ -61,10 +77,14 @@ class Transaction:
     here via :meth:`record` instead of marking the inconsistent set.
     """
 
-    def __init__(self, runtime: "Runtime") -> None:
+    def __init__(
+        self, runtime: "Runtime", *, rollback_on_error: bool = False
+    ) -> None:
         self.runtime = runtime
-        #: id(location) -> (location, baseline cached value at first write).
-        self._writes: Dict[int, Tuple["Location", Any]] = {}
+        self.rollback_on_error = rollback_on_error
+        #: id(location) -> (location, baseline cached node value at first
+        #: write, stored value immediately before the first write).
+        self._writes: Dict[int, Tuple["Location", Any, Any]] = {}
         #: Repeated writes absorbed into an already-recorded location.
         self.coalesced = 0
         self._parent: Optional[Transaction] = None
@@ -76,6 +96,13 @@ class Transaction:
         rt = self.runtime
         self._parent = rt._transaction
         if self._parent is not None:
+            if self.rollback_on_error and not self._parent.rollback_on_error:
+                self._parent = None
+                raise RuntimeStateError(
+                    "cannot nest batch(rollback_on_error=True) inside a "
+                    "batch without rollback: the outer batch's earlier "
+                    "writes could not be rewound"
+                )
             return self._parent  # nested batch: join the outer transaction
         rt._transaction = self
         return self
@@ -85,17 +112,22 @@ class Transaction:
             self._parent = None
             return  # the outer batch owns the commit
         self.runtime._transaction = None
-        self.commit(drain=exc_type is None)
+        if exc_type is not None and self.rollback_on_error:
+            self.rollback()
+        else:
+            self.commit(drain=exc_type is None)
 
     # -- write tracking --------------------------------------------------
 
     def record(self, location: "Location") -> None:
-        """Note a write to ``location`` (value already stored).
+        """Note an impending write to ``location`` (called *before* the
+        store, so the pre-write value is still readable).
 
-        The first write captures the baseline the commit-time change
-        check compares against: the graph node's cached value, which is
-        what every consistent dependent computed from.  Later writes to
-        the same location coalesce into the existing entry — commit only
+        The first write captures two baselines: the graph node's cached
+        value — what every consistent dependent computed from, which the
+        commit-time change check compares against — and the stored value
+        itself, which :meth:`rollback` restores.  Later writes to the
+        same location coalesce into the existing entry — commit only
         ever looks at the location's final value.
         """
         key = id(location)
@@ -104,7 +136,7 @@ class Transaction:
             return
         node = location._node
         baseline = node.value if node is not None else _NO_NODE
-        self._writes[key] = (location, baseline)
+        self._writes[key] = (location, baseline, location._value)
 
     def __len__(self) -> int:
         """Distinct locations written so far."""
@@ -130,7 +162,7 @@ class Transaction:
         self._committed = True
         rt = self.runtime
         changed = 0
-        for location, baseline in self._writes.values():
+        for location, baseline, _prior in self._writes.values():
             node = location._node
             if node is None:
                 continue  # never read by any procedure: no dependents
@@ -148,3 +180,50 @@ class Transaction:
         if drain and changed:
             rt.scheduler.drain_all()
         return changed
+
+    # -- rollback ---------------------------------------------------------
+
+    def rollback(self) -> int:
+        """Restore every written location to its pre-batch stored value.
+
+        Returns the number of locations restored.  Restoration alone is
+        enough for locations whose mid-batch values stayed private to
+        the batch.  Two leaks require conservative re-marking:
+
+        * the location's graph node cached a mid-batch value (a tracked
+          read inside the block refreshed ``node.value``), or
+        * the node was created *during* the batch, so its very first
+          cached value is a mid-batch one.
+
+        Those nodes get their stored (restored) value re-cached and are
+        marked inconsistent; one drain then re-settles any dependents
+        that computed from the leaked value.
+        """
+        if self._committed:
+            return 0
+        self._committed = True
+        rt = self.runtime
+        restored = 0
+        marked = 0
+        for location, baseline, prior in self._writes.values():
+            location._value = prior
+            restored += 1
+            node = location._node
+            if node is None:
+                continue  # no reader ever saw any value of this location
+            leaked = (
+                baseline is _NO_NODE  # node born mid-batch
+                or not values_equal(node.value, baseline)
+            )
+            if leaked:
+                node.value = prior
+                marked += 1
+                rt.partitions.mark(node)
+        rt.events.emit(
+            EventKind.ROLLBACK,
+            None,
+            data={"restored": restored, "marked": marked},
+        )
+        if marked:
+            rt.scheduler.drain_all()
+        return restored

@@ -1,0 +1,143 @@
+"""Drain watchdogs: per-drain step, wall-time, and livelock budgets.
+
+Quiescence propagation over a well-formed Alphonse program terminates
+(§4.5), but the engine cannot verify the §3.5 restrictions: a DET
+violation can make propagation oscillate, and a pathological eager
+region can burn unbounded time.  A :class:`Watchdog` attached to the
+runtime (``Runtime(watchdog=Watchdog(...))``) turns those hangs into a
+typed :class:`~repro.core.errors.PropagationBudgetError` carrying a
+diagnostic of the *hot region* — the nodes most frequently re-processed
+in the aborted drain — which is what an operator actually needs to find
+the offending procedure.
+
+Three independent budgets, any subset may be set:
+
+* ``max_steps`` — total propagation steps in one drain (a stricter,
+  per-drain sibling of ``Runtime(eval_limit=...)``);
+* ``max_seconds`` — wall-clock time for one drain, checked per step;
+* ``livelock_threshold`` — the same node processed more than K times in
+  one drain, the classic signature of an oscillating eager result.
+
+The scheduler calls :meth:`begin` at drain start and :meth:`step` per
+processed node; a watchdog with no budgets set reports ``enabled`` False
+and the scheduler skips the calls entirely, so the default runtime pays
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .errors import PropagationBudgetError
+from .node import DepNode
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Per-drain budget enforcement; see the module docstring."""
+
+    __slots__ = (
+        "max_steps",
+        "max_seconds",
+        "livelock_threshold",
+        "hot_report",
+        "_steps",
+        "_deadline",
+        "_counts",
+        "_labels",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_steps: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        livelock_threshold: Optional[int] = None,
+        hot_report: int = 5,
+    ) -> None:
+        for name, value in (
+            ("max_steps", max_steps),
+            ("max_seconds", max_seconds),
+            ("livelock_threshold", livelock_threshold),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self.livelock_threshold = livelock_threshold
+        self.hot_report = hot_report
+        self._steps = 0
+        self._deadline: Optional[float] = None
+        #: id(node) -> times processed this drain (only kept when the
+        #: livelock budget is set or a hot-region report may be needed).
+        self._counts: Dict[int, int] = {}
+        self._labels: Dict[int, str] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True if any budget is configured."""
+        return (
+            self.max_steps is not None
+            or self.max_seconds is not None
+            or self.livelock_threshold is not None
+        )
+
+    # -- scheduler interface --------------------------------------------
+
+    def begin(self) -> None:
+        """Reset per-drain state (called by the scheduler at drain start)."""
+        self._steps = 0
+        self._counts.clear()
+        self._labels.clear()
+        if self.max_seconds is not None:
+            self._deadline = time.monotonic() + self.max_seconds
+        else:
+            self._deadline = None
+
+    def step(self, node: DepNode) -> None:
+        """Charge one propagation step to ``node``; raise on any budget."""
+        self._steps += 1
+        key = id(node)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count == 1:
+            self._labels[key] = node.label
+        if (
+            self.livelock_threshold is not None
+            and count > self.livelock_threshold
+        ):
+            raise PropagationBudgetError(
+                "livelock",
+                f"node {node.label!r} processed {count} times in one drain "
+                f"(threshold {self.livelock_threshold}); this usually means "
+                f"a DET violation keeps re-dirtying the region",
+                self.hot_nodes(),
+            )
+        if self.max_steps is not None and self._steps > self.max_steps:
+            raise PropagationBudgetError(
+                "steps",
+                f"drain exceeded {self.max_steps} propagation steps",
+                self.hot_nodes(),
+            )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise PropagationBudgetError(
+                "wall-time",
+                f"drain exceeded {self.max_seconds}s of wall time after "
+                f"{self._steps} steps",
+                self.hot_nodes(),
+            )
+
+    # -- diagnostics -----------------------------------------------------
+
+    def hot_nodes(self) -> List[Tuple[str, int]]:
+        """The most frequently processed nodes of the current drain, as
+        ``(label, count)`` pairs, hottest first."""
+        ranked = sorted(
+            self._counts.items(), key=lambda item: item[1], reverse=True
+        )
+        return [
+            (self._labels[key], count)
+            for key, count in ranked[: self.hot_report]
+        ]

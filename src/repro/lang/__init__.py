@@ -29,11 +29,12 @@ from .unparse import unparse
 from .dataflow import classify_sites, SiteClass
 from .typecheck import typecheck
 from .connectivity import connectivity_components
-from .interp import Interpreter, InterpError, LArray, LObject, run_source
+from .interp import Interpreter, InterpError, InterpFault, LArray, LObject, run_source
 
 __all__ = [
     "Interpreter",
     "InterpError",
+    "InterpFault",
     "LArray",
     "LObject",
     "LexError",

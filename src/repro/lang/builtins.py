@@ -17,6 +17,16 @@ class BuiltinError(AlphonseError):
     """A builtin was called with bad arguments."""
 
 
+class BuiltinFault(BuiltinError):
+    """A data-level builtin failure (e.g. a value too large to render).
+
+    Containable: inside an incremental procedure this poisons the node
+    instead of aborting the drain (see ``docs/robustness.md``).
+    """
+
+    containable = True
+
+
 def _check_arity(name: str, args: Tuple[Any, ...], lo: int, hi: int) -> None:
     if not (lo <= len(args) <= hi):
         expected = str(lo) if lo == hi else f"{lo}..{hi}"
@@ -53,7 +63,11 @@ def _builtin_text(*args: Any) -> Any:
         return "NIL"
     if isinstance(value, bool):
         return "TRUE" if value else "FALSE"
-    return str(value)
+    try:
+        return str(value)
+    except ValueError as exc:
+        # CPython's int->str digit limit on astronomically large INTEGERs
+        raise BuiltinFault(f"Text: {exc}") from exc
 
 
 #: Pure builtins: name -> (callable, (min_arity, max_arity)).

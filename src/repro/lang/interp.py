@@ -51,6 +51,22 @@ class InterpError(AlphonseError):
         super().__init__(message)
 
 
+class InterpFault(InterpError):
+    """A *data-level* failure of the interpreted program: DIV/MOD by
+    zero, a NIL dereference, or an array index out of range.
+
+    Unlike engine/driver misuse (unknown procedure, max_steps
+    exhaustion, type confusion) these depend only on the values an
+    incremental procedure read, so they are declared ``containable``: in
+    alphonse mode a body tripping one becomes a poisoned node — editing
+    the offending input heals it — instead of tearing down propagation.
+    In conventional mode (no runtime) they propagate like any
+    InterpError.
+    """
+
+    containable = True
+
+
 class _Return(Exception):
     """Internal control flow for RETURN statements."""
 
@@ -214,18 +230,21 @@ class Interpreter:
             self.exec_stmts(self.code_module.body, module_env)
         return self.output
 
-    def batch(self):
+    def batch(self, *, rollback_on_error: bool = False):
         """Coalesce a burst of mutator-side writes (``rt.batch()``).
 
         In alphonse mode this is a passthrough to the runtime's
         transaction layer: writes made via :meth:`call_procedure` /
         :meth:`call_method` inside the block defer change detection and
-        share one propagation drain at exit.  Conventional mode has no
-        runtime and nothing to defer, so the block is a no-op — the same
-        driver code runs unchanged in both modes.
+        share one propagation drain at exit; ``rollback_on_error=True``
+        additionally rewinds the block's writes if it raises.
+        Conventional mode has no runtime and nothing to defer, so the
+        block is a no-op — the same driver code runs unchanged in both
+        modes (rollback, having no write journal there, is best-effort
+        only in alphonse mode).
         """
         if self.runtime is not None:
-            return self.runtime.batch()
+            return self.runtime.batch(rollback_on_error=rollback_on_error)
         return contextlib.nullcontext()
 
     def call_procedure(self, name: str, *args: Any) -> Any:
@@ -560,7 +579,7 @@ class Interpreter:
         if isinstance(expr, ast.FieldExpr):
             obj = self.eval(expr.obj, env)
             if obj is None:
-                raise InterpError(
+                raise InterpFault(
                     f"NIL dereference reading field {expr.field_name!r}", expr
                 )
             if not isinstance(obj, LObject):
@@ -578,14 +597,14 @@ class Interpreter:
         if isinstance(expr, ast.IndexExpr):
             array = self.eval(expr.obj, env)
             if array is None:
-                raise InterpError("NIL dereference indexing array", expr)
+                raise InterpFault("NIL dereference indexing array", expr)
             if not isinstance(array, LArray):
                 raise InterpError(f"indexing non-array {array!r}", expr)
             index = self.eval(expr.index, env)
             if not isinstance(index, int) or isinstance(index, bool):
                 raise InterpError(f"array index {index!r} is not INTEGER", expr)
             if not (0 <= index < len(array.cells)):
-                raise InterpError(
+                raise InterpFault(
                     f"index {index} out of range 0..{len(array.cells) - 1}",
                     expr,
                 )
@@ -614,7 +633,7 @@ class Interpreter:
         if isinstance(fn, ast.FieldExpr):
             obj = self.eval(fn.obj, env)
             if obj is None:
-                raise InterpError(
+                raise InterpFault(
                     f"NIL dereference calling method {fn.field_name!r}", fn
                 )
             if not isinstance(obj, LObject):
@@ -781,7 +800,7 @@ class Interpreter:
             if op == "*":
                 return left * right
             if right == 0:
-                raise InterpError(f"{op} by zero", expr)
+                raise InterpFault(f"{op} by zero", expr)
             if op == "DIV":
                 return left // right
             return left % right

@@ -5,12 +5,13 @@ expression trees plus a ``CellExp`` production that reads other cells.
 illustrates how one Alphonse program can be used to construct another."
 """
 
-from .model import CellExp, CircularReference, SheetCell, Spreadsheet
+from .model import ERROR_MARKER, CellExp, CircularReference, SheetCell, Spreadsheet
 from .formula import FormulaError, parse_formula
 
 __all__ = [
     "CellExp",
     "CircularReference",
+    "ERROR_MARKER",
     "FormulaError",
     "SheetCell",
     "Spreadsheet",

@@ -14,8 +14,12 @@ from __future__ import annotations
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
 from ..core import TrackedObject, get_runtime, maintained
-from ..core.errors import AlphonseError, CycleError
+from ..core.errors import AlphonseError, CycleError, NodeExecutionError
 from ..ag.expr import Exp, root
+
+#: What :meth:`Spreadsheet.display` shows for a cell whose formula (or
+#: any cell it reads) raised — the classic spreadsheet error marker.
+ERROR_MARKER = "#ERR!"
 
 
 class CircularReference(AlphonseError):
@@ -147,7 +151,12 @@ class Spreadsheet:
     def clear(self, row: int, col: int) -> None:
         self.set_formula(row, col, None)
 
-    def bulk_update(self, updates: Iterable[Tuple[int, int, Any]]) -> None:
+    def bulk_update(
+        self,
+        updates: Iterable[Tuple[int, int, Any]],
+        *,
+        rollback_on_error: bool = False,
+    ) -> None:
         """Install many ``(row, col, formula)`` assignments as one batch.
 
         A paste or an imported block is a burst of writes whose
@@ -155,8 +164,12 @@ class Spreadsheet:
         wrapped in ``rt.batch()``: change detection happens once per
         cell against its pre-paste value, and dependents of several
         changed cells recompute once, not once per assignment.
+
+        With ``rollback_on_error=True``, a failure partway through the
+        burst (an unparsable formula, out-of-range coordinates) restores
+        every cell already pasted — the sheet never keeps half a paste.
         """
-        with get_runtime().batch():
+        with get_runtime().batch(rollback_on_error=rollback_on_error):
             for row, col, formula in updates:
                 self.set_formula(row, col, formula)
 
@@ -172,6 +185,20 @@ class Spreadsheet:
             return self.cell_at(row, col).value()
         except CycleError as exc:
             raise CircularReference(row, col) from exc
+
+    def display(self, row: int, col: int) -> Any:
+        """The cell's value, with failures rendered as ``"#ERR!"``.
+
+        A formula whose evaluation raised — in this cell or any cell it
+        transitively reads — shows the error marker instead of
+        propagating the exception; so does a circular reference.  Like a
+        real spreadsheet, the marker is live: editing the offending cell
+        heals every dependent on its next read.
+        """
+        try:
+            return self.value(row, col)
+        except (NodeExecutionError, CircularReference):
+            return ERROR_MARKER
 
     def values(self) -> List[List[Any]]:
         """Evaluate the whole sheet (row-major)."""

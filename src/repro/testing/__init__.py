@@ -1,0 +1,9 @@
+"""Robustness test tooling: deterministic fault injection (chaos).
+
+See :mod:`repro.testing.chaos`.  Kept separate from :mod:`repro.core`
+so production imports never pay for test machinery.
+"""
+
+from .chaos import FaultInjected, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultSpec"]

@@ -1,0 +1,209 @@
+"""Deterministic fault injection for the incremental runtime.
+
+Fault containment (``docs/robustness.md``) claims that an exception in
+any procedure body leaves the engine structurally sound, that poison
+heals on the next relevant write, and that post-healing results are
+identical to a from-scratch computation.  Those claims are only worth
+stating if they survive faults injected at *arbitrary* points — which is
+what this module provides:
+
+* :class:`FaultSpec` — one fault source: raise on the Nth execution of
+  nodes whose label matches a substring, or with a per-execution
+  probability drawn from the plan's seeded RNG.
+* :class:`FaultPlan` — a set of specs installed on a runtime
+  (``plan.applied(rt)``).  The plan hooks ``Runtime._fault_injector``,
+  so every procedure-body execution — demand calls and eager
+  re-executions alike — passes through :meth:`FaultPlan.run`, which may
+  raise :class:`FaultInjected` before or after the real body.  Every
+  injection is logged in :attr:`FaultPlan.injected` for assertions.
+
+Determinism: a plan is parameterized by an integer ``seed``; two runs of
+the same workload under the same plan inject identical faults.  This is
+what lets Hypothesis shrink chaos counterexamples and what makes the CI
+chaos job reproducible (the failing seed is the whole repro).
+
+Faults default to firing *after* the body (``when="after"``): the body's
+tracked reads have happened, so the poisoned node has healing edges and
+containment's recovery path is exercised.  ``when="before"`` models a
+crash in a procedure prologue — no reads, no edges — which exercises the
+zero-read retry rule instead.
+
+Typical property (see ``tests/chaos/``)::
+
+    plan = FaultPlan([FaultSpec(match="height", nth=3)], seed=7)
+    with plan.applied(rt):
+        ...drive the workload, catching NodeExecutionError...
+    rt.check_invariants()
+    ...heal, then compare against an exhaustive baseline...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import DepNode
+    from repro.core.runtime import Runtime
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultSpec"]
+
+
+class FaultInjected(Exception):
+    """The exception a :class:`FaultSpec` raises by default.
+
+    A plain ``Exception`` subclass, hence containable: injected faults
+    poison nodes exactly like organic body failures.
+    """
+
+    def __init__(self, node_label: str, spec: "FaultSpec") -> None:
+        super().__init__(
+            f"injected fault in {node_label!r} (spec {spec.describe()})"
+        )
+        self.node_label = node_label
+        self.spec = spec
+
+
+class FaultSpec:
+    """One fault source within a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    match:
+        Substring of the node label this spec applies to ("" = every
+        procedure node).
+    nth:
+        Fire on exactly the Nth matching execution (1-based) seen by
+        this spec, then go dormant.  Mutually combinable with
+        ``probability``; either trigger fires the fault.
+    probability:
+        Fire on each matching execution with this probability, drawn
+        from the owning plan's seeded RNG.
+    when:
+        ``"after"`` (default) raises after the real body ran — its reads
+        are recorded, so the poison is healable by writes; ``"before"``
+        raises without running the body at all.
+    error:
+        Factory ``(node) -> Exception`` overriding the default
+        :class:`FaultInjected`.
+    """
+
+    def __init__(
+        self,
+        *,
+        match: str = "",
+        nth: Optional[int] = None,
+        probability: float = 0.0,
+        when: str = "after",
+        error: Optional[Callable[["DepNode"], Exception]] = None,
+    ) -> None:
+        if nth is not None and nth <= 0:
+            raise ValueError(f"nth must be positive, got {nth!r}")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        if when not in ("before", "after"):
+            raise ValueError(f"when must be 'before' or 'after', got {when!r}")
+        if nth is None and probability == 0.0:
+            raise ValueError("spec would never fire: set nth or probability")
+        self.match = match
+        self.nth = nth
+        self.probability = probability
+        self.when = when
+        self.error = error
+        #: Matching executions seen so far (including the firing one).
+        self.seen = 0
+        self.fired = False
+
+    def describe(self) -> str:
+        parts = [f"match={self.match!r}"]
+        if self.nth is not None:
+            parts.append(f"nth={self.nth}")
+        if self.probability:
+            parts.append(f"p={self.probability}")
+        parts.append(self.when)
+        return ", ".join(parts)
+
+    def _should_fire(self, node: "DepNode", rng: random.Random) -> bool:
+        if self.match not in node.label:
+            return False
+        self.seen += 1
+        if self.nth is not None and self.seen == self.nth and not self.fired:
+            return True
+        if self.probability and rng.random() < self.probability:
+            return True
+        return False
+
+    def _raise(self, node: "DepNode") -> None:
+        self.fired = True
+        if self.error is not None:
+            raise self.error(node)
+        raise FaultInjected(node.label, self)
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` s installable on a runtime.
+
+    One plan instance tracks per-spec state (``seen`` counts, the RNG
+    stream), so reuse a *fresh* plan per run when comparing runs.
+    """
+
+    def __init__(self, specs: List[FaultSpec], *, seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: ``(node_label, spec, when)`` for every fault actually raised.
+        self.injected: List[Tuple[str, FaultSpec, str]] = []
+        self._runtime: Optional["Runtime"] = None
+
+    # -- installation ----------------------------------------------------
+
+    def install(self, rt: "Runtime") -> None:
+        """Hook this plan into ``rt`` (replacing any previous injector)."""
+        if self._runtime is not None:
+            raise RuntimeError("FaultPlan is already installed")
+        self._runtime = rt
+        rt._fault_injector = self
+
+    def remove(self) -> None:
+        """Unhook from the runtime (no-op if not installed)."""
+        rt = self._runtime
+        if rt is not None and rt._fault_injector is self:
+            rt._fault_injector = None
+        self._runtime = None
+
+    @contextlib.contextmanager
+    def applied(self, rt: "Runtime") -> Iterator["FaultPlan"]:
+        """``with plan.applied(rt): ...`` — install for the block."""
+        self.install(rt)
+        try:
+            yield self
+        finally:
+            self.remove()
+
+    # -- the Runtime._fault_injector interface ---------------------------
+
+    def run(self, node: "DepNode", thunk: Callable[[], Any]) -> Any:
+        """Run one procedure body, possibly injecting a fault.
+
+        Called by ``Runtime.execute_node`` inside its containment
+        ``try`` block, so injected faults are captured into Poisoned
+        values exactly like organic failures.
+        """
+        fire_after: Optional[FaultSpec] = None
+        for spec in self.specs:
+            if spec._should_fire(node, self.rng):
+                if spec.when == "before":
+                    self.injected.append((node.label, spec, "before"))
+                    spec._raise(node)
+                fire_after = spec
+                break
+        result = thunk()
+        if fire_after is not None:
+            self.injected.append((node.label, fire_after, "after"))
+            fire_after._raise(node)
+        return result
+
+    def __len__(self) -> int:
+        """Faults injected so far."""
+        return len(self.injected)

@@ -1,0 +1,186 @@
+"""Transactional rollback: ``rt.batch(rollback_on_error=True)``."""
+
+import pytest
+
+from repro import Cell, EAGER, EventKind, Runtime, cached
+from repro.core.errors import RuntimeStateError
+
+
+@pytest.fixture
+def rt():
+    runtime = Runtime()
+    with runtime.active():
+        yield runtime
+
+
+class TestRollback:
+    def test_writes_rewound_on_error(self, rt):
+        a, b = Cell(1, label="a"), Cell(2, label="b")
+
+        @cached
+        def total():
+            return a.get() + b.get()
+
+        assert total() == 3
+        with pytest.raises(KeyError):
+            with rt.batch(rollback_on_error=True):
+                a.set(100)
+                b.set(200)
+                raise KeyError("abort the burst")
+        assert a.get() == 1
+        assert b.get() == 2
+        assert total() == 3
+        assert rt.stats.rollbacks == 1
+        rt.check_invariants()
+
+    def test_coalesced_writes_restore_first_prior_value(self, rt):
+        cell = Cell(10, label="c")
+
+        @cached
+        def doubled():
+            return cell.get() * 2
+
+        assert doubled() == 20
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                cell.set(11)
+                cell.set(12)
+                cell.set(13)  # coalesced: baseline is still 10
+                raise ValueError()
+        assert cell.get() == 10
+        assert doubled() == 20
+        rt.check_invariants()
+
+    def test_no_rollback_without_flag_keeps_partial_writes(self, rt):
+        cell = Cell(1, label="c")
+
+        @cached
+        def value():
+            return cell.get()
+
+        assert value() == 1
+        with pytest.raises(ValueError):
+            with rt.batch():
+                cell.set(99)
+                raise ValueError()
+        assert cell.get() == 99  # pre-existing semantics preserved
+
+    def test_success_commits_normally(self, rt):
+        cell = Cell(1, label="c")
+
+        @cached
+        def value():
+            return cell.get()
+
+        assert value() == 1
+        with rt.batch(rollback_on_error=True):
+            cell.set(5)
+        assert value() == 5
+        assert rt.stats.rollbacks == 0
+        assert rt.stats.batch_commits == 1
+
+    def test_mid_batch_read_leak_is_remarked(self, rt):
+        """A *fresh* procedure instance executing inside the batch reads
+        the mid-batch value and caches it; rollback must re-mark the
+        location so that dependent re-settles to the restored value.
+        (Already-cached dependents are stale-by-design inside a batch —
+        change detection is deferred — so no leak happens through them.)
+        """
+        cell = Cell(1, label="c")
+
+        @cached
+        def before():
+            return cell.get()
+
+        @cached
+        def probe():
+            return cell.get()
+
+        assert before() == 1  # storage node exists, caches 1
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                cell.set(50)
+                assert probe() == 50  # first execution: sees & caches 50
+                raise ValueError()
+        assert cell.get() == 1
+        assert probe() == 1  # leaked dependent re-settled
+        assert before() == 1
+        rt.check_invariants()
+
+    def test_eager_dependents_resettle_after_rollback(self, rt):
+        cell = Cell(1, label="c")
+        runs = []
+
+        @cached(strategy=EAGER)
+        def tracked():
+            runs.append(1)
+            return cell.get() + 100
+
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                cell.set(7)
+                assert tracked() == 107  # first execution inside the batch
+                raise ValueError()
+        # rollback re-marked the leaked location and its one drain
+        # re-executed the eager dependent against the restored value
+        assert tracked() == 101
+        assert len(runs) == 2
+        rt.check_invariants()
+
+    def test_private_writes_restore_without_marking(self, rt):
+        """Writes never observed inside the batch need no propagation."""
+        cell = Cell(1, label="c")
+
+        @cached
+        def value():
+            return cell.get()
+
+        assert value() == 1
+        events = []
+        rt.events.subscribe(
+            EventKind.ROLLBACK,
+            lambda kind, node, amount, data: events.append(data),
+        )
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                cell.set(9)  # nobody reads it before the raise
+                raise ValueError()
+        assert events == [{"restored": 1, "marked": 0}]
+        assert value() == 1
+
+    def test_rollback_restores_never_read_location(self, rt):
+        plain = Cell("original", label="plain")
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                plain.set("changed")
+                raise ValueError()
+        assert plain.get() == "original"
+
+    def test_nested_plain_batch_joins_rollback_batch(self, rt):
+        a, b = Cell(1, label="a"), Cell(2, label="b")
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                a.set(10)
+                with rt.batch():  # joins; outer still owns rollback
+                    b.set(20)
+                raise ValueError()
+        assert a.get() == 1
+        assert b.get() == 2
+
+    def test_nested_rollback_inside_plain_batch_rejected(self, rt):
+        with rt.batch():
+            with pytest.raises(RuntimeStateError):
+                with rt.batch(rollback_on_error=True):
+                    pass  # pragma: no cover - never entered
+        assert not rt.in_batch
+        rt.check_invariants()
+
+    def test_nested_rollback_inside_rollback_batch_joins(self, rt):
+        cell = Cell(1, label="c")
+        with pytest.raises(ValueError):
+            with rt.batch(rollback_on_error=True):
+                cell.set(5)
+                with rt.batch(rollback_on_error=True):
+                    cell.set(6)
+                raise ValueError()
+        assert cell.get() == 1

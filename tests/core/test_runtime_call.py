@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Cell, CycleError, cached
+from repro import Cell, CycleError, NodeExecutionError, cached
 from repro.core.errors import UnhashableArgumentsError
 
 
@@ -85,7 +85,10 @@ class TestCall:
         assert f() is None
         assert calls == [1]
 
-    def test_exception_does_not_poison_cache(self, rt):
+    def test_zero_read_failure_is_retried(self, rt):
+        # A body that raises before performing any tracked read has no
+        # healing edge, so containment does not pin its poison: the next
+        # call re-executes instead of replaying a permanent failure.
         attempts = []
 
         @cached
@@ -95,10 +98,30 @@ class TestCall:
                 raise ValueError("first time fails")
             return "ok"
 
-        with pytest.raises(ValueError):
+        with pytest.raises(NodeExecutionError) as excinfo:
             flaky(True)
+        assert isinstance(excinfo.value.root, ValueError)
         assert flaky(True) == "ok"  # re-executes, not cached failure
         assert len(attempts) == 2
+
+    def test_zero_read_failure_raw_without_containment(self):
+        from repro import Runtime
+
+        rt = Runtime(containment=False)
+        with rt.active():
+            attempts = []
+
+            @cached
+            def flaky():
+                attempts.append(1)
+                if len(attempts) == 1:
+                    raise ValueError("first time fails")
+                return "ok"
+
+            with pytest.raises(ValueError):
+                flaky()
+            assert flaky() == "ok"
+            assert len(attempts) == 2
 
 
 class TestCycles:

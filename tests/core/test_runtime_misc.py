@@ -160,15 +160,32 @@ class TestTableSize:
 
 class TestExceptionSafety:
     def test_call_stack_restored_after_exception(self, rt):
+        from repro import NodeExecutionError
+
         @cached
         def boom():
             raise RuntimeError("boom")
 
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NodeExecutionError) as excinfo:
             boom()
+        assert isinstance(excinfo.value.root, RuntimeError)
         assert rt.call_stack == []
 
+    def test_call_stack_restored_after_uncontained_exception(self):
+        rt = Runtime(containment=False)
+        with rt.active():
+
+            @cached
+            def boom():
+                raise RuntimeError("boom")
+
+            with pytest.raises(RuntimeError):
+                boom()
+            assert rt.call_stack == []
+
     def test_propagation_usable_after_body_exception(self, rt):
+        from repro import NodeExecutionError
+
         cell = Cell(1, label="x")
         attempts = []
 
@@ -182,14 +199,14 @@ class TestExceptionSafety:
 
         assert fragile() == 1
         cell.set(2)
-        with pytest.raises(ValueError):
+        with pytest.raises(NodeExecutionError):
             fragile()
         cell.set(3)
         assert fragile() == 3  # system recovered
         assert len(attempts) == 3
 
-    def test_eager_exception_during_flush_propagates(self, rt):
-        from repro import EAGER
+    def test_eager_exception_contained_during_flush(self, rt):
+        from repro import EAGER, NodeExecutionError
 
         cell = Cell(1, label="x")
 
@@ -202,9 +219,33 @@ class TestExceptionSafety:
 
         fragile()
         cell.set(-1)
-        with pytest.raises(ValueError):
-            rt.flush()
+        rt.flush()  # containment: the drain completes, poisoning fragile
+        with pytest.raises(NodeExecutionError):
+            fragile()
         # recovery: set a good value and flush again
         cell.set(5)
         rt.flush()
         assert fragile() == 5
+
+    def test_eager_exception_during_flush_propagates_without_containment(self):
+        from repro import EAGER
+
+        rt = Runtime(containment=False)
+        with rt.active():
+            cell = Cell(1, label="x")
+
+            @cached(strategy=EAGER)
+            def fragile():
+                value = cell.get()
+                if value < 0:
+                    raise ValueError("negative")
+                return value
+
+            fragile()
+            cell.set(-1)
+            with pytest.raises(ValueError):
+                rt.flush()
+            # recovery: set a good value and flush again
+            cell.set(5)
+            rt.flush()
+            assert fragile() == 5

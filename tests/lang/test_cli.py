@@ -92,6 +92,37 @@ class TestCli:
         )
         assert result.returncode == 2
 
+    def test_trace_written_on_success(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        result = run_cli(["--trace", str(trace_path)], tmp_path)
+        assert result.returncode == 0
+        assert trace_path.exists()
+        assert "trace:" in result.stderr
+
+    def test_trace_flushed_when_program_raises(self, tmp_path):
+        """A fault inside an incremental procedure must still leave a
+        usable trace on disk — including the node-poisoned event."""
+        import json
+
+        source = (
+            "MODULE T;\nVAR d : INTEGER;\n(*CACHED*)\n"
+            "PROCEDURE Quot() : INTEGER =\n"
+            "BEGIN RETURN 100 DIV d END Quot;\nBEGIN\n"
+            "  d := 0;\n  Print(Quot())\nEND T."
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        result = run_cli(
+            ["--trace", str(trace_path)], tmp_path, source=source
+        )
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+        assert trace_path.exists()
+        events = [
+            json.loads(line)["event"]
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert "node-poisoned" in events
+
     def test_max_steps(self, tmp_path):
         source = (
             "MODULE Loop;\nVAR x : INTEGER;\nBEGIN\n"

@@ -1,0 +1,112 @@
+"""Fault containment at the language level.
+
+Data-level interpreter failures (``DIV`` by zero, NIL dereferences,
+array index errors) are :class:`~repro.lang.InterpFault` — containable,
+so in alphonse mode a failure inside an incremental procedure poisons
+its node instead of crashing the drain, and an edit that re-marks the
+region heals it.  Structural interpreter errors (unknown procedure,
+``max_steps``) stay non-containable.
+"""
+
+import pytest
+
+from repro import NodeExecutionError
+from repro.lang import InterpError, InterpFault, run_source
+
+QUOT = """
+MODULE F;
+VAR d : INTEGER;
+(*CACHED*)
+PROCEDURE Quot(n : INTEGER) : INTEGER =
+BEGIN RETURN n DIV d END Quot;
+BEGIN
+  d := 5;
+  Print(Quot(100))
+END F.
+"""
+
+
+class TestDemandContainment:
+    def test_div_by_zero_poisons_then_edit_heals(self):
+        interp = run_source(QUOT)
+        assert interp.output == ["20"]
+        rt = interp.runtime
+        with rt.active():
+            interp.set_global("d", 0)
+            with pytest.raises(NodeExecutionError) as excinfo:
+                interp.call_procedure("Quot", 100)
+            assert isinstance(excinfo.value.root, InterpFault)
+            assert rt.stats.nodes_poisoned >= 1
+            rt.check_invariants()
+            # healing: the write re-marks the read region; the retry
+            # succeeds without any explicit recovery step
+            interp.set_global("d", 4)
+            assert interp.call_procedure("Quot", 100) == 25
+            rt.check_invariants()
+
+    def test_fault_in_main_body_is_not_contained(self):
+        """The main body is not a node; data faults there surface as
+        ordinary InterpError (conventional semantics)."""
+        src = """
+MODULE M;
+VAR d : INTEGER;
+BEGIN
+  d := 0;
+  Print(1 DIV d)
+END M.
+"""
+        with pytest.raises(InterpError, match="by zero"):
+            run_source(src)
+
+    def test_structural_errors_stay_uncontained(self):
+        interp = run_source(QUOT)
+        with interp.runtime.active():
+            with pytest.raises(InterpError, match="no procedure"):
+                interp.call_procedure("Ghost")
+
+
+class TestEagerContainment:
+    SRC = """
+MODULE E;
+VAR g : INTEGER;
+(*CACHED EAGER*)
+PROCEDURE Mirror() : INTEGER =
+BEGIN RETURN 100 DIV g END Mirror;
+BEGIN
+  g := 5;
+  Print(Mirror())
+END E.
+"""
+
+    def test_flush_never_raises_and_heals(self):
+        interp = run_source(self.SRC)
+        assert interp.output == ["20"]
+        rt = interp.runtime
+        with rt.active():
+            interp.set_global("g", 0)
+            rt.flush()  # containment: the eager re-execution must not raise
+            assert rt.stats.nodes_poisoned >= 1
+            with pytest.raises(NodeExecutionError):
+                interp.call_procedure("Mirror")
+            rt.check_invariants()
+            interp.set_global("g", 4)
+            rt.flush()
+            assert interp.call_procedure("Mirror") == 25
+            assert not rt.pending_changes()
+            rt.check_invariants()
+
+
+class TestConventionalMode:
+    def test_data_faults_propagate_conventionally(self):
+        """No runtime, no containment: InterpFault reaches the caller."""
+        src = """
+MODULE C;
+(*CACHED*)
+PROCEDURE Quot(n : INTEGER) : INTEGER =
+BEGIN RETURN n DIV 0 END Quot;
+BEGIN
+  Print(Quot(1))
+END C.
+"""
+        with pytest.raises(InterpFault, match="by zero"):
+            run_source(src, mode="conventional")

@@ -75,7 +75,9 @@ class _Gen:
         kind = rng.random()
         if depth <= 0 or kind < 0.5:
             target = rng.choice(writable)
-            return f"  {target} := {self.expr(2, names)}"
+            # MOD-bound the stored value: repeated squaring inside FOR
+            # loops otherwise grows globals past any printable size
+            return f"  {target} := ({self.expr(2, names)} MOD 100003)"
         if kind < 0.7:
             return (
                 f"  IF {self.cond(names)} THEN\n"
