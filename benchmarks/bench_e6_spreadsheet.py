@@ -15,16 +15,19 @@ the exhaustive model's recomputation counts.
 
 from repro import Runtime
 from repro.baselines.exhaustive import ExhaustiveSpreadsheet
+from repro.obs import RuntimeMetrics
 from repro.spreadsheet import Spreadsheet
 
-from .tableio import emit
+from .tableio import emit, ops_counters
 
 CHAINS = [16, 64, 256]
 GRIDS = [4, 8, 16]
 
 
-def _chain_cost(length):
+def _chain_cost(length, metrics=None):
     runtime = Runtime(keep_registry=False)
+    if metrics is not None:
+        metrics.attach(runtime.events)
     with runtime.active():
         sheet = Spreadsheet(1, length)
         sheet.set_formula(0, 0, 1)
@@ -40,6 +43,9 @@ def _chain_cost(length):
         sheet.set_formula(0, length - 1, f"R0C{length - 2} + 5")
         assert sheet.value(0, length - 1) == 100 + length - 2 + 5
         tail_edit = runtime.stats.delta(before)["executions"]
+    if metrics is not None:
+        metrics.detach()
+    ops = ops_counters(runtime.stats.snapshot())
     # exhaustive baseline: reading the end of an n-chain costs n visits
     exhaustive = ExhaustiveSpreadsheet(1, length)
     exhaustive.set_constant(0, 0, 1)
@@ -49,14 +55,18 @@ def _chain_cost(length):
         )
     exhaustive.counter.reset()
     exhaustive.value(0, length - 1)
-    return head_edit, tail_edit, exhaustive.counter.operations
+    return head_edit, tail_edit, exhaustive.counter.operations, ops
 
 
 def test_e6_chain_and_locality(benchmark):
     rows = []
+    counters = {}
     for length in CHAINS:
-        head, tail, exhaustive = _chain_cost(length)
+        metrics = RuntimeMetrics() if length == CHAINS[-1] else None
+        head, tail, exhaustive, ops = _chain_cost(length, metrics)
         rows.append((length, head, tail, exhaustive))
+        if metrics is not None:
+            counters = {"ops": ops, "metrics": metrics.snapshot()}
         # head edit touches the whole chain (everything depends on it);
         # tail edit touches a constant-size region
         assert head >= length  # at least one execution per cell
@@ -66,10 +76,12 @@ def test_e6_chain_and_locality(benchmark):
         "spreadsheet chain: edit cost ~ dependents (executions)",
         ["chain", "head_edit", "tail_edit", "exhaustive_read"],
         rows,
+        counters=counters,
     )
     assert rows[-1][2] <= rows[0][2] + 4  # tail edits don't scale with n
 
     rows_grid = []
+    counters_grid = {}
     for g in GRIDS:
         runtime = Runtime(keep_registry=False)
         with runtime.active():
@@ -89,12 +101,15 @@ def test_e6_chain_and_locality(benchmark):
             assert sheet.value(0, g - 1) == 100 + g - 1
             own_row = runtime.stats.delta(before)["executions"]
         rows_grid.append((f"{g}x{g}", own_row, other_row, g * g))
+        if g == GRIDS[-1]:
+            counters_grid = {"ops": ops_counters(runtime.stats.snapshot())}
         assert other_row == 0  # unrelated rows: pure cache hits
     emit(
         "E6b",
         "grid locality: edits never touch unrelated rows",
         ["grid", "own_row_reexec", "other_row_reexec", "cells"],
         rows_grid,
+        counters=counters_grid,
     )
 
     # wall-clock: tail-region edit + read on the longest chain

@@ -1,0 +1,163 @@
+"""Op-count regression gate over BENCH_core.json.
+
+The tracked experiments (E1, E6a, E6b) record deterministic operation
+counters — executions, accesses, cache hits, propagation steps — in
+their result records (``counters.ops``).  Those counts are the paper's
+claims in number form: if an engine change makes the first height()
+query execute 2x the nodes, wall-clock benchmarks may hide it under
+noise, but the op counts cannot.
+
+Usage::
+
+    python benchmarks/check_regression.py            # gate (CI)
+    python benchmarks/check_regression.py --update   # rewrite baseline
+
+The gate compares each tracked counter against
+``benchmarks/baseline_counters.json`` and fails on drift beyond
+±10%.  An intentional change ships either an updated baseline
+(``--update``, commit the result) or a waiver: create
+``benchmarks/REGRESSION_WAIVER`` containing one line of justification,
+and the gate reports the drift but exits 0.  The waiver file is a
+one-PR artifact — delete it after the baseline is refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+HERE = os.path.dirname(__file__)
+BENCH_JSON_PATH = os.path.join(HERE, "BENCH_core.json")
+BASELINE_PATH = os.path.join(HERE, "baseline_counters.json")
+WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
+
+#: Experiments whose op counters are gated.
+TRACKED = ("E1", "E6a", "E6b")
+
+#: Allowed relative drift per counter.
+TOLERANCE = 0.10
+
+
+def load_current() -> Dict[str, Dict[str, int]]:
+    """``{experiment: {counter: value}}`` from BENCH_core.json."""
+    try:
+        with open(BENCH_JSON_PATH, encoding="utf-8") as fh:
+            bench = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"error: cannot read {BENCH_JSON_PATH} ({exc}); run the "
+            f"benchmarks and collect_results.py first"
+        )
+    out: Dict[str, Dict[str, int]] = {}
+    for record in bench.get("experiments", []):
+        exp = record.get("experiment")
+        ops = (record.get("counters") or {}).get("ops")
+        if exp in TRACKED and isinstance(ops, dict):
+            out[exp] = {k: v for k, v in ops.items()}
+    return out
+
+
+def compare(
+    baseline: Dict[str, Dict[str, int]],
+    current: Dict[str, Dict[str, int]],
+) -> list:
+    """All tracked-counter drifts beyond tolerance, as message strings."""
+    problems = []
+    for exp in TRACKED:
+        base_ops = baseline.get(exp)
+        cur_ops = current.get(exp)
+        if base_ops is None:
+            continue  # new experiment: nothing to gate yet
+        if cur_ops is None:
+            problems.append(f"{exp}: no op counters in current results")
+            continue
+        for name, base_value in sorted(base_ops.items()):
+            cur_value = cur_ops.get(name)
+            if cur_value is None:
+                problems.append(f"{exp}.{name}: counter disappeared")
+                continue
+            if base_value == 0:
+                if cur_value != 0:
+                    problems.append(
+                        f"{exp}.{name}: {base_value} -> {cur_value} "
+                        f"(was zero)"
+                    )
+                continue
+            drift = (cur_value - base_value) / base_value
+            if abs(drift) > TOLERANCE:
+                problems.append(
+                    f"{exp}.{name}: {base_value} -> {cur_value} "
+                    f"({drift:+.1%}, tolerance ±{TOLERANCE:.0%})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current BENCH_core.json",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_current()
+    missing = [exp for exp in TRACKED if exp not in current]
+    if missing:
+        print(
+            f"error: no op counters for {', '.join(missing)} — run "
+            f"`pytest benchmarks/bench_e1_*.py benchmarks/bench_e6_*.py` "
+            f"then collect_results.py",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    try:
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot read baseline {BASELINE_PATH} ({exc}); "
+            f"generate it with --update",
+            file=sys.stderr,
+        )
+        return 2
+
+    problems = compare(baseline, current)
+    if not problems:
+        total = sum(len(ops) for ops in current.values())
+        print(f"op-count regression gate: {total} counters within "
+              f"±{TOLERANCE:.0%} of baseline")
+        return 0
+
+    for problem in problems:
+        print(f"drift: {problem}", file=sys.stderr)
+    if os.path.exists(WAIVER_PATH):
+        with open(WAIVER_PATH, encoding="utf-8") as fh:
+            reason = fh.read().strip()
+        print(
+            f"waived by benchmarks/REGRESSION_WAIVER: {reason}",
+            file=sys.stderr,
+        )
+        return 0
+    print(
+        "op-count regression gate FAILED — update the baseline with "
+        "`python benchmarks/check_regression.py --update` if intentional, "
+        "or add benchmarks/REGRESSION_WAIVER with a justification",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

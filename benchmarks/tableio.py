@@ -21,6 +21,24 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 TIMINGS_PATH = os.path.join(RESULTS_DIR, "_timings.json")
 
+#: The deterministic operation counters the regression gate tracks
+#: (``check_regression.py``): pure op counts, no wall-clock anywhere.
+TRACKED_OPS = (
+    "executions",
+    "accesses",
+    "modifies",
+    "changes_detected",
+    "inconsistent_marks",
+    "cache_hits",
+    "cache_misses",
+    "propagation_steps",
+)
+
+
+def ops_counters(stats_snapshot: Dict[str, int]) -> Dict[str, int]:
+    """Project a ``RuntimeStats.snapshot()`` onto the tracked op set."""
+    return {key: stats_snapshot.get(key, 0) for key in TRACKED_OPS}
+
 
 def format_table(
     title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]

@@ -57,6 +57,14 @@ from .core import (
     reset_default_runtime,
     unchecked,
 )
+from .obs import (
+    Explanation,
+    GraphSnapshot,
+    MetricsRegistry,
+    Observability,
+    RuntimeMetrics,
+    SpanTracer,
+)
 
 __version__ = "1.0.0"
 
@@ -68,16 +76,22 @@ __all__ = [
     "EAGER",
     "EventBus",
     "EventKind",
+    "Explanation",
     "FIFO",
+    "GraphSnapshot",
     "HeightOrderedScheduler",
     "IntegrityError",
     "LRU",
+    "MetricsRegistry",
     "NodeExecutionError",
+    "Observability",
     "Poisoned",
     "PropagationBudgetError",
     "Runtime",
+    "RuntimeMetrics",
     "RuntimeStats",
     "Scheduler",
+    "SpanTracer",
     "TopologicalScheduler",
     "TraceExporter",
     "Transaction",

@@ -58,6 +58,10 @@ class EventKind(enum.Enum):
     #: ``node`` entered its partition's inconsistent set.
     INCONSISTENT_MARKED = "inconsistent-marked"
 
+    #: A procedure body is about to execute (the span-open mate of
+    #: :attr:`EXECUTION`; a body that raises emits no EXECUTION, so span
+    #: consumers must recover from an unmatched start).
+    EXECUTION_STARTED = "execution-started"
     #: A procedure body finished executing; ``data`` is True if the
     #: activation committed its result to the cache (see
     #: ``Runtime.execute_node`` on re-entrancy), False otherwise.
@@ -76,9 +80,16 @@ class EventKind(enum.Enum):
     #: An eager re-execution reproduced the cached value, cutting
     #: propagation along that path ("quiescence", §2).
     QUIESCENCE_CUT = "quiescence-cut"
+    #: An incremental call is about to flush pending changes (the
+    #: span-open mate of :attr:`FORCED_EVALUATION`).
+    FORCED_EVALUATION_STARTED = "forced-evaluation-started"
     #: An incremental call preempted execution to flush pending changes
     #: (Algorithm 5's Evaluate call).
     FORCED_EVALUATION = "forced-evaluation"
+    #: A scheduler drain is starting; ``amount`` is the number of nodes
+    #: pending in the inconsistent set(s) about to be drained (the
+    #: span-open mate of :attr:`DRAIN` / :attr:`DRAIN_ABORTED`).
+    DRAIN_STARTED = "drain-started"
     #: A top-level scheduler drain completed; ``amount`` is the number
     #: of propagation steps it performed.
     DRAIN = "drain"
@@ -99,6 +110,9 @@ class EventKind(enum.Enum):
     #: creation (§6.4).
     UNCHECKED_SUPPRESSION = "unchecked-suppression"
 
+    #: An outermost ``with rt.batch():`` block opened (the span-open
+    #: mate of :attr:`BATCH_COMMIT` / :attr:`ROLLBACK`).
+    BATCH_STARTED = "batch-started"
     #: A ``with rt.batch():`` block committed; ``data`` is a dict with
     #: ``writes`` (distinct locations written) and ``coalesced``
     #: (repeated writes absorbed into their location's final value).
@@ -113,6 +127,13 @@ class EventKind(enum.Enum):
     #: A union-find union/find was performed (§6.3 bookkeeping).
     PARTITION_UNION = "partition-union"
     PARTITION_FIND = "partition-find"
+
+    #: A :class:`~repro.core.watchdog.Watchdog` budget tripped; ``node``
+    #: is the node being processed when the budget was exceeded and
+    #: ``data`` a dict with ``budget`` (which budget: "steps",
+    #: "wall-time", "livelock") and ``hot`` (the hot-node report).  The
+    #: matching :attr:`DRAIN_ABORTED` follows as the drain unwinds.
+    WATCHDOG_TRIPPED = "watchdog-tripped"
 
 
 #: Subscriber signature: ``handler(kind, node, amount, data)``.
@@ -271,6 +292,8 @@ class TraceExporter:
             return label
         if isinstance(data, dict):
             return {str(k): TraceExporter._render(v) for k, v in data.items()}
+        if isinstance(data, (list, tuple)):
+            return [TraceExporter._render(v) for v in data]
         return repr(data)
 
     # -- export ----------------------------------------------------------

@@ -149,6 +149,10 @@ class Runtime:
         self.max_reentry = max_reentry
         self.containment = containment
         self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.events = self.events
+        #: Lazily created introspection facade (see :attr:`obs`).
+        self._obs: Optional[Any] = None
         #: Fault-injection hook (see :mod:`repro.testing.chaos`): when
         #: set, ``execute_node`` routes every body run through
         #: ``injector.run(node, thunk)``.  Testing-only; None in
@@ -351,6 +355,7 @@ class Runtime:
             self.graph.remove_pred_edges(node)
         frame = _Frame(node)
         self.call_stack.append(frame)
+        self.events.emit(EventKind.EXECUTION_STARTED, node)
         node.executing += 1
         node.activation_seq += 1
         my_activation = node.activation_seq
@@ -458,7 +463,9 @@ class Runtime:
             incset = self.partitions.set_of(node)
             if not incset:
                 break
-            forced = True
+            if not forced:
+                forced = True
+                self.events.emit(EventKind.FORCED_EVALUATION_STARTED, node)
             self.scheduler.drain(incset)
         if forced:
             self.events.emit(EventKind.FORCED_EVALUATION, node)
@@ -501,6 +508,48 @@ class Runtime:
         from .integrity import audit
 
         return audit(self, raise_on_violation=raise_on_violation)
+
+    # ------------------------------------------------------------------
+    # introspection (see repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def obs(self):
+        """The runtime's introspection facade (:mod:`repro.obs`).
+
+        Created on first access and inert until
+        :meth:`~repro.obs.Observability.enable` (or
+        :meth:`~repro.obs.Observability.profile`) attaches its
+        subscribers, so runtimes that never touch ``obs`` pay nothing on
+        the hot path.
+        """
+        if self._obs is None:
+            from ..obs import Observability
+
+            self._obs = Observability(self)
+        return self._obs
+
+    def explain(self, target: Any) -> "Any":
+        """Why did ``target`` recompute / why is its value what it is?
+
+        ``target`` is a graph node, a tracked location, or a label
+        substring.  Returns an :class:`~repro.obs.explain.Explanation` —
+        a typed causal chain (write → change-detected → marked →
+        re-executed → quiescence-cut) built from the recorded event
+        trace plus the live graph.  Requires ``rt.obs.enable()`` before
+        the actions of interest for a full chain; without a recording it
+        falls back to a dependency-only explanation.
+        """
+        return self.obs.explain(target)
+
+    def inspect(self) -> "Any":
+        """Snapshot the dependency graph for inspection/diffing.
+
+        Returns a :class:`~repro.obs.inspect.GraphSnapshot` (node kind,
+        consistency, height, partition, poison state) exportable as DOT
+        or JSON and diffable against a later snapshot.
+        """
+        return self.obs.inspect()
 
     def batch(self, *, rollback_on_error: bool = False) -> Transaction:
         """Open a batched-write transaction (``with rt.batch(): ...``).

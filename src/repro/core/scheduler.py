@@ -114,6 +114,10 @@ class Scheduler:
         current: Optional[DepNode] = None
         self.active = True
         self._begin_drain()
+        if len(incset):
+            # A non-empty set always yields >= 1 step, so the paired
+            # DRAIN / DRAIN_ABORTED end event is guaranteed to follow.
+            emit(EventKind.DRAIN_STARTED, None, amount=len(incset))
         if watchdog is not None:
             watchdog.begin()
         try:
@@ -166,6 +170,9 @@ class Scheduler:
         done = 0
         self.active = True
         self._begin_drain()
+        pending_size = sum(len(s) for s in rt.partitions.pending_sets())
+        if pending_size:
+            emit(EventKind.DRAIN_STARTED, None, amount=pending_size)
         if watchdog is not None:
             watchdog.begin()
         try:

@@ -96,10 +96,15 @@ class RuntimeStats:
     #: their writes rewound to the pre-batch values.
     rollbacks: int = 0
 
-    #: ``with rt.batch():`` commits, and repeated same-location writes
-    #: those commits coalesced into a single change check.
+    #: ``with rt.batch():`` commits, the distinct locations those
+    #: commits wrote, and repeated same-location writes coalesced into a
+    #: single change check.
     batch_commits: int = 0
+    batch_writes: int = 0
     batch_writes_coalesced: int = 0
+
+    #: Watchdog budgets tripped (each precedes a drain abort).
+    watchdog_trips: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -153,7 +158,19 @@ _COUNTER_FOR = {
     EventKind.PARTITION_FIND: "partition_finds",
     EventKind.NODE_POISONED: "nodes_poisoned",
     EventKind.ROLLBACK: "rollbacks",
+    EventKind.WATCHDOG_TRIPPED: "watchdog_trips",
 }
+
+#: Span-boundary kinds whose occurrences are already counted by their
+#: paired end event; counting both would double-report the operation.
+SPAN_OPEN_KINDS = frozenset(
+    {
+        EventKind.EXECUTION_STARTED,  # counted by EXECUTION
+        EventKind.DRAIN_STARTED,  # counted by DRAIN / DRAIN_ABORTED
+        EventKind.BATCH_STARTED,  # counted by BATCH_COMMIT / ROLLBACK
+        EventKind.FORCED_EVALUATION_STARTED,  # counted by FORCED_EVALUATION
+    }
+)
 
 
 class StatsCollector:
@@ -214,6 +231,7 @@ class StatsCollector:
     ) -> None:
         self.stats.batch_commits += amount
         if data:
+            self.stats.batch_writes += data.get("writes", 0)
             self.stats.batch_writes_coalesced += data.get("coalesced", 0)
 
     def _on_drain(

@@ -105,6 +105,7 @@ class Transaction:
                 )
             return self._parent  # nested batch: join the outer transaction
         rt._transaction = self
+        rt.events.emit(EventKind.BATCH_STARTED, None)
         return self
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:

@@ -30,6 +30,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from .errors import PropagationBudgetError
+from .events import EventBus, EventKind
 from .node import DepNode
 
 __all__ = ["Watchdog"]
@@ -43,6 +44,7 @@ class Watchdog:
         "max_seconds",
         "livelock_threshold",
         "hot_report",
+        "events",
         "_steps",
         "_deadline",
         "_counts",
@@ -68,6 +70,9 @@ class Watchdog:
         self.max_seconds = max_seconds
         self.livelock_threshold = livelock_threshold
         self.hot_report = hot_report
+        #: Event bus to announce trips on; installed by the runtime the
+        #: watchdog is attached to (``Runtime(watchdog=...)``).
+        self.events: Optional[EventBus] = None
         self._steps = 0
         self._deadline: Optional[float] = None
         #: id(node) -> times processed this drain (only kept when the
@@ -108,26 +113,40 @@ class Watchdog:
             self.livelock_threshold is not None
             and count > self.livelock_threshold
         ):
-            raise PropagationBudgetError(
+            raise self._trip(
+                node,
                 "livelock",
                 f"node {node.label!r} processed {count} times in one drain "
                 f"(threshold {self.livelock_threshold}); this usually means "
                 f"a DET violation keeps re-dirtying the region",
-                self.hot_nodes(),
             )
         if self.max_steps is not None and self._steps > self.max_steps:
-            raise PropagationBudgetError(
+            raise self._trip(
+                node,
                 "steps",
                 f"drain exceeded {self.max_steps} propagation steps",
-                self.hot_nodes(),
             )
         if self._deadline is not None and time.monotonic() > self._deadline:
-            raise PropagationBudgetError(
+            raise self._trip(
+                node,
                 "wall-time",
                 f"drain exceeded {self.max_seconds}s of wall time after "
                 f"{self._steps} steps",
-                self.hot_nodes(),
             )
+
+    def _trip(
+        self, node: DepNode, budget: str, message: str
+    ) -> PropagationBudgetError:
+        """Announce the trip and build the error (the span-boundary
+        event the tracer pairs with the DRAIN_ABORTED that follows)."""
+        hot = self.hot_nodes()
+        if self.events is not None:
+            self.events.emit(
+                EventKind.WATCHDOG_TRIPPED,
+                node,
+                data={"budget": budget, "hot": hot},
+            )
+        return PropagationBudgetError(budget, message, hot)
 
     # -- diagnostics -----------------------------------------------------
 

@@ -76,7 +76,58 @@ def build_argparser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL runtime-event trace (alphonse mode only)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-procedure time/ops table after the run "
+        "(alphonse mode only)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="LABEL",
+        default=None,
+        help="after the run, print the causal chain for the node whose "
+        "label matches LABEL (alphonse mode only)",
+    )
+    parser.add_argument(
+        "--spans",
+        metavar="FILE",
+        default=None,
+        help="write the span trace: .json for Chrome trace_event format, "
+        "anything else for JSONL (alphonse mode only)",
+    )
     return parser
+
+
+def _print_profile(runtime, out) -> None:
+    """Per-procedure time table plus the headline engine counters."""
+    rows = runtime.obs.metrics.procedure_table()
+    if rows:
+        name_w = max(9, max(len(name) for name, *_ in rows))
+        print(
+            f"{'procedure':<{name_w}}  {'calls':>7}  {'total_ms':>10}  "
+            f"{'mean_us':>10}",
+            file=out,
+        )
+        for name, calls, total_s, mean_s in rows:
+            print(
+                f"{name:<{name_w}}  {calls:>7}  {total_s * 1e3:>10.3f}  "
+                f"{mean_s * 1e6:>10.1f}",
+                file=out,
+            )
+    else:
+        print("(no procedure executions recorded)", file=out)
+    metrics = runtime.obs.metrics
+    stats = runtime.stats
+    print(
+        f"cache: {int(metrics.cache_hits.value)} hits / "
+        f"{int(metrics.cache_misses.value)} misses "
+        f"(rate {metrics.cache_hit_rate:.2f})  "
+        f"drains: {metrics.drain_steps.total}  "
+        f"propagation steps: {stats.propagation_steps}  "
+        f"changes: {stats.changes_detected}",
+        file=out,
+    )
 
 
 def main(argv=None) -> int:
@@ -111,18 +162,25 @@ def main(argv=None) -> int:
         trace = None
         runtime = None
         trace_failed = False
-        if args.trace is not None:
+        want_obs = args.profile or args.explain is not None or args.spans
+        need_runtime = args.trace is not None or want_obs
+        if need_runtime:
             if args.mode != "alphonse":
                 print(
-                    "warning: --trace has no effect in conventional mode",
+                    "warning: --trace/--profile/--explain/--spans have no "
+                    "effect in conventional mode",
                     file=sys.stderr,
                 )
+                need_runtime = want_obs = False
             else:
                 from ..core import Runtime, TraceExporter
 
-                trace = TraceExporter()
                 runtime = Runtime()
-                trace.attach(runtime.events)
+                if args.trace is not None:
+                    trace = TraceExporter()
+                    trace.attach(runtime.events)
+                if want_obs:
+                    runtime.obs.enable()
         try:
             interp = run_source(
                 source,
@@ -155,6 +213,25 @@ def main(argv=None) -> int:
         print(f"dynamic checks: {interp.dynamic_checks}", file=sys.stderr)
         if interp.runtime is not None:
             print(interp.runtime.stats.summary(), file=sys.stderr)
+    if runtime is not None and want_obs:
+        runtime.obs.disable()
+        if args.profile:
+            _print_profile(runtime, sys.stderr)
+        if args.explain is not None:
+            print(runtime.explain(args.explain).render(), file=sys.stderr)
+        if args.spans:
+            try:
+                if args.spans.endswith(".json"):
+                    count = runtime.obs.tracer.write_chrome(args.spans)
+                else:
+                    count = runtime.obs.tracer.write(args.spans)
+            except OSError as exc:
+                trace_failed = True
+                print(f"error: cannot write spans: {exc}", file=sys.stderr)
+            else:
+                print(
+                    f"spans: {count} -> {args.spans}", file=sys.stderr
+                )
     return 1 if trace_failed else 0
 
 

@@ -1,0 +1,384 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Two layers:
+
+* a **generic registry** (:class:`MetricsRegistry`) with the three
+  classic instrument types, a JSON-able :meth:`~MetricsRegistry.snapshot`
+  and a Prometheus text exposition (:meth:`~MetricsRegistry.to_prometheus`);
+* a **runtime collector** (:class:`RuntimeMetrics`) — an
+  :class:`~repro.core.events.EventBus` subscriber wiring the standard
+  engine metrics: inconsistent-set size per drain, propagation steps per
+  drain and per detected change, per-procedure execution wall time, and
+  cache hit rate.
+
+Histogram buckets are *fixed at construction* (and the standard buckets
+are module constants), so bucket edges are identical across runs and
+processes — snapshots from two CI runs diff cell-for-cell.
+
+Zero-subscriber cost: nothing here touches the engine until
+:meth:`RuntimeMetrics.attach`; an unattached runtime pays only the
+event bus's per-emit dict lookup, same as before this module existed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import EventBus, EventKind
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RuntimeMetrics",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS",
+]
+
+#: Power-of-two edges for set sizes / step counts (upper bounds; the
+#: implicit +Inf bucket catches the rest).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+)
+
+#: Decade edges for wall-clock seconds, 1µs .. 10s.
+TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds; an implicit +Inf bucket
+    holds everything beyond the last edge.  Edges are frozen at
+    construction so two histograms built from the same constant always
+    have identical shapes.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "total", "sum")
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Tuple[float, ...] = SIZE_BUCKETS
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        #: Per-bucket (non-cumulative) observation counts; index
+        #: len(buckets) is the +Inf bucket.
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with one snapshot / exposition surface."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _register(self, metric: Any) -> Any:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Tuple[float, ...] = SIZE_BUCKETS
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets))
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one JSON-able dict, sorted by name."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_num(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_num(metric.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for edge, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_num(edge)}"}} {cumulative}'
+                    )
+                lines.append(
+                    f'{name}_bucket{{le="+Inf"}} {metric.total}'
+                )
+                lines.append(f"{name}_sum {_num(metric.sum)}")
+                lines.append(f"{name}_count {metric.total}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class RuntimeMetrics:
+    """The standard engine metrics, fed from the event bus.
+
+    Attach to a runtime's bus (``rt.obs.enable()`` does this) and read
+    ``snapshot()`` at any point::
+
+        metrics = RuntimeMetrics().attach(rt.events)
+        ... workload ...
+        print(metrics.registry.to_prometheus())
+
+    Per-procedure execution time is kept in per-name histograms
+    (``alphonse_execution_seconds::<proc>``), paired from
+    ``EXECUTION_STARTED``/``EXECUTION`` events; bodies that raise are
+    timed via their ``NODE_POISONED`` containment event.
+    """
+
+    #: Kinds this collector subscribes to (read by the coverage test).
+    KINDS = frozenset(
+        {
+            EventKind.DRAIN_STARTED,
+            EventKind.DRAIN,
+            EventKind.DRAIN_ABORTED,
+            EventKind.CHANGE_DETECTED,
+            EventKind.EXECUTION_STARTED,
+            EventKind.EXECUTION,
+            EventKind.NODE_POISONED,
+            EventKind.CACHE_HIT,
+            EventKind.CACHE_MISS,
+        }
+    )
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._bus: Optional[EventBus] = None
+        reg = self.registry
+        self.drain_set_size = reg.histogram(
+            "alphonse_drain_inconsistent_set_size",
+            "pending nodes at drain start",
+            SIZE_BUCKETS,
+        )
+        self.drain_steps = reg.histogram(
+            "alphonse_propagation_steps_per_drain",
+            "propagation steps per completed drain",
+            SIZE_BUCKETS,
+        )
+        self.steps_per_change = reg.histogram(
+            "alphonse_propagation_steps_per_change",
+            "propagation steps per detected change (per drain)",
+            SIZE_BUCKETS,
+        )
+        self.cache_hits = reg.counter(
+            "alphonse_cache_hits_total", "calls answered from cache"
+        )
+        self.cache_misses = reg.counter(
+            "alphonse_cache_misses_total", "calls that found a stale node"
+        )
+        self.executions = reg.counter(
+            "alphonse_executions_total", "procedure bodies run"
+        )
+        self.changes = reg.counter(
+            "alphonse_changes_detected_total", "writes that changed a value"
+        )
+        #: Changes detected since the last completed drain, the
+        #: denominator of steps_per_change.
+        self._changes_since_drain = 0
+        #: Stack of (node_id, start_time) for in-flight executions.
+        self._exec_stack: List[Tuple[Any, float]] = []
+        #: Per-procedure-name time histograms.
+        self._per_proc: Dict[str, Histogram] = {}
+
+    # -- subscription lifecycle -----------------------------------------
+
+    def attach(self, bus: EventBus) -> "RuntimeMetrics":
+        if self._bus is not None:
+            raise RuntimeError("RuntimeMetrics is already attached")
+        for kind in self.KINDS:
+            bus.subscribe(kind, self._handle)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for kind in self.KINDS:
+            self._bus.unsubscribe(kind, self._handle)
+        self._bus = None
+        self._exec_stack.clear()
+
+    # -- event handling --------------------------------------------------
+
+    def _handle(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        if kind is EventKind.EXECUTION_STARTED:
+            self._exec_stack.append(
+                (getattr(node, "node_id", None), self._clock())
+            )
+        elif kind is EventKind.EXECUTION or kind is EventKind.NODE_POISONED:
+            self._finish_execution(node)
+        elif kind is EventKind.DRAIN_STARTED:
+            self.drain_set_size.observe(amount)
+        elif kind is EventKind.DRAIN or kind is EventKind.DRAIN_ABORTED:
+            self.drain_steps.observe(amount)
+            if self._changes_since_drain:
+                self.steps_per_change.observe(
+                    amount / self._changes_since_drain
+                )
+                self._changes_since_drain = 0
+        elif kind is EventKind.CHANGE_DETECTED:
+            self.changes.inc(amount)
+            self._changes_since_drain += amount
+        elif kind is EventKind.CACHE_HIT:
+            self.cache_hits.inc(amount)
+        elif kind is EventKind.CACHE_MISS:
+            self.cache_misses.inc(amount)
+
+    def _finish_execution(self, node: Any) -> None:
+        node_id = getattr(node, "node_id", None)
+        if not any(entry[0] == node_id for entry in self._exec_stack):
+            return  # attached mid-execution, or poison copied from an
+            # input with no body of this node in flight
+        # An exception may have unwound through intermediate activations
+        # without their end events; drop the stale entries above ours.
+        while self._exec_stack[-1][0] != node_id:
+            self._exec_stack.pop()
+        _, start = self._exec_stack.pop()
+        elapsed = self._clock() - start
+        self.executions.inc()
+        label = getattr(node, "label", "") or ""
+        name = label.split("(", 1)[0] or "?"
+        histogram = self._per_proc.get(name)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                f"alphonse_execution_seconds::{name}",
+                f"body wall time of {name}",
+                TIME_BUCKETS,
+            )
+            self._per_proc[name] = histogram
+        histogram.observe(elapsed)
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / (hits + misses), 0.0 before any call."""
+        hits = self.cache_hits.value
+        total = hits + self.cache_misses.value
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Registry snapshot plus the derived cache-hit-rate gauge."""
+        snap = self.registry.snapshot()
+        snap["alphonse_cache_hit_rate"] = {
+            "type": "gauge",
+            "value": self.cache_hit_rate,
+        }
+        return snap
+
+    def procedure_table(self) -> List[Tuple[str, int, float, float]]:
+        """Per-procedure ``(name, calls, total_s, mean_s)``, slowest first."""
+        rows = [
+            (name, h.total, h.sum, h.mean)
+            for name, h in self._per_proc.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows

@@ -1,0 +1,324 @@
+"""Span-based tracing: fold the flat event stream into nested timed spans.
+
+The event bus announces *points* — one event per operation.  Profiling
+needs *intervals*: how long did this drain take, and how much of it was
+one procedure's body?  :class:`SpanTracer` subscribes to the span
+boundary events the engine emits (``DRAIN_STARTED``/``DRAIN``,
+``EXECUTION_STARTED``/``EXECUTION``, ``BATCH_STARTED``/``BATCH_COMMIT``,
+``FORCED_EVALUATION_STARTED``/``FORCED_EVALUATION``) and reconstructs
+the interval tree those operations actually formed::
+
+    batch
+    └── drain                 (commit's propagation pass)
+        ├── execute f(1)
+        │   └── force         (nested call flushed pending changes)
+        │       └── drain
+        └── execute g(2)
+
+Spans are exportable as JSON lines (one span per line, depth-first) and
+as Chrome ``trace_event`` format — load the latter in ``chrome://tracing``
+or Perfetto for a flame view of drain time.
+
+Fault tolerance: a body that raises emits no ``EXECUTION`` end event, so
+closing an outer span also closes any still-open descendants (status
+``"interrupted"``); an aborted drain's ``DRAIN_ABORTED`` closes the
+drain span with status ``"aborted"``.  An end event with no matching
+open span (e.g. the tracer attached mid-drain) is ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.events import EventBus, EventKind
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One timed interval: a drain, an execution, a batch, or a force."""
+
+    __slots__ = (
+        "role",
+        "label",
+        "start",
+        "end",
+        "status",
+        "meta",
+        "children",
+        "node_id",
+        "seq",
+    )
+
+    def __init__(
+        self, role: str, label: str, start: float, seq: int, node_id=None
+    ) -> None:
+        self.role = role
+        self.label = label
+        self.start = start
+        self.end: Optional[float] = None
+        #: "ok", "aborted" (drain torn down), "poisoned" (body failure
+        #: contained), or "interrupted" (closed because an enclosing
+        #: span ended while this one was still open).
+        self.status = "ok"
+        self.meta: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self.node_id = node_id
+        self.seq = seq
+
+    @property
+    def duration(self) -> float:
+        """Seconds from open to close (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self):
+        """Yield this span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "role": self.role,
+            "label": self.label,
+            "seq": self.seq,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.meta:
+            out["meta"] = self.meta
+        if self.children:
+            out["children"] = len(self.children)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<span {self.role} {self.label!r} {self.status}>"
+
+
+#: kind -> span role for open events.
+_OPEN_ROLES = {
+    EventKind.DRAIN_STARTED: "drain",
+    EventKind.EXECUTION_STARTED: "execute",
+    EventKind.BATCH_STARTED: "batch",
+    EventKind.FORCED_EVALUATION_STARTED: "force",
+}
+
+#: kind -> span role for close events.
+_CLOSE_ROLES = {
+    EventKind.DRAIN: "drain",
+    EventKind.DRAIN_ABORTED: "drain",
+    EventKind.EXECUTION: "execute",
+    EventKind.BATCH_COMMIT: "batch",
+    EventKind.ROLLBACK: "batch",
+    EventKind.FORCED_EVALUATION: "force",
+    EventKind.NODE_POISONED: "execute",
+}
+
+
+class SpanTracer:
+    """EventBus subscriber reconstructing the span tree of a run.
+
+    ``clock`` defaults to :func:`time.perf_counter`; tests inject a
+    deterministic counter.  Completed top-level spans accumulate in
+    :attr:`roots`.
+    """
+
+    #: Kinds this tracer subscribes to (also read by the observability
+    #: coverage test).
+    KINDS = frozenset(_OPEN_ROLES) | frozenset(_CLOSE_ROLES)
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._clock = clock if clock is not None else time.perf_counter
+        self._seq = 0
+        self._bus: Optional[EventBus] = None
+
+    # -- subscription lifecycle -----------------------------------------
+
+    def attach(self, bus: EventBus) -> "SpanTracer":
+        if self._bus is not None:
+            raise RuntimeError("SpanTracer is already attached")
+        for kind in self.KINDS:
+            bus.subscribe(kind, self._handle)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        for kind in self.KINDS:
+            self._bus.unsubscribe(kind, self._handle)
+        self._bus = None
+        # Anything still open was interrupted by the end of observation.
+        while self._stack:
+            self._close(self._stack[-1], self._clock(), "interrupted")
+
+    # -- event folding ---------------------------------------------------
+
+    def _handle(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        role = _OPEN_ROLES.get(kind)
+        if role is not None:
+            self._open(role, node, amount)
+            return
+        self._on_close(kind, node, amount, data)
+
+    def _open(self, role: str, node: Any, amount: int) -> None:
+        span = Span(
+            role,
+            getattr(node, "label", None) or role,
+            self._clock(),
+            self._seq,
+            node_id=getattr(node, "node_id", None),
+        )
+        self._seq += 1
+        if role == "drain":
+            span.meta["pending"] = amount
+        self._stack.append(span)
+
+    def _on_close(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        role = _CLOSE_ROLES[kind]
+        target = self._find_open(role, node if role == "execute" else None)
+        if target is None:
+            return  # unmatched end: attached mid-flight, or (for
+            # NODE_POISONED) poison copied from an input with no
+            # execution of this node in flight.
+        now = self._clock()
+        # Spans opened above the target never saw their end event (an
+        # exception unwound through them): close them as interrupted.
+        while self._stack[-1] is not target:
+            self._close(self._stack[-1], now, "interrupted")
+        status = "ok"
+        if kind is EventKind.DRAIN_ABORTED:
+            status = "aborted"
+            target.meta["error"] = data
+        elif kind is EventKind.NODE_POISONED:
+            status = "poisoned"
+            if isinstance(data, dict):
+                target.meta.update(data)
+        if kind in (EventKind.DRAIN, EventKind.DRAIN_ABORTED):
+            target.meta["steps"] = amount
+        elif kind in (EventKind.BATCH_COMMIT, EventKind.ROLLBACK):
+            if isinstance(data, dict):
+                target.meta.update(data)
+            if kind is EventKind.ROLLBACK:
+                target.meta["rolled_back"] = True
+        self._close(target, now, status)
+
+    def _find_open(self, role: str, node: Any) -> Optional[Span]:
+        """Innermost open span of ``role`` (and of ``node``, if given)."""
+        for span in reversed(self._stack):
+            if span.role != role:
+                continue
+            if node is not None and span.node_id != getattr(
+                node, "node_id", None
+            ):
+                continue
+            return span
+        return None
+
+    def _close(self, span: Span, end: float, status: str) -> None:
+        assert self._stack and self._stack[-1] is span
+        self._stack.pop()
+        span.end = end
+        if status != "ok":
+            span.status = status
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- aggregation -----------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """All completed spans, depth-first across the root forest."""
+        out: List[Span] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    def by_procedure(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregate execute spans per procedure name.
+
+        The instance label ``f(1, 2)`` aggregates under ``f``; exclusive
+        ("self") time subtracts the time of directly nested spans, so a
+        caller is not charged for its callees' bodies.
+        """
+        table: Dict[str, Dict[str, Any]] = {}
+        for span in self.spans():
+            if span.role != "execute":
+                continue
+            name = span.label.split("(", 1)[0]
+            row = table.setdefault(
+                name, {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            row["calls"] += 1
+            row["total_s"] += span.duration
+            row["self_s"] += span.duration - sum(
+                c.duration for c in span.children
+            )
+        return table
+
+    def clear(self) -> None:
+        self.roots.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans())
+
+    # -- export ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per completed span, depth-first, with depth."""
+        lines: List[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            record = span.to_dict()
+            record["depth"] = depth
+            lines.append(json.dumps(record, sort_keys=True))
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+    def write(self, path: str) -> int:
+        """Write the JSONL export; returns the span count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON (complete "X" events, µs)."""
+        events: List[Dict[str, Any]] = []
+        for span in self.spans():
+            args: Dict[str, Any] = {"status": span.status}
+            args.update(span.meta)
+            events.append(
+                {
+                    "name": span.label,
+                    "cat": span.role,
+                    "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> int:
+        """Write the Chrome trace; returns the event count."""
+        trace = self.to_chrome()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, sort_keys=True)
+            fh.write("\n")
+        return len(trace["traceEvents"])

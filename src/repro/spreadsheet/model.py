@@ -52,6 +52,12 @@ class SheetCell(TrackedObject):
             return 0
         return func.value()
 
+    def __repr__(self) -> str:
+        # Coordinates, not identity: dependency-graph node labels render
+        # through repr, and "SheetCell.value(R1C1)" is what explain /
+        # dump_graph users grep for.
+        return f"R{self.row}C{self.col}"
+
 
 class CellExp(Exp):
     """EXP ::= cell[x, y] — the cross-cell reference production.
@@ -206,6 +212,22 @@ class Spreadsheet:
             [self.value(r, c) for c in range(self.cols)]
             for r in range(self.rows)
         ]
+
+    def dump_graph(self, path: Optional[str] = None) -> str:
+        """Snapshot the sheet's dependency graph as Graphviz DOT.
+
+        Returns the DOT text; with ``path`` also writes it (``.json``
+        extension switches to the JSON export).  A formula cell shows up
+        as its ``value()`` procedure node wired to the cells it reads —
+        the visible form of the paper's claim that the dependency graph
+        *is* the spreadsheet's recalculation structure.
+        """
+        from ..obs import GraphSnapshot
+
+        snapshot = GraphSnapshot.capture(get_runtime())
+        if path is not None:
+            snapshot.write(path)
+        return snapshot.to_dot()
 
     def ref(self, row: int, col: int) -> CellExp:
         """Build a CellExp referencing (row, col), for programmatic

@@ -257,3 +257,30 @@ class TestTraceExporter:
             pass
         Cell(1, label="c").set(2)
         assert len(trace) == 0
+
+    def test_render_lists_element_wise(self):
+        """List/tuple payloads render per element, not as one repr blob."""
+
+        class Labeled:
+            label = "watched"
+
+        rendered = TraceExporter._render([Labeled(), 3, "x"])
+        assert rendered == ["watched", 3, "x"]
+        assert TraceExporter._render((Labeled(), 1.5)) == ["watched", 1.5]
+        # nested structures recurse
+        assert TraceExporter._render([["a", Labeled()]]) == [["a", "watched"]]
+
+    def test_render_event_with_list_payload(self, rt):
+        """An emitted list payload survives into the JSONL as elements."""
+        import json
+
+        trace = TraceExporter()
+        trace.attach(rt.events)
+        rt.events.emit(
+            EventKind.WATCHDOG_TRIPPED,
+            None,
+            data=[("hot()", 7), ("cold()", 1)],
+        )
+        trace.detach()
+        record = json.loads(trace.to_jsonl())
+        assert record["data"] == [["hot()", 7], ["cold()", 1]]

@@ -1,6 +1,8 @@
 """RuntimeStats bookkeeping."""
 
-from repro import Cell, RuntimeStats, cached
+import pytest
+
+from repro import Cell, PropagationBudgetError, Runtime, RuntimeStats, Watchdog, cached
 
 
 class TestRuntimeStats:
@@ -64,3 +66,35 @@ class TestRuntimeStats:
         assert snap["changes_detected"] == 1
         assert snap["storage_nodes_created"] == 1
         assert snap["procedure_nodes_created"] == 1
+
+    def test_batch_writes_counted(self, rt):
+        """A commit reports both raw writes and the coalesced subset."""
+        x = Cell(1, label="x")
+        y = Cell(1, label="y")
+        with rt.batch():
+            x.set(2)
+            x.set(3)  # same location: coalesces
+            y.set(4)
+        snap = rt.stats.snapshot()
+        assert snap["batch_commits"] == 1
+        assert snap["batch_writes"] == 2  # distinct locations written
+        assert snap["batch_writes_coalesced"] == 1
+
+    def test_watchdog_trips_counted(self):
+        runtime = Runtime(watchdog=Watchdog(max_steps=1))
+        with runtime.active():
+            x = Cell(1, label="x")
+
+            @cached
+            def a():
+                return x.get()
+
+            @cached
+            def b():
+                return a() + x.get()
+
+            b()
+            x.set(2)
+            with pytest.raises(PropagationBudgetError):
+                b()
+            assert runtime.stats.watchdog_trips == 1

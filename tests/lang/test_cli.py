@@ -99,6 +99,47 @@ class TestCli:
         assert trace_path.exists()
         assert "trace:" in result.stderr
 
+    def test_profile_prints_procedure_table(self, tmp_path):
+        result = run_cli(["--profile"], tmp_path)
+        assert result.returncode == 0
+        assert result.stdout.strip() == "42"
+        assert "procedure" in result.stderr
+        assert "calls" in result.stderr and "total_ms" in result.stderr
+        assert "Double" in result.stderr
+        assert "cache:" in result.stderr
+
+    def test_explain_prints_causal_chain(self, tmp_path):
+        result = run_cli(["--explain", "Double"], tmp_path)
+        assert result.returncode == 0
+        assert "Double" in result.stderr
+        # the first run of a cached procedure is a first-execution
+        assert "first-execution" in result.stderr
+        assert "executed" in result.stderr
+
+    def test_explain_unknown_label(self, tmp_path):
+        result = run_cli(["--explain", "NoSuchProc"], tmp_path)
+        assert result.returncode == 0
+        assert "never-demanded" in result.stderr
+
+    def test_spans_chrome_export(self, tmp_path):
+        import json
+
+        spans_path = tmp_path / "spans.json"
+        result = run_cli(["--spans", str(spans_path)], tmp_path)
+        assert result.returncode == 0
+        trace = json.loads(spans_path.read_text())
+        assert trace["traceEvents"]
+        assert any(
+            "Double" in e["name"] for e in trace["traceEvents"]
+        )
+
+    def test_profile_warns_in_conventional_mode(self, tmp_path):
+        result = run_cli(
+            ["--mode", "conventional", "--profile"], tmp_path
+        )
+        assert result.returncode == 0
+        assert "no effect in conventional mode" in result.stderr
+
     def test_trace_flushed_when_program_raises(self, tmp_path):
         """A fault inside an incremental procedure must still leave a
         usable trace on disk — including the node-poisoned event."""

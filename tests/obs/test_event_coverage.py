@@ -1,0 +1,69 @@
+"""Exhaustive EventKind <-> observability mapping.
+
+Every event the engine can emit must be consumed by at least one
+observability layer — the stats counters, the span tracer, the metrics
+collector, or the explain recorder — or be explicitly exempted below
+with a reason.  Adding an EventKind without wiring it (or exempting it)
+fails this test: that is the point.
+"""
+
+from repro.core.events import EventBus, EventKind
+from repro.core.stats import SPAN_OPEN_KINDS, StatsCollector
+from repro.obs import ExplainRecorder, RuntimeMetrics, SpanTracer
+
+#: Kinds deliberately not consumed by any observability layer.
+#: Every entry needs a reason; an empty dict means full coverage.
+EXEMPT = {
+    # (none — every kind is currently wired)
+}
+
+
+def _stats_kinds():
+    """The kinds StatsCollector actually subscribes to."""
+    bus = EventBus()
+    collector = StatsCollector().attach(bus)
+    try:
+        return frozenset(collector._handlers)
+    finally:
+        collector.detach()
+
+
+def test_every_event_kind_is_observed():
+    covered = (
+        _stats_kinds()
+        | SpanTracer.KINDS
+        | RuntimeMetrics.KINDS
+        | ExplainRecorder.KINDS
+        | frozenset(EXEMPT)
+    )
+    missing = sorted(k.name for k in EventKind if k not in covered)
+    assert not missing, (
+        f"EventKind(s) with no observability wiring: {missing}. "
+        f"Subscribe them in a collector (stats/spans/metrics/explain) or "
+        f"add them to EXEMPT in {__file__} with a reason."
+    )
+
+
+def test_exemptions_are_real_kinds():
+    for kind in EXEMPT:
+        assert isinstance(kind, EventKind)
+        assert EXEMPT[kind], f"exemption for {kind} needs a reason string"
+
+
+def test_span_open_kinds_all_have_closers():
+    """Every begin event the engine emits is closed by some end event the
+    tracer knows, so spans cannot leak by construction."""
+    from repro.obs.spans import _CLOSE_ROLES, _OPEN_ROLES
+
+    assert frozenset(_OPEN_ROLES) == SPAN_OPEN_KINDS
+    open_roles = set(_OPEN_ROLES.values())
+    close_roles = set(_CLOSE_ROLES.values())
+    assert open_roles == close_roles
+
+
+def test_stats_covers_span_end_for_every_open_kind():
+    """SPAN_OPEN_KINDS are begin markers: they carry no count of their
+    own (the paired end event is counted), but the span tracer must
+    consume them — otherwise they'd be dead weight on the bus."""
+    for kind in SPAN_OPEN_KINDS:
+        assert kind in SpanTracer.KINDS

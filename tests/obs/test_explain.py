@@ -1,0 +1,199 @@
+"""The causal explain engine: rt.explain() chains from write to recompute."""
+
+import json
+
+import pytest
+
+from repro import Cell, cached
+from repro.spreadsheet import Spreadsheet
+
+
+class TestExplainBasics:
+    def test_recomputed_chain(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def double():
+            return x.get() * 2
+
+        double()
+        x.set(5)
+        double()
+        exp = rt.explain("double")
+        assert exp.verdict == "recomputed"
+        kinds = exp.kinds()
+        assert kinds[0] == "write"
+        assert "change-detected" in kinds
+        assert "marked" in kinds
+        assert kinds[-1] in ("re-executed", "quiescence-cut")
+        assert exp.computed_from == ["x"]
+
+    def test_first_execution(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        exp = rt.explain("f")
+        assert exp.verdict == "first-execution"
+        assert "executed" in exp.kinds()
+
+    def test_cached_no_change(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        rt.obs.clear()  # forget the first execution
+        f()  # pure cache hit
+        exp = rt.explain("f")
+        assert exp.verdict == "cached"
+        assert "cache-hit" in exp.kinds()
+
+    def test_storage_write_explained(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        x.set(9)
+        rt.flush()
+        exp = rt.explain("x")
+        assert exp.verdict == "recomputed"
+        kinds = exp.kinds()
+        assert kinds[0] == "write"
+        assert "change-detected" in kinds
+        assert "marked" in kinds  # the dependent it woke
+
+    def test_same_value_write_is_quiescent(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        x.set(1)  # same value: no change detected
+        exp = rt.explain("x")
+        assert exp.verdict == "quiescent"
+        assert "no-change" in exp.kinds()
+
+    def test_unknown_target(self, rt):
+        rt.obs.enable()
+        exp = rt.explain("nonexistent")
+        assert exp.verdict == "never-demanded"
+        assert exp.kinds() == ["unknown"]
+
+    def test_poisoned_target(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def bad():
+            x.get()
+            raise ValueError("boom")
+
+        with pytest.raises(Exception):
+            bad()
+        exp = rt.explain("bad")
+        assert exp.verdict == "poisoned"
+        assert "poisoned" in exp.kinds()
+        poison_link = [l for l in exp.links if l.kind == "poisoned"][0]
+        assert "ValueError" in poison_link.detail
+
+    def test_explain_accepts_node_object(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        node = next(n for n in rt.graph.nodes if n.label == "f()")
+        assert rt.explain(node).target == "f()"
+
+    def test_render_and_to_dict(self, rt):
+        rt.obs.enable()
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        x.set(2)
+        f()
+        exp = rt.explain("f")
+        text = exp.render()
+        assert text.splitlines()[0].startswith("f(): ")
+        assert "write" in text
+        d = exp.to_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert d["verdict"] == exp.verdict
+
+    def test_without_recording_degrades_gracefully(self, rt):
+        # no rt.obs.enable(): explain still answers from the live graph
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        exp = rt.explain("f")
+        assert exp.verdict in ("cached", "first-execution")
+        assert exp.computed_from == ["x"]
+
+
+class TestSpreadsheetAcceptance:
+    def test_causal_chain_from_write_to_recomputed_cell(self, rt):
+        """The ISSUE acceptance check: rt.explain() on the spreadsheet
+        example returns the chain from the triggering write to the
+        recomputed cell."""
+        rt.obs.enable()
+        sheet = Spreadsheet(3, 3)
+        sheet.set_formula(0, 0, 5)
+        sheet.set_formula(1, 1, "R0C0 + 2")
+        assert sheet.value(1, 1) == 7
+        sheet.set_formula(0, 0, 9)  # the triggering write
+        assert sheet.value(1, 1) == 11  # the recomputation
+
+        exp = rt.explain("R1C1")
+        assert exp.verdict == "recomputed"
+        kinds = exp.kinds()
+        # the full causal story, in order: write -> change-detected ->
+        # marked ... -> re-executed (of the target itself)
+        assert kinds[0] == "write"
+        assert kinds[1] == "change-detected"
+        assert "marked" in kinds
+        assert kinds[-1] == "re-executed"
+        assert exp.links[-1].label == "SheetCell.value(R1C1)"
+        # the chain starts at the written cell's formula field
+        assert exp.links[0].label == "SheetCell.func"
+        # and its text rendering is presentable
+        text = exp.render()
+        assert "recomputed" in text and "write" in text
+
+    def test_unedited_cell_stays_cached(self, rt):
+        rt.obs.enable()
+        sheet = Spreadsheet(2, 2)
+        sheet.set_formula(0, 0, 5)
+        sheet.set_formula(1, 1, "R0C0 + 2")
+        sheet.value(1, 1)
+        sheet.value(0, 1)  # independent empty cell
+        rt.obs.clear()
+        sheet.value(0, 1)
+        exp = rt.explain("R0C1")
+        assert exp.verdict == "cached"

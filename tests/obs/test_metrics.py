@@ -1,0 +1,218 @@
+"""Metrics registry: instruments, registry semantics, runtime wiring,
+and the snapshot/JSON round-trip guarantees the bench harness relies on."""
+
+import json
+
+import pytest
+
+from repro import Cell, cached
+from repro.obs import (
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RuntimeMetrics,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(7)
+        g.dec(2)
+        g.inc()
+        assert g.value == 6
+
+    def test_histogram_bucketing(self):
+        h = Histogram("sizes", buckets=(1, 10, 100))
+        for v in (0, 1, 5, 10, 50, 1000):
+            h.observe(v)
+        # le=1 gets {0,1}; le=10 gets {5,10}; le=100 gets {50}; +Inf {1000}
+        assert h.counts == [2, 2, 1, 1]
+        assert h.total == 6
+        assert h.sum == 1066
+        assert h.mean == pytest.approx(1066 / 6)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(10, 1))
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+    def test_standard_bucket_edges_are_stable(self):
+        """The fixed edges two CI runs diff cell-for-cell against."""
+        assert SIZE_BUCKETS == (
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
+        )
+        assert TIME_BUCKETS == (
+            1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+        )
+        # and two independently constructed histograms share them
+        a = Histogram("a").snapshot()["buckets"]
+        b = Histogram("b").snapshot()["buckets"]
+        assert a == b == list(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x")
+        second = reg.counter("x")
+        assert first is second
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_snapshot_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1, 2)).observe(1)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["c"] == {"type": "counter", "value": 3}
+        assert snap["h"]["counts"] == [1, 0, 0]
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs", "requests served").inc(2)
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert "# TYPE reqs counter" in text
+        assert "reqs 2" in text
+        assert '# HELP reqs requests served' in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text  # cumulative
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+
+class TestRuntimeMetrics:
+    def test_cache_hit_rate(self, rt):
+        metrics = RuntimeMetrics().attach(rt.events)
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get() + 1
+
+        f()  # miss
+        f()  # hit
+        f()  # hit
+        metrics.detach()
+        assert metrics.cache_hits.value == 2
+        assert metrics.cache_misses.value == 1
+        assert metrics.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_per_procedure_time_histograms(self, rt):
+        metrics = RuntimeMetrics().attach(rt.events)
+        x = Cell(1, label="x")
+
+        @cached
+        def work():
+            return x.get() * 2
+
+        work()
+        x.set(3)
+        work()
+        metrics.detach()
+        table = metrics.procedure_table()
+        names = [row[0] for row in table]
+        assert "work" in names
+        row = table[names.index("work")]
+        assert row[1] == 2  # calls
+        assert row[2] >= 0  # total_s
+
+    def test_drain_histograms_observe(self, rt):
+        metrics = RuntimeMetrics().attach(rt.events)
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get() + 1
+
+        f()
+        x.set(2)
+        f()
+        metrics.detach()
+        assert metrics.drain_set_size.total >= 1
+        assert metrics.drain_steps.total >= 1
+        assert metrics.steps_per_change.total >= 1
+
+    def test_snapshot_includes_derived_rate_and_round_trips(self, rt):
+        metrics = RuntimeMetrics().attach(rt.events)
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        f()
+        metrics.detach()
+        snap = metrics.snapshot()
+        assert snap["alphonse_cache_hit_rate"]["value"] == pytest.approx(0.5)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_zero_cost_when_detached(self, rt):
+        """attach/detach leaves the bus's subscriber counts unchanged."""
+        before = {
+            kind: rt.events.subscriber_count(kind)
+            for kind in RuntimeMetrics.KINDS
+        }
+        metrics = RuntimeMetrics().attach(rt.events)
+        for kind in RuntimeMetrics.KINDS:
+            assert rt.events.subscriber_count(kind) == before[kind] + 1
+        metrics.detach()
+        for kind in RuntimeMetrics.KINDS:
+            assert rt.events.subscriber_count(kind) == before[kind]
+
+    def test_double_attach_rejected(self, rt):
+        metrics = RuntimeMetrics().attach(rt.events)
+        with pytest.raises(RuntimeError):
+            metrics.attach(rt.events)
+        metrics.detach()
+
+
+class TestStatsJsonRoundTrip:
+    def test_stats_snapshot_round_trips(self, rt):
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        x.set(2)
+        f()
+        snap = rt.stats.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["executions"] >= 1
+
+    def test_stats_summary_round_trips(self, rt):
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get()
+
+        f()
+        summary = rt.stats.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert "executions" in summary
