@@ -135,6 +135,18 @@ class EventKind(enum.Enum):
     #: matching :attr:`DRAIN_ABORTED` follows as the drain unwinds.
     WATCHDOG_TRIPPED = "watchdog-tripped"
 
+    #: A checkpoint snapshot was written (``rt.checkpoint(path)`` /
+    #: ``PersistenceManager.checkpoint``); ``node`` is None, ``data`` a
+    #: dict with ``path`` and ``nodes`` (graph nodes persisted).
+    CHECKPOINT = "checkpoint"
+    #: One record was appended to the write-ahead log; ``node`` is None,
+    #: ``data`` a dict with ``kind`` ("write", "batch", or "app").
+    WAL_APPEND = "wal-append"
+    #: A runtime was reconstructed from durable state
+    #: (``Runtime.recover``); ``node`` is None, ``data`` the
+    #: :class:`~repro.persist.recover.RecoveryReport` as a dict.
+    RECOVERY = "recovery"
+
 
 #: Subscriber signature: ``handler(kind, node, amount, data)``.
 Handler = Callable[[EventKind, Any, int, Any], None]

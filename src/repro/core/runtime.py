@@ -56,11 +56,15 @@ from .node import (
     values_equal,
 )
 from .order import TopologicalOrder
+from ..persist.ids import next_location_sid
 from .partition import PartitionManager
 from .scheduler import Scheduler, make_scheduler
 from .stats import RuntimeStats, StatsCollector
 from .transaction import Transaction
 from .watchdog import Watchdog
+
+#: Sentinel distinguishing "no incoming write value" from writing None.
+_UNSET = object()
 
 
 class _Frame:
@@ -164,6 +168,17 @@ class Runtime:
         #: on it.
         self._poison_live = 0
         self._unchecked_depth = 0
+        #: Stable-id adoption state installed by :meth:`Runtime.recover`
+        #: (a :class:`~repro.persist.recover.RestoredState`); None in
+        #: runtimes not reconstructed from a checkpoint.  Cleared once
+        #: every restored node has been bound or dropped.
+        self._restored: Optional[Any] = None
+        #: The attached :class:`~repro.persist.wal.PersistenceManager`
+        #: (see :meth:`persist_to`), if any.
+        self._persist: Optional[Any] = None
+        #: :class:`~repro.persist.recover.RecoveryReport` of the recovery
+        #: that built this runtime, if any.
+        self.last_recovery: Optional[Any] = None
         #: The active ``with rt.batch():`` transaction, if any.
         self._transaction: Optional[Transaction] = None
         #: Per-runtime argument tables, keyed by IncrementalProcedure id.
@@ -208,9 +223,13 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def on_read(self, location: "Location") -> Any:
-        """Algorithm 3.  Returns the location's current raw value."""
+        """Algorithm 3.  Returns the location's current raw value.
+
+        The value is read *after* node attachment: binding a restored
+        storage node (``Runtime.recover`` with ``restore_values``) may
+        push the checkpointed value into the location.
+        """
         self.events.emit(EventKind.ACCESS, location._node)
-        value = location._value
         if self.call_stack:
             if self._unchecked_depth:
                 self.events.emit(
@@ -219,12 +238,12 @@ class Runtime:
             else:
                 frame = self.call_stack[-1]
                 node = self._storage_node(location)
-                node.value = value
+                node.value = location._value
                 if not frame.freeze_edges:
                     self.graph.create_edge(
                         node, frame.node, dedupe=frame.deps_seen
                     )
-        return value
+        return location._value
 
     def on_modify(self, location: "Location", value: Any) -> None:
         """Algorithm 4.  Stores ``value`` and tracks the change.
@@ -236,6 +255,14 @@ class Runtime:
         # "modify(l, v) -> access(l); l := v; ..." — the read side first,
         # so an executing procedure depends on storage it writes.
         self.on_read(location)
+        if self._restored is not None and location._node is None:
+            # A write to a location whose checkpointed node has not been
+            # touched by any read yet: bind it now, so the restored
+            # dependents see this change (on_read only attaches nodes
+            # under an executing procedure).  The incoming value drives
+            # validation: a write that reconstructs the checkpointed
+            # value adopts silently and keeps dependents warm.
+            self._bind_restored_location(location, incoming=value)
         self.events.emit(EventKind.MODIFY, location._node)
         transaction = self._transaction
         if transaction is not None:
@@ -257,8 +284,60 @@ class Runtime:
     def _storage_node(self, location: "Location") -> DepNode:
         node = location._node
         if node is None:
+            if self._restored is not None:
+                node = self._bind_restored_location(location)
+                if node is not None:
+                    return node
             node = self.graph.new_storage_node(location._label, ref=location)
             location._node = node
+        return node
+
+    def _bind_restored_location(
+        self, location: "Location", incoming: Any = _UNSET
+    ) -> Optional[DepNode]:
+        """Adopt the checkpointed storage node matching ``location``'s
+        stable id, if one is still unclaimed.
+
+        On a read-path bind, ``restore_values`` mode pushes the
+        checkpointed value into the location; otherwise the live value
+        is validated against the checkpoint's fingerprint.  On a
+        write-path bind (``incoming`` given) the value *being written*
+        is validated instead: a fingerprint match means the write
+        merely reconstructs the checkpointed value, so the node adopts
+        it silently and restored dependents stay warm.  Any mismatch —
+        or an unfingerprintable value — conservatively re-marks the
+        node so restored dependents recompute rather than trust a
+        stale cache.
+        """
+        restored = self._restored
+        entry = restored.take_location(location._sid)
+        if entry is None:
+            if restored.exhausted():
+                self._restored = None
+            return None
+        node, fp = entry
+        node.ref = location
+        location._node = node
+        from ..persist.ids import fingerprint
+
+        if incoming is not _UNSET:
+            live_fp = fingerprint(incoming)
+            node.value = location._value
+            if fp is not None and live_fp is not None and live_fp == fp:
+                # Change detection will compare the incoming value
+                # against this and correctly see "no change".
+                node.value = incoming
+            else:
+                self.partitions.mark(node)
+        elif restored.restore_values and node.has_value():
+            location._value = node.value
+        else:
+            live_fp = fingerprint(location._value)
+            node.value = location._value
+            if fp is None or live_fp is None or live_fp != fp:
+                self.partitions.mark(node)
+        if restored.exhausted():
+            self._restored = None
         return node
 
     # ------------------------------------------------------------------
@@ -269,6 +348,8 @@ class Runtime:
         """Invoke incremental procedure ``proc`` with ``args``."""
         table = self._table_for(proc)
         node = table.find(args)
+        if node is None and self._restored is not None:
+            node = self._adopt_restored_instance(proc, args, table)
         if node is None:
             label = procedure_instance_label(proc.name, args)
             node = self.graph.new_procedure_node(proc.strategy, label, ref=proc)
@@ -314,6 +395,38 @@ class Runtime:
                 return node.value
         self.events.emit(EventKind.CACHE_MISS, node)
         return self.execute_node(node)
+
+    def _adopt_restored_instance(
+        self,
+        proc: "IncrementalProcedure",
+        args: Tuple[Any, ...],
+        table: ArgumentTable,
+    ) -> Optional[DepNode]:
+        """Adopt the checkpointed node of instance ``proc(*args)``.
+
+        Restored procedure nodes carry cached values and dependency
+        edges but no executable body; the first call of the matching
+        instance re-attaches the thunk here.  The node kind must match
+        the procedure's current strategy — a procedure whose
+        DEMAND/EAGER annotation changed since the checkpoint gets a
+        fresh node instead (its restored twin stays orphaned, which is
+        safe: nothing can mark it).
+        """
+        restored = self._restored
+        from ..persist.ids import instance_sid
+
+        sid = instance_sid(proc.name, args)
+        node = restored.take_instance(sid, proc.strategy) if sid else None
+        if restored.exhausted():
+            self._restored = None
+        if node is None:
+            return None
+        node.thunk = _make_thunk(proc, args, node)
+        node.ref = proc
+        node.static_edges = proc.static_deps
+        node.edges_frozen = node.edges_frozen and proc.static_deps
+        table.add(args, node)
+        return node
 
     def execute_node(self, node: DepNode) -> Any:
         """Run a procedure instance's body and cache the result.
@@ -551,6 +664,85 @@ class Runtime:
         """
         return self.obs.inspect()
 
+    # ------------------------------------------------------------------
+    # durability (see repro.persist, docs/persistence.md)
+    # ------------------------------------------------------------------
+
+    def persist_to(self, path: str, *, codec: str = "pickle") -> Any:
+        """Attach a :class:`~repro.persist.wal.PersistenceManager`.
+
+        Every committed write (and batch) from now on is appended to the
+        write-ahead log at ``path + ".wal"``; :meth:`checkpoint` rolls
+        the log into a snapshot at ``path``.  Returns the manager (also
+        kept at ``rt._persist``); call its ``close()`` to detach.
+        """
+        if self._persist is not None:
+            raise RuntimeStateError(
+                "runtime already has a persistence manager attached"
+            )
+        from ..persist.wal import PersistenceManager
+
+        manager = PersistenceManager(self, path, codec=codec)
+        self._persist = manager
+        return manager
+
+    def checkpoint(
+        self,
+        path: Optional[str] = None,
+        *,
+        codec: Optional[str] = None,
+        app_state: Any = None,
+    ) -> str:
+        """Write an atomic snapshot of the dependency graph.
+
+        With a persistence manager attached (:meth:`persist_to`) and no
+        conflicting ``path``, checkpoints through the manager — which
+        also truncates the WAL the snapshot subsumes.  Standalone,
+        writes a one-off snapshot to ``path``.  Requires quiescence
+        (no executing procedure, no active drain); returns the path.
+        """
+        manager = self._persist
+        if manager is not None and (path is None or path == manager.path):
+            return manager.checkpoint(app_state=app_state)
+        if path is None:
+            raise RuntimeStateError(
+                "checkpoint() needs a path when no persistence manager "
+                "is attached"
+            )
+        from ..persist.snapshot import write_checkpoint
+
+        count = write_checkpoint(
+            self, path, codec=codec or "pickle", app_state=app_state
+        )
+        self.events.emit(
+            EventKind.CHECKPOINT, None, data={"path": path, "nodes": count}
+        )
+        return path
+
+    @classmethod
+    def recover(
+        cls,
+        path: str,
+        *,
+        restore_values: bool = False,
+        **runtime_kwargs: Any,
+    ) -> "Runtime":
+        """Reconstruct a runtime from the checkpoint/WAL pair at ``path``.
+
+        Never raises on corruption: any unreadable state degrades to an
+        empty runtime that rebuilds exhaustively.  The typed outcome —
+        clean / replayed-N / degraded + reason — is the
+        :class:`~repro.persist.recover.RecoveryReport` at
+        ``rt.last_recovery``.  See :mod:`repro.persist.recover` for the
+        deterministic-reconstruction contract and ``restore_values``.
+        """
+        from ..persist.recover import recover as _recover
+
+        rt, _report = _recover(
+            path, restore_values=restore_values, **runtime_kwargs
+        )
+        return rt
+
     def batch(self, *, rollback_on_error: bool = False) -> Transaction:
         """Open a batched-write transaction (``with rt.batch(): ...``).
 
@@ -643,14 +835,23 @@ class Location:
     :mod:`repro.core.cells` provides the user-facing containers; this base
     class exists so the runtime, the Alphonse-L interpreter, and tests can
     share one storage representation.
+
+    ``_sid`` is the location's *stable id* for persistence
+    (:mod:`repro.persist.ids`): pass ``sid`` when the application knows a
+    durable name (the spreadsheet derives one from grid coordinates),
+    otherwise a deterministic per-label ordinal is assigned — stable
+    across processes exactly when reconstruction is deterministic.
     """
 
-    __slots__ = ("_value", "_node", "_label", "__weakref__")
+    __slots__ = ("_value", "_node", "_label", "_sid", "__weakref__")
 
-    def __init__(self, value: Any = None, label: str = "loc") -> None:
+    def __init__(
+        self, value: Any = None, label: str = "loc", sid: Optional[str] = None
+    ) -> None:
         self._value = value
         self._node: Optional[DepNode] = None
         self._label = label
+        self._sid = sid if sid is not None else next_location_sid(label)
 
 
 class IncrementalProcedure:

@@ -244,6 +244,16 @@ class Scheduler:
                 node.consistent = False
                 self._mark_successors(node)
         else:  # EAGER: re-execute now, propagate only on value change
+            if node.thunk is None:
+                # A checkpoint-restored eager node whose procedure has
+                # not been re-called yet: there is no body to run, so it
+                # degrades to demand behaviour — flip the flag, wake the
+                # dependents, and let the eventual adopting call
+                # re-execute it.
+                if node.consistent:
+                    node.consistent = False
+                    self._mark_successors(node)
+                return
             if rt._poison_live and rt.containment:
                 # Error containment: an eager node whose input is
                 # currently poisoned becomes poisoned itself without

@@ -96,6 +96,21 @@ def build_argparser() -> argparse.ArgumentParser:
         help="write the span trace: .json for Chrome trace_event format, "
         "anything else for JSONL (alphonse mode only)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="after the run, snapshot the dependency graph to FILE "
+        "(JSON codec; alphonse mode only)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="recover the dependency graph from FILE before the run, so "
+        "re-running the same program adopts its cached results "
+        "(alphonse mode only)",
+    )
     return parser
 
 
@@ -163,19 +178,34 @@ def main(argv=None) -> int:
         runtime = None
         trace_failed = False
         want_obs = args.profile or args.explain is not None or args.spans
-        need_runtime = args.trace is not None or want_obs
+        want_persist = args.checkpoint is not None or args.resume is not None
+        need_runtime = args.trace is not None or want_obs or want_persist
         if need_runtime:
             if args.mode != "alphonse":
                 print(
-                    "warning: --trace/--profile/--explain/--spans have no "
-                    "effect in conventional mode",
+                    "warning: --trace/--profile/--explain/--spans/"
+                    "--checkpoint/--resume have no effect in "
+                    "conventional mode",
                     file=sys.stderr,
                 )
-                need_runtime = want_obs = False
+                need_runtime = want_obs = want_persist = False
             else:
                 from ..core import Runtime, TraceExporter
 
-                runtime = Runtime()
+                if args.resume is not None:
+                    runtime = Runtime.recover(args.resume)
+                    report = runtime.last_recovery
+                    detail = f" ({report.reason})" if report.reason else ""
+                    print(
+                        f"resume: {report.mode}{detail}, "
+                        f"{report.restored_nodes} nodes restored, "
+                        f"{report.replayed} writes replayed",
+                        file=sys.stderr,
+                    )
+                else:
+                    # Default keep_registry=True: both --checkpoint and
+                    # --explain need the strong node registry.
+                    runtime = Runtime()
                 if args.trace is not None:
                     trace = TraceExporter()
                     trace.attach(runtime.events)
@@ -206,6 +236,14 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if runtime is not None and args.checkpoint is not None:
+        try:
+            runtime.checkpoint(args.checkpoint, codec="json")
+        except (OSError, AlphonseError) as exc:
+            print(f"error: cannot write checkpoint: {exc}", file=sys.stderr)
+            trace_failed = True
+        else:
+            print(f"checkpoint: -> {args.checkpoint}", file=sys.stderr)
     for line in interp.output:
         print(line)
     if args.stats:

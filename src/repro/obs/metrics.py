@@ -241,6 +241,9 @@ class RuntimeMetrics:
             EventKind.NODE_POISONED,
             EventKind.CACHE_HIT,
             EventKind.CACHE_MISS,
+            EventKind.CHECKPOINT,
+            EventKind.WAL_APPEND,
+            EventKind.RECOVERY,
         }
     )
 
@@ -279,6 +282,15 @@ class RuntimeMetrics:
         )
         self.changes = reg.counter(
             "alphonse_changes_detected_total", "writes that changed a value"
+        )
+        self.checkpoints = reg.counter(
+            "alphonse_checkpoints_total", "checkpoint snapshots written"
+        )
+        self.wal_records = reg.counter(
+            "alphonse_wal_records_total", "write-ahead-log records appended"
+        )
+        self.recoveries = reg.counter(
+            "alphonse_recoveries_total", "runtimes reconstructed from disk"
         )
         #: Changes detected since the last completed drain, the
         #: denominator of steps_per_change.
@@ -331,6 +343,12 @@ class RuntimeMetrics:
             self.cache_hits.inc(amount)
         elif kind is EventKind.CACHE_MISS:
             self.cache_misses.inc(amount)
+        elif kind is EventKind.CHECKPOINT:
+            self.checkpoints.inc(amount)
+        elif kind is EventKind.WAL_APPEND:
+            self.wal_records.inc(amount)
+        elif kind is EventKind.RECOVERY:
+            self.recoveries.inc(amount)
 
     def _finish_execution(self, node: Any) -> None:
         node_id = getattr(node, "node_id", None)

@@ -1,0 +1,165 @@
+"""Stable identities for locations and procedure instances.
+
+Durable checkpoints are only sound if a restarted process can map
+on-disk graph nodes back onto the live objects it reconstructs —
+Nominal Adapton's "precisely named cache locations" argument.  Python
+object ids die with the process, so persistence works in terms of
+*stable ids* (sids):
+
+* **Locations** get a sid at construction: an explicit one if the
+  application assigned ``location._sid`` (the spreadsheet does, from
+  grid coordinates), otherwise ``"<label>#<ordinal>"`` where the
+  ordinal counts constructions of that label process-wide.  Ordinal
+  sids are stable exactly when reconstruction is deterministic — the
+  program creates its tracked locations in the same order with the
+  same labels on every run.  That is the recovery contract (see
+  ``docs/persistence.md``); :func:`fresh_id_space` resets the counters
+  so an in-process "restart" (chaos tests) replays the same ordinals.
+
+* **Procedure instances** are identified by the procedure's name plus
+  a stable rendering of each argument: a location's sid, a tracked
+  object's ``_persist_key`` (assigned by application layers that know
+  a durable name, e.g. the spreadsheet's cell coordinates), or the
+  repr of an immutable primitive.  An argument with none of these
+  makes the instance *unidentifiable* (:func:`instance_sid` returns
+  None) and the snapshot layer drops its node — correctness never
+  depends on adoption, only warm-start quality does.
+
+* **Fingerprints** (:func:`fingerprint`) summarize a value's structure
+  so a restored storage node can be validated against the value the
+  reconstructed program actually holds; mismatch or an
+  unfingerprintable value triggers a conservative re-mark at bind
+  time instead of trusting the restored cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "fingerprint",
+    "fresh_id_space",
+    "instance_sid",
+    "next_location_sid",
+]
+
+#: Per-label construction ordinals for auto-assigned location sids.
+_ordinals: Dict[str, int] = {}
+
+
+def next_location_sid(label: str) -> str:
+    """The next auto sid for a location labelled ``label``."""
+    n = _ordinals.get(label, 0)
+    _ordinals[label] = n + 1
+    return f"{label}#{n}"
+
+
+def fresh_id_space() -> None:
+    """Reset the auto-sid ordinals (simulated restart in one process).
+
+    A real restart gets this for free; chaos tests that discard a
+    Runtime and rebuild the program in the same process call this
+    first so reconstruction replays the original ordinals.
+    """
+    _ordinals.clear()
+
+
+def instance_sid(proc_name: str, args: Tuple[Any, ...]) -> Optional[str]:
+    """Stable id of the instance ``proc_name(*args)``, or None.
+
+    None means at least one argument has no durable identity, so the
+    instance cannot be matched across processes and must not be
+    persisted.
+    """
+    parts = []
+    for arg in args:
+        part = _arg_key(arg)
+        if part is None:
+            return None
+        parts.append(part)
+    return f"{proc_name}({';'.join(parts)})"
+
+
+def _arg_key(arg: Any) -> Optional[str]:
+    sid = getattr(arg, "_sid", None)
+    if isinstance(sid, str):  # a tracked location
+        return f"loc:{sid}"
+    key = getattr(arg, "_persist_key", None)
+    if isinstance(key, str):  # an application-named tracked object
+        return f"obj:{key}"
+    if arg is None or isinstance(arg, (bool, int, float, str, bytes)):
+        return f"{type(arg).__name__}:{arg!r}"
+    if isinstance(arg, tuple):
+        inner = [_arg_key(item) for item in arg]
+        if any(part is None for part in inner):
+            return None
+        return "tup:(" + ",".join(inner) + ")"  # type: ignore[arg-type]
+    return None
+
+
+#: Recursion ceiling for fingerprints: deep values degrade to
+#: unfingerprintable (-> conservative re-mark) rather than to a slow walk.
+_FP_MAX_DEPTH = 8
+
+
+def fingerprint(value: Any) -> Optional[str]:
+    """A short structural digest of ``value``, or None if the value has
+    no stable structure (tracked objects, arbitrary instances, depth or
+    cycle overflow).  Equal fingerprints mean "same value as far as
+    change detection cares"; None means "cannot validate, assume
+    changed"."""
+    try:
+        rendered = _render(value, _FP_MAX_DEPTH, set())
+    except Exception:
+        return None
+    if rendered is None:
+        return None
+    return hashlib.sha1(rendered.encode("utf-8")).hexdigest()[:16]
+
+
+def _render(value: Any, depth: int, seen: set) -> Optional[str]:
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, float):
+        return f"float:{value!r}"
+    pkey = getattr(value, "_persist_key", None)
+    if isinstance(pkey, str):
+        # Nominal matching: an application-named object *is* its durable
+        # identity.  Two processes minting the same key assert they hold
+        # reconstructions of the same structure (tracked content diffs
+        # live in the object's own cells, fingerprinted separately).
+        return f"pobj:{pkey}"
+    if depth <= 0:
+        return None
+    if isinstance(value, (tuple, list, set, frozenset, dict)):
+        key = id(value)
+        if key in seen:
+            return None  # cyclic container: no stable rendering
+        seen.add(key)
+        try:
+            if isinstance(value, dict):
+                items = []
+                for k, v in value.items():
+                    rk = _render(k, depth - 1, seen)
+                    rv = _render(v, depth - 1, seen)
+                    if rk is None or rv is None:
+                        return None
+                    items.append(f"{rk}={rv}")
+                return "dict:{" + ",".join(sorted(items)) + "}"
+            ordered = (
+                sorted(value, key=repr)
+                if isinstance(value, (set, frozenset))
+                else value
+            )
+            parts = []
+            for item in ordered:
+                part = _render(item, depth - 1, seen)
+                if part is None:
+                    return None
+                parts.append(part)
+            tag = type(value).__name__
+            return f"{tag}:[" + ",".join(parts) + "]"
+        finally:
+            seen.discard(key)
+    return None

@@ -1,0 +1,272 @@
+"""Write-ahead log of committed writes, and the persistence manager.
+
+The WAL makes the window between checkpoints durable: every committed
+tracked write (or batch of writes) is appended as one CRC-guarded text
+line, so recovery = load the last checkpoint, replay the WAL tail,
+re-mark the replayed locations, drain to quiescence.
+
+Record format: ``{crc32:08x} {canonical-json}\\n`` per line.  Records::
+
+    {"t": "w", "sid": ..., "v": <encoded|null>, "fp": <fingerprint|null>}
+    {"t": "b", "w": [<write>, ...]}          # one committed batch
+    {"t": "a", "d": <application payload>}   # app-level redo record
+
+Torn-tail tolerance: a final line with no trailing newline that fails
+to parse is the signature of a crash mid-append and is silently
+dropped — the write it described was never acknowledged.  Any invalid
+line *followed by more data* (or a complete-but-garbled line) is real
+corruption and fails the whole log, which ``recover()`` turns into
+degraded mode.
+
+Durability trade: appends are flushed to the OS per record (surviving
+process death, the failure mode this subsystem targets) but not
+fsynced (surviving power loss costs a checkpoint or an explicit
+:meth:`WriteAheadLog.sync`).  Per-record fsync would put WAL overhead
+far beyond the ≤1.5× write-workload budget.
+
+:class:`PersistenceManager` ties a WAL and checkpoint path to a live
+runtime purely through EventBus subscriptions — the transaction layer
+needed no changes: the manager buffers ``CHANGE_DETECTED`` between
+``BATCH_STARTED`` and ``BATCH_COMMIT`` into a single atomic batch
+record, drops the buffer on ``ROLLBACK``, and logs unbatched changes
+individually.  The log is strictly a *redo* log of committed state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.events import EventKind
+from .codec import CodecError, get_codec
+from .ids import fingerprint
+from .snapshot import write_checkpoint
+
+__all__ = ["PersistenceManager", "WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """Append-only CRC-per-record log file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+        self.records_written = 0
+        #: Test seam for simulated crashes: ``(prefix_bytes, exception)``
+        #: makes the next append write only a torn prefix of its line,
+        #: then raise.  One-shot.
+        self._torn: Optional[Tuple[int, BaseException]] = None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        line = f"{crc:08x} {body}\n"
+        torn = self._torn
+        if torn is not None:
+            self._torn = None
+            prefix, exc = torn
+            self._fh.write(line[:prefix])
+            self._fh.flush()
+            raise exc
+        self._fh.write(line)
+        self._fh.flush()
+        self.records_written += 1
+
+    def sync(self) -> None:
+        """fsync the log (power-loss durability on demand)."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def truncate(self) -> None:
+        """Discard every record (a checkpoint subsumed them)."""
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    @staticmethod
+    def read(
+        path: str,
+    ) -> Tuple[List[Dict[str, Any]], bool, Optional[str]]:
+        """Parse the log at ``path``.
+
+        Returns ``(records, dropped_tail, corrupt_reason)``:
+        ``dropped_tail`` is True when a torn final append was tolerated;
+        ``corrupt_reason`` is non-None when the log is damaged anywhere
+        else (the records parsed before the damage are still returned,
+        but callers must not trust the log as a whole).
+        A missing file is an empty, healthy log.
+        """
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return [], False, None
+        except OSError as exc:
+            return [], False, f"unreadable WAL: {exc}"
+        if not raw:
+            return [], False, None
+        complete_tail = raw.endswith(b"\n")
+        lines = raw.split(b"\n")
+        if complete_tail:
+            lines.pop()  # the empty string after the final newline
+        records: List[Dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            record = _parse_line(line)
+            if record is None:
+                if i == len(lines) - 1 and not complete_tail:
+                    # Torn final append: the crash artifact the format
+                    # is designed to tolerate.
+                    return records, True, None
+                return records, False, f"WAL record {i} is corrupt"
+            records.append(record)
+        return records, False, None
+
+
+def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body.decode("utf-8"))
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class PersistenceManager:
+    """Durability for one runtime: WAL at ``path + ".wal"``, checkpoints
+    at ``path``.
+
+    Created by ``rt.persist_to(path)``.  Pure EventBus subscriber on the
+    write path; :meth:`checkpoint` snapshots the graph and truncates the
+    WAL it subsumes.  :meth:`log_app` appends an application-level redo
+    record (surfaced by recovery as ``RecoveryReport.app_records`` in
+    order, for layers that replay semantic operations — see the
+    spreadsheet's formula log).
+    """
+
+    def __init__(self, rt: Any, path: str, *, codec: str = "pickle") -> None:
+        self.runtime = rt
+        self.path = path
+        self.codec = get_codec(codec)
+        self.wal = WriteAheadLog(path + ".wal")
+        self._buffer: Optional[List[Dict[str, Any]]] = None
+        self._app_buffer: Optional[List[Any]] = None
+        #: Test seam forwarded to ``write_checkpoint(crash_hook=...)``.
+        self._checkpoint_crash_hook: Optional[Callable[[str], None]] = None
+        self._subscriptions = (
+            (EventKind.BATCH_STARTED, self._on_batch_started),
+            (EventKind.CHANGE_DETECTED, self._on_change),
+            (EventKind.BATCH_COMMIT, self._on_batch_commit),
+            (EventKind.ROLLBACK, self._on_rollback),
+        )
+        for kind, handler in self._subscriptions:
+            rt.events.subscribe(kind, handler)
+
+    # -- event handlers ---------------------------------------------------
+
+    def _on_batch_started(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        self._buffer = []
+        self._app_buffer = []
+
+    def _on_change(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        entry = self._entry_for(node)
+        if entry is None:
+            return
+        if self._buffer is not None:
+            self._buffer.append(entry)
+        else:
+            self._append(dict(entry, t="w"), "write")
+
+    def _on_batch_commit(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        writes, self._buffer = self._buffer, None
+        if writes:
+            self._append({"t": "b", "w": writes}, "batch")
+        app_records, self._app_buffer = self._app_buffer, None
+        for data_record in app_records or ():
+            self._append({"t": "a", "d": data_record}, "app")
+
+    def _on_rollback(
+        self, kind: EventKind, node: Any, amount: int, data: Any
+    ) -> None:
+        # Rolled back: nothing committed, nothing logged.
+        self._buffer = None
+        self._app_buffer = None
+
+    # -- record construction ---------------------------------------------
+
+    def _entry_for(self, node: Any) -> Optional[Dict[str, Any]]:
+        sid = getattr(node.ref, "_sid", None)
+        if not isinstance(sid, str):
+            return None
+        value = node.value
+        try:
+            encoded = self.codec.encode(value)
+        except CodecError:
+            encoded = None  # replay falls back to the fingerprint
+        return {"sid": sid, "v": encoded, "fp": fingerprint(value)}
+
+    def _append(self, record: Dict[str, Any], kind: str) -> None:
+        self.wal.append(record)
+        self.runtime.events.emit(
+            EventKind.WAL_APPEND, None, data={"kind": kind}
+        )
+
+    # -- public surface ---------------------------------------------------
+
+    def log_app(self, data: Any) -> None:
+        """Append an application-level redo record (JSON-able).
+
+        Inside a ``rt.batch()`` the record is buffered with the batch —
+        flushed (after the batch's write record) on commit, dropped on
+        rollback — so the log never replays a rolled-back operation.
+        """
+        if self._app_buffer is not None:
+            self._app_buffer.append(data)
+        else:
+            self._append({"t": "a", "d": data}, "app")
+
+    def checkpoint(self, app_state: Any = None) -> str:
+        """Snapshot the graph and truncate the WAL it subsumes."""
+        count = write_checkpoint(
+            self.runtime,
+            self.path,
+            codec=self.codec.name,
+            app_state=app_state,
+            crash_hook=self._checkpoint_crash_hook,
+        )
+        self.wal.truncate()
+        self.runtime.events.emit(
+            EventKind.CHECKPOINT,
+            None,
+            data={"path": self.path, "nodes": count},
+        )
+        return self.path
+
+    def close(self) -> None:
+        """Detach from the runtime and close the log."""
+        for kind, handler in self._subscriptions:
+            self.runtime.events.unsubscribe(kind, handler)
+        self.wal.close()
+        if self.runtime._persist is self:
+            self.runtime._persist = None

@@ -5,7 +5,14 @@ expression trees plus a ``CellExp`` production that reads other cells.
 illustrates how one Alphonse program can be used to construct another."
 """
 
-from .model import ERROR_MARKER, CellExp, CircularReference, SheetCell, Spreadsheet
+from .model import (
+    ERROR_MARKER,
+    CellExp,
+    CircularReference,
+    SheetCell,
+    Spreadsheet,
+    SpreadsheetLoadError,
+)
 from .formula import FormulaError, parse_formula
 
 __all__ = [
@@ -15,5 +22,6 @@ __all__ = [
     "FormulaError",
     "SheetCell",
     "Spreadsheet",
+    "SpreadsheetLoadError",
     "parse_formula",
 ]

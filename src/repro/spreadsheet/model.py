@@ -11,11 +11,11 @@ cell in the array and return the result of its value method."
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core import TrackedObject, get_runtime, maintained
 from ..core.errors import AlphonseError, CycleError, NodeExecutionError
-from ..ag.expr import Exp, root
+from ..ag.expr import Exp, IdExp, IntExp, LetExp, PlusExp, RootExp, root
 
 #: What :meth:`Spreadsheet.display` shows for a cell whose formula (or
 #: any cell it reads) raised — the classic spreadsheet error marker.
@@ -29,6 +29,15 @@ class CircularReference(AlphonseError):
         super().__init__(f"circular reference involving cell R{row}C{col}")
         self.row = row
         self.col = col
+
+
+class SpreadsheetLoadError(AlphonseError):
+    """:meth:`Spreadsheet.load` found no usable sheet state at the path.
+
+    Raised when even degraded recovery could not surface the sheet's
+    dimensions and formula sources (e.g. the checkpoint itself is
+    corrupt and there is no readable WAL prefix to salvage them from).
+    """
 
 
 class SheetCell(TrackedObject):
@@ -121,6 +130,27 @@ class Spreadsheet:
         self._grid: List[List[SheetCell]] = [
             [SheetCell(row=r, col=c) for c in range(cols)] for r in range(rows)
         ]
+        #: Latest replayable formula per (row, col), as ``(source, gen)``
+        #: — source is text, int, or None for an explicit clear; gen is
+        #: the per-cell set_formula generation that minted it.  This is
+        #: the app-level redo state :meth:`save` checkpoints and
+        #: :meth:`load` replays.
+        self._sources: Dict[Tuple[int, int], Tuple[Union[str, int, None], int]] = {}
+        #: Next set_formula generation per cell.  Each generation mints
+        #: a distinct stable-id namespace for its formula tree, so a
+        #: re-set formula never claims the ids of the tree it replaced
+        #: (adoption must not conflate tree generations).
+        self._next_gen: Dict[Tuple[int, int], int] = {}
+        #: The runtime this sheet was recovered under (set by load()).
+        self.runtime: Optional[Any] = None
+        # Durable identities (repro.persist.ids): grid coordinates name
+        # each cell and its formula location, so a reloaded process can
+        # adopt the checkpointed dependency graph instead of rebuilding.
+        for r in range(rows):
+            for c in range(cols):
+                cell = self._grid[r][c]
+                cell._persist_key = f"sheet:R{r}C{c}"
+                cell.field_cell("func")._sid = f"sheet:R{r}C{c}.func"
 
     # -- addressing ----------------------------------------------------
 
@@ -131,28 +161,84 @@ class Spreadsheet:
 
     # -- mutation --------------------------------------------------------
 
-    def set_formula(self, row: int, col: int, formula: Union[str, Exp, int, None]) -> None:
+    def set_formula(
+        self,
+        row: int,
+        col: int,
+        formula: Union[str, Exp, int, None],
+        *,
+        _gen: Optional[int] = None,
+    ) -> None:
         """Install a formula: text (parsed), a prebuilt Exp, an int
-        constant, or None to clear the cell."""
+        constant, or None to clear the cell.
+
+        The assignment is also recorded as durable redo state: the
+        replayable source is remembered for :meth:`save` and, when the
+        runtime has a persistence manager attached, appended to the WAL
+        as an application record so :meth:`load` can replay formula
+        edits made after the last checkpoint.  A prebuilt Exp using
+        productions outside the formula grammar has no textual source
+        and is skipped by that redo machinery (a reload rebuilds the
+        cell empty); everything :mod:`repro.spreadsheet.formula` can
+        parse — and everything built from :meth:`ref`,
+        :meth:`range_sum` and the ``repro.ag.expr`` helpers — replays.
+
+        ``_gen`` is the replay hook: :meth:`load` re-runs logged
+        assignments under their original generation numbers so the
+        rebuilt trees mint exactly the stable ids the checkpoint holds.
+        """
         cell = self.cell_at(row, col)
+        key = (row, col)
+        gen = self._next_gen.get(key, 0) if _gen is None else _gen
+        self._next_gen[key] = max(self._next_gen.get(key, 0), gen + 1)
         tree: Optional[Exp]
+        source: Union[str, int, None]
+        replayable = True
         if formula is None:
             tree = None
+            source = None
         elif isinstance(formula, str):
             from .formula import parse_formula  # local: avoid import cycle
 
             tree = parse_formula(formula, self)
+            source = formula
         elif isinstance(formula, int):
             from ..ag.expr import num
 
             tree = num(formula)
+            source = formula
         elif isinstance(formula, Exp):
             tree = formula
+            try:
+                source = _render_formula(tree)
+            except _Unrenderable:
+                source = None
+                replayable = False
         else:
             raise TypeError(f"unsupported formula {formula!r}")
         if tree is not None:
             tree = root(tree)
+            # Path-based stable ids over the fresh tree, before the cell
+            # write publishes it: a reloaded process replaying the same
+            # formula at the same generation adopts the checkpointed
+            # nodes for the whole tree.
+            _assign_tree_ids(tree, f"sheet:R{row}C{col}.func@{gen}")
         cell.func = tree
+        if replayable:
+            self._sources[key] = (source, gen)
+            manager = get_runtime()._persist
+            if manager is not None:
+                manager.log_app(
+                    {
+                        "op": "set_formula",
+                        "row": row,
+                        "col": col,
+                        "source": source,
+                        "gen": gen,
+                    }
+                )
+        else:
+            self._sources.pop(key, None)
 
     def clear(self, row: int, col: int) -> None:
         self.set_formula(row, col, None)
@@ -229,6 +315,86 @@ class Spreadsheet:
             snapshot.write(path)
         return snapshot.to_dot()
 
+    # -- durability (repro.persist; docs/persistence.md) ---------------
+
+    def _app_state(self) -> Dict[str, Any]:
+        """The sheet's replayable redo state for a checkpoint."""
+        return {
+            "rows": self.rows,
+            "cols": self.cols,
+            "formulas": [
+                [r, c, source, gen]
+                for (r, c), (source, gen) in sorted(
+                    self._sources.items(), key=lambda item: item[0]
+                )
+            ],
+        }
+
+    def save(self, path: str) -> str:
+        """Checkpoint the sheet — dependency graph plus formula sources.
+
+        Attaches a persistence manager (JSON codec — checkpoints stay
+        inspectable text) when the runtime has none, so every later
+        :meth:`set_formula` is WAL-logged and survives a crash before
+        the next ``save``.  Returns ``path``.
+        """
+        rt = get_runtime()
+        manager = rt._persist
+        if manager is None:
+            manager = rt.persist_to(path, codec="json")
+        if manager.path == path:
+            manager.checkpoint(app_state=self._app_state())
+        else:
+            rt.checkpoint(path, codec="json", app_state=self._app_state())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> Tuple["Spreadsheet", Any]:
+        """Rebuild a sheet from a :meth:`save` checkpoint (plus WAL tail).
+
+        Returns ``(sheet, report)`` where ``report`` is the
+        :class:`~repro.persist.recover.RecoveryReport`.  The sheet is
+        reconstructed under a freshly recovered runtime (kept at
+        ``sheet.runtime``; activate it with ``sheet.runtime.active()``
+        before reading values): the grid is rebuilt, checkpointed cell
+        state is adopted in place, and formula sources — checkpointed
+        ones first, then WAL-tail edits in commit order — are replayed.
+        Corrupt state degrades to an exhaustive rebuild of the same
+        formulas; only a checkpoint too damaged to surface the sheet's
+        dimensions raises :class:`SpreadsheetLoadError`.
+        """
+        from ..persist.recover import recover as _recover
+
+        rt, report = _recover(path, restore_values=True)
+        state = report.app_state
+        if not isinstance(state, dict) or "rows" not in state:
+            detail = f" ({report.reason})" if report.reason else ""
+            raise SpreadsheetLoadError(
+                f"no spreadsheet state recoverable from {path!r}{detail}"
+            )
+        with rt.active():
+            sheet = cls(int(state["rows"]), int(state["cols"]))
+            # Deliberately NOT batched: plain writes take the write-path
+            # restored-bind, where a formula whose tree fingerprint still
+            # matches the checkpoint adopts silently and keeps the cell's
+            # cached value chain warm (a batch would compare against the
+            # pre-replay empty grid at commit and invalidate everything).
+            for row, col, source, gen in state.get("formulas", ()):
+                sheet.set_formula(row, col, source, _gen=gen)
+            for record in report.app_records:
+                if (
+                    isinstance(record, dict)
+                    and record.get("op") == "set_formula"
+                ):
+                    sheet.set_formula(
+                        record["row"],
+                        record["col"],
+                        record["source"],
+                        _gen=record.get("gen"),
+                    )
+        sheet.runtime = rt
+        return sheet, report
+
     def ref(self, row: int, col: int) -> CellExp:
         """Build a CellExp referencing (row, col), for programmatic
         formula construction."""
@@ -242,3 +408,70 @@ class Spreadsheet:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Spreadsheet({self.rows}x{self.cols})"
+
+
+# ----------------------------------------------------------------------
+# Durability helpers: formula provenance and stable tree identities.
+# ----------------------------------------------------------------------
+
+
+class _Unrenderable(Exception):
+    """An Exp production with no formula-grammar rendering."""
+
+
+def _render_formula(node: Exp) -> str:
+    """Render an expression tree back to parseable formula text.
+
+    Inverse of :func:`repro.spreadsheet.formula.parse_formula` up to
+    parenthesisation; raises :class:`_Unrenderable` for productions the
+    grammar cannot express (user-defined Exp subclasses).
+    """
+    peek = lambda o, f: o.field_cell(f).peek()  # noqa: E731 - local alias
+    if isinstance(node, RootExp):
+        return _render_formula(peek(node, "exp"))
+    if isinstance(node, PlusExp):
+        left = _render_formula(peek(node, "exp1"))
+        right = _render_formula(peek(node, "exp2"))
+        return f"({left} + {right})"
+    if isinstance(node, LetExp):
+        bound = _render_formula(peek(node, "exp1"))
+        body = _render_formula(peek(node, "exp2"))
+        return f"let {peek(node, 'id')} = {bound} in {body} ni"
+    if isinstance(node, CellExp):
+        return f"R{peek(node, 'x')}C{peek(node, 'y')}"
+    if isinstance(node, RangeSumExp):
+        return (
+            f"SUM(R{peek(node, 'r1')}C{peek(node, 'c1')}"
+            f":R{peek(node, 'r2')}C{peek(node, 'c2')})"
+        )
+    if isinstance(node, IdExp):
+        return str(peek(node, "id"))
+    if isinstance(node, IntExp):
+        return str(peek(node, "int"))
+    raise _Unrenderable(type(node).__name__)
+
+
+def _assign_tree_ids(node: Exp, path: str, _seen: Optional[set] = None) -> None:
+    """Give every node of a formula tree a path-based stable identity.
+
+    The object itself gets ``_persist_key`` (naming its maintained
+    instances) and each tracked field cell gets ``_sid`` (naming its
+    storage location), both rooted at the owning cell's coordinates —
+    e.g. ``sheet:R1C2.func.exp.exp1.int``.  Deterministic by structure,
+    so a reloaded process that replays the same formula source mints
+    identical ids and adopts the checkpointed nodes.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(node) in _seen:
+        return
+    _seen.add(id(node))
+    node._persist_key = path
+    for name in type(node).all_fields():
+        cell = node.field_cell(name)
+        cell._sid = f"{path}.{name}"
+        if name == "parent":
+            continue  # upward pointer: the child walk already covers it
+        child = cell.peek()
+        if isinstance(child, Exp):
+            _assign_tree_ids(child, f"{path}.{name}", _seen)

@@ -4,6 +4,12 @@ See :mod:`repro.testing.chaos`.  Kept separate from :mod:`repro.core`
 so production imports never pay for test machinery.
 """
 
-from .chaos import FaultInjected, FaultPlan, FaultSpec
+from .chaos import CrashPoint, FaultInjected, FaultPlan, FaultSpec, SimulatedCrash
 
-__all__ = ["FaultInjected", "FaultPlan", "FaultSpec"]
+__all__ = [
+    "CrashPoint",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "SimulatedCrash",
+]

@@ -47,7 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import DepNode
     from repro.core.runtime import Runtime
 
-__all__ = ["FaultInjected", "FaultPlan", "FaultSpec"]
+__all__ = ["CrashPoint", "FaultInjected", "FaultPlan", "FaultSpec", "SimulatedCrash"]
 
 
 class FaultInjected(Exception):
@@ -63,6 +63,141 @@ class FaultInjected(Exception):
         )
         self.node_label = node_label
         self.spec = spec
+
+
+class SimulatedCrash(Exception):
+    """Simulated hard process death (see :class:`CrashPoint`).
+
+    ``containable = False``: unlike :class:`FaultInjected`, a crash is
+    never captured into a Poisoned value — it tears straight through
+    containment, the drain aborts, and the test *discards the runtime*
+    exactly as a SIGKILL would discard the process.
+    """
+
+    containable = False
+
+
+class CrashPoint:
+    """Simulate hard process death at a durability-critical site.
+
+    Kill-and-recover scenarios become scriptable in-process: the crash
+    point raises :class:`SimulatedCrash` at its site, flags the runtime
+    as discarded (``rt._discarded``, honoured by the chaos-suite audit
+    fixture), and the test abandons that runtime and drives
+    ``Runtime.recover()`` instead.  Sites:
+
+    * ``"drain"`` — on the ``nth`` execution of a node whose label
+      contains ``match``; installed as the runtime's fault injector, so
+      it fires mid-drain for eager work and mid-call for demand work.
+    * ``"wal-append"`` — on the ``nth`` WAL append of the runtime's
+      persistence manager, after writing only ``torn_bytes`` bytes of
+      the record (a torn tail on disk).  Requires ``rt.persist_to()``.
+    * ``"checkpoint-rename"`` — during checkpointing, after the temp
+      file is durable but before the atomic rename, so the previous
+      checkpoint must survive.  Requires ``rt.persist_to()``.
+
+    Use ``with crash.applied(rt):`` and expect :class:`SimulatedCrash`.
+    """
+
+    SITES = ("drain", "wal-append", "checkpoint-rename")
+
+    def __init__(
+        self,
+        site: str = "drain",
+        *,
+        match: str = "",
+        nth: int = 1,
+        torn_bytes: int = 5,
+    ) -> None:
+        if site not in self.SITES:
+            raise ValueError(f"site must be one of {self.SITES}, got {site!r}")
+        if nth <= 0:
+            raise ValueError(f"nth must be positive, got {nth!r}")
+        self.site = site
+        self.match = match
+        self.nth = nth
+        self.torn_bytes = torn_bytes
+        self.seen = 0
+        self.fired = False
+        self._runtime: Optional["Runtime"] = None
+        self._unwrap: Optional[Callable[[], None]] = None
+
+    def _crash(self) -> None:
+        self.fired = True
+        rt = self._runtime
+        if rt is not None:
+            rt._discarded = True
+        raise SimulatedCrash(f"simulated crash at {self.site!r}")
+
+    # -- installation ----------------------------------------------------
+
+    def install(self, rt: "Runtime") -> None:
+        if self._runtime is not None:
+            raise RuntimeError("CrashPoint is already installed")
+        self._runtime = rt
+        if self.site == "drain":
+            rt._fault_injector = self
+            return
+        manager = rt._persist
+        if manager is None:
+            raise RuntimeError(
+                f"CrashPoint({self.site!r}) needs rt.persist_to() first"
+            )
+        if self.site == "wal-append":
+            wal = manager.wal
+            original = wal.append
+            crash_point = self
+
+            def crashing_append(record: Any) -> None:
+                crash_point.seen += 1
+                if crash_point.seen == crash_point.nth and not crash_point.fired:
+                    crash_point.fired = True
+                    if crash_point._runtime is not None:
+                        crash_point._runtime._discarded = True
+                    wal._torn = (
+                        crash_point.torn_bytes,
+                        SimulatedCrash("simulated crash mid WAL append"),
+                    )
+                return original(record)
+
+            wal.append = crashing_append
+            self._unwrap = lambda: setattr(wal, "append", original)
+        else:  # checkpoint-rename
+
+            def crash_hook(tmp_path: str) -> None:
+                self._crash()
+
+            manager._checkpoint_crash_hook = crash_hook
+            self._unwrap = lambda: setattr(
+                manager, "_checkpoint_crash_hook", None
+            )
+
+    def remove(self) -> None:
+        rt = self._runtime
+        if rt is not None and self.site == "drain" and rt._fault_injector is self:
+            rt._fault_injector = None
+        if self._unwrap is not None:
+            self._unwrap()
+            self._unwrap = None
+        self._runtime = None
+
+    @contextlib.contextmanager
+    def applied(self, rt: "Runtime") -> Iterator["CrashPoint"]:
+        """``with crash.applied(rt): ...`` — install for the block."""
+        self.install(rt)
+        try:
+            yield self
+        finally:
+            self.remove()
+
+    # -- the Runtime._fault_injector interface (site="drain") ------------
+
+    def run(self, node: "DepNode", thunk: Callable[[], Any]) -> Any:
+        if self.match in node.label and not self.fired:
+            self.seen += 1
+            if self.seen == self.nth:
+                self._crash()
+        return thunk()
 
 
 class FaultSpec:

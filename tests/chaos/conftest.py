@@ -1,0 +1,35 @@
+"""Chaos-suite safety net: every runtime a test creates is audited
+against the structural-invariant checker after the test body finishes.
+
+Chaos tests drive runtimes through injected faults, simulated crashes,
+and recovery; whatever the scenario did, a runtime it leaves alive must
+still pass ``rt.check_invariants()``.  Runtimes abandoned by a
+simulated process death are flagged ``rt._discarded`` (see
+:class:`repro.testing.CrashPoint`) and exempt — dead processes owe no
+invariants.
+"""
+
+import pytest
+
+from repro.core.runtime import Runtime
+
+
+@pytest.fixture(autouse=True)
+def audit_surviving_runtimes(monkeypatch):
+    created = []
+    original_init = Runtime.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(Runtime, "__init__", recording_init)
+    yield
+    failures = {}
+    for runtime in created:
+        if getattr(runtime, "_discarded", False):
+            continue
+        violations = runtime.check_invariants(raise_on_violation=False)
+        if violations:
+            failures[repr(runtime)] = violations
+    assert not failures, f"post-test invariant audit failed: {failures}"

@@ -1,0 +1,117 @@
+"""Stable identities and fingerprints (repro.persist.ids)."""
+
+from repro import Cell
+from repro.persist.ids import (
+    fingerprint,
+    fresh_id_space,
+    instance_sid,
+    next_location_sid,
+)
+
+
+class _Named:
+    """Stand-in for an application object with a durable name."""
+
+    def __init__(self, key):
+        self._persist_key = key
+
+
+class TestLocationSids:
+    def test_ordinals_count_per_label(self):
+        fresh_id_space()
+        assert next_location_sid("a") == "a#0"
+        assert next_location_sid("a") == "a#1"
+        assert next_location_sid("b") == "b#0"
+
+    def test_fresh_id_space_replays_ordinals(self):
+        fresh_id_space()
+        first = [next_location_sid("x") for _ in range(3)]
+        fresh_id_space()
+        assert [next_location_sid("x") for _ in range(3)] == first
+
+    def test_cells_mint_auto_sids_at_construction(self):
+        fresh_id_space()
+        a = Cell(1, label="acc")
+        b = Cell(2, label="acc")
+        assert a._sid == "acc#0"
+        assert b._sid == "acc#1"
+
+    def test_deterministic_reconstruction_mints_the_same_sids(self):
+        fresh_id_space()
+        first = [Cell(0, label="slot")._sid for _ in range(4)]
+        fresh_id_space()
+        assert [Cell(0, label="slot")._sid for _ in range(4)] == first
+
+    def test_explicit_sid_survives_assignment(self):
+        fresh_id_space()
+        cell = Cell(0, label="named")
+        cell._sid = "app:R1C2"
+        assert cell._sid == "app:R1C2"
+
+
+class TestInstanceSids:
+    def test_equal_args_equal_sid(self):
+        assert instance_sid("f", (1, "x")) == instance_sid("f", (1, "x"))
+
+    def test_distinct_args_distinct_sid(self):
+        assert instance_sid("f", (1,)) != instance_sid("f", (2,))
+        assert instance_sid("f", (1,)) != instance_sid("g", (1,))
+        # bool/int and str/bytes must not collide
+        assert instance_sid("f", (1,)) != instance_sid("f", (True,))
+        assert instance_sid("f", ("1",)) != instance_sid("f", (b"1",))
+
+    def test_location_args_use_their_sid(self):
+        fresh_id_space()
+        cell = Cell(0, label="loc")
+        sid = instance_sid("f", (cell,))
+        assert sid is not None and "loc#0" in sid
+
+    def test_persist_key_args_are_identifiable(self):
+        sid = instance_sid("f", (_Named("sheet:R1C1"),))
+        assert sid is not None and "sheet:R1C1" in sid
+
+    def test_tuple_args_recurse(self):
+        fresh_id_space()
+        cell = Cell(0, label="t")
+        sid = instance_sid("f", ((1, cell),))
+        assert sid is not None
+        assert instance_sid("f", ((1, object()),)) is None
+
+    def test_anonymous_object_is_unidentifiable(self):
+        assert instance_sid("f", (object(),)) is None
+        assert instance_sid("f", (1, object())) is None
+
+
+class TestFingerprint:
+    def test_equal_values_equal_fingerprint(self):
+        assert fingerprint([1, {"a": (2, 3)}]) == fingerprint([1, {"a": (2, 3)}])
+
+    def test_distinct_values_distinct_fingerprint(self):
+        assert fingerprint(1) != fingerprint(2)
+        assert fingerprint(1) != fingerprint(1.0)
+        assert fingerprint(1) != fingerprint(True)
+        assert fingerprint("1") != fingerprint(1)
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_named_objects_match_nominally(self):
+        assert fingerprint(_Named("k1")) == fingerprint(_Named("k1"))
+        assert fingerprint(_Named("k1")) != fingerprint(_Named("k2"))
+        # ...also nested inside containers
+        assert fingerprint([_Named("k1")]) == fingerprint([_Named("k1")])
+
+    def test_anonymous_objects_are_unfingerprintable(self):
+        assert fingerprint(object()) is None
+        assert fingerprint([1, object()]) is None
+
+    def test_depth_overflow_degrades_to_none(self):
+        value = 1
+        for _ in range(12):
+            value = [value]
+        assert fingerprint(value) is None
+
+    def test_cyclic_containers_degrade_to_none(self):
+        cycle = []
+        cycle.append(cycle)
+        assert fingerprint(cycle) is None
