@@ -88,6 +88,12 @@ class TrackedObject:
 
     _fields_: Tuple[str, ...] = ()
 
+    # One dict per instance would dominate the footprint of fine-grained
+    # object graphs (a tracked tree node is mostly its cells).  Subclasses
+    # that want ad-hoc untracked attributes simply omit __slots__ and get
+    # a __dict__ of their own; the base stays lean.
+    __slots__ = ("_cells", "__weakref__")
+
     def __init__(self, **field_values: Any) -> None:
         fields = type(self).all_fields()
         cells: Dict[str, Cell] = {}

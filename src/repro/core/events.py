@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 import json
+import threading
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["EventKind", "EventBus", "Handler", "TraceExporter"]
@@ -88,10 +89,13 @@ class EventKind(enum.Enum):
     FORCED_EVALUATION = "forced-evaluation"
     #: A scheduler drain is starting; ``amount`` is the number of nodes
     #: pending in the inconsistent set(s) about to be drained (the
-    #: span-open mate of :attr:`DRAIN` / :attr:`DRAIN_ABORTED`).
+    #: span-open mate of :attr:`DRAIN` / :attr:`DRAIN_ABORTED`).  For a
+    #: single-partition drain ``data`` is ``{"partition": pid}``; a
+    #: budgeted multi-partition pass carries no partition.
     DRAIN_STARTED = "drain-started"
     #: A top-level scheduler drain completed; ``amount`` is the number
-    #: of propagation steps it performed.
+    #: of propagation steps it performed; ``data`` carries the partition
+    #: id as in :attr:`DRAIN_STARTED`.
     DRAIN = "drain"
     #: A drain was torn down by an escaping exception; ``node`` is the
     #: node in flight (re-marked pending, None if selection itself
@@ -160,13 +164,27 @@ class EventBus:
     Dispatch is synchronous and unguarded: a raising handler propagates
     to the emitting operation, exactly like the hand-written counter
     updates it replaces.
+
+    Threading: a bus is single-threaded by default (one ``is None``
+    check on the hot path).  :meth:`use_lock` — called by
+    ``Runtime(parallel_drains=N)`` — serializes whole emits under a
+    re-entrant lock so handlers with internal state (stats counters,
+    span tracers, the WAL) see events one at a time even when disjoint
+    partitions drain concurrently.  The lock is re-entrant because
+    handlers may themselves emit (the WAL announces its appends).
     """
 
-    __slots__ = ("_by_kind", "_all")
+    __slots__ = ("_by_kind", "_all", "_lock")
 
     def __init__(self) -> None:
         self._by_kind: Dict[EventKind, List[Handler]] = {}
         self._all: List[Handler] = []
+        self._lock: Optional[threading.RLock] = None
+
+    def use_lock(self) -> None:
+        """Serialize emits under an RLock (parallel-drain mode)."""
+        if self._lock is None:
+            self._lock = threading.RLock()
 
     # -- subscription ----------------------------------------------------
 
@@ -215,13 +233,24 @@ class EventBus:
     ) -> None:
         """Announce one event.  Mutating subscriptions for ``kind`` from
         inside a handler of that same kind is not supported."""
-        handlers = self._by_kind.get(kind)
-        if handlers is not None:
-            for handler in handlers:
-                handler(kind, node, amount, data)
-        if self._all:
-            for handler in self._all:
-                handler(kind, node, amount, data)
+        lock = self._lock
+        if lock is None:
+            handlers = self._by_kind.get(kind)
+            if handlers is not None:
+                for handler in handlers:
+                    handler(kind, node, amount, data)
+            if self._all:
+                for handler in self._all:
+                    handler(kind, node, amount, data)
+            return
+        with lock:
+            handlers = self._by_kind.get(kind)
+            if handlers is not None:
+                for handler in handlers:
+                    handler(kind, node, amount, data)
+            if self._all:
+                for handler in self._all:
+                    handler(kind, node, amount, data)
 
 
 class TraceExporter:

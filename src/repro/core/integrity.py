@@ -14,8 +14,12 @@ violation of the invariants the rest of the engine assumes:
 * **Inconsistent-set/flag agreement** — a node's
   ``in_inconsistent_set`` flag is True iff its partition's set counts it
   as a member; the dirty-set registry covers every non-empty set.
+* **Partition↔scheduler ownership bijection** — every union-find root
+  owns exactly one live :class:`~repro.core.partition.PartitionScheduler`
+  with a unique partition id, non-root items own none, and the dirty
+  registry maps each pid to that partition's actual scheduler.
 * **Quiescent execution state** — when no drain or body is running,
-  the call stack is empty and no node reports ``executing``.
+  every thread's call stack is empty and no node reports ``executing``.
 * **Disposed nodes detached** — a cache-evicted node keeps no edges,
   sits in no inconsistent set, and holds no thunk.
 * **Consistency/value sanity** — a consistent procedure node that is
@@ -66,6 +70,7 @@ def audit(rt: "Runtime", *, raise_on_violation: bool = True) -> List[str]:
     if nodes:
         _audit_edges(nodes, report)
         _audit_incset_membership(rt, nodes, report)
+        _audit_partition_ownership(rt, nodes, report)
         _audit_disposed(nodes, report)
         _audit_values(nodes, report)
 
@@ -75,11 +80,14 @@ def audit(rt: "Runtime", *, raise_on_violation: bool = True) -> List[str]:
 
 
 def _audit_execution_state(rt: "Runtime", report) -> None:
-    if rt.scheduler.active:
+    if rt.scheduler.active or rt.partitions.any_active():
         report("audit ran while a drain is active; results unreliable")
-    if rt.call_stack:
-        labels = [frame.node.label for frame in rt.call_stack]
-        report(f"call stack not empty at quiescence: {labels}")
+    # Every thread's context must be quiescent, not just the caller's:
+    # a parallel drain leaves its workers' stacks registered here.
+    for ctx in rt._contexts:
+        if ctx.stack:
+            labels = [frame.node.label for frame in ctx.stack]
+            report(f"call stack not empty at quiescence: {labels}")
 
 
 def _audit_edges(nodes, report) -> None:
@@ -134,18 +142,18 @@ def _audit_incset_membership(rt: "Runtime", nodes, report) -> None:
                 return
         if not node.in_inconsistent_set:
             continue
-        incset = rt.partitions.set_of(node)
-        members = incset.members()
+        part = rt.partitions.sched_of(node)
+        members = part.incset.members()
         if not any(member is node for member in members):
             if not report(
                 f"{node.label!r} is flagged in_inconsistent_set but its "
                 f"partition's set does not contain it"
             ):
                 return
-        if rt.partitions.dirty.get(id(incset)) is not incset:
+        if rt.partitions.dirty.get(part.pid) is not part:
             if not report(
-                f"inconsistent set holding {node.label!r} is missing from "
-                f"the dirty registry (a flush would strand it)"
+                f"partition p{part.pid} holding {node.label!r} is missing "
+                f"from the dirty registry (a flush would strand it)"
             ):
                 return
     # Membership -> flag: set sizes must agree with the flags (a size
@@ -157,6 +165,73 @@ def _audit_incset_membership(rt: "Runtime", nodes, report) -> None:
                 f"inconsistent set size {len(incset)} disagrees with its "
                 f"{len(members)} flagged member(s)"
             )
+
+
+def _audit_partition_ownership(rt: "Runtime", nodes, report) -> None:
+    """The partition↔scheduler bijection: one live scheduler per root,
+    unique pids, no scheduler shared between roots, and a truthful
+    dirty registry."""
+    partitions = rt.partitions
+    if not partitions.enabled:
+        return
+    roots = {}
+    for node in nodes:
+        item = node.partition_item
+        if item is None:
+            if not report(f"{node.label!r} has no partition item"):
+                return
+            continue
+        if item.parent is not item and item.payload is not None:
+            if not report(
+                f"non-root partition item of {node.label!r} still owns "
+                f"scheduler p{item.payload.pid}"
+            ):
+                return
+        root = partitions._find(item)
+        roots[id(root)] = root
+    owners = {}
+    by_pid = {}
+    for root in roots.values():
+        part = root.payload
+        if part is None:
+            if not report(
+                f"partition root via {root.node.label!r} owns no scheduler"
+            ):
+                return
+            continue
+        prior = owners.get(id(part))
+        if prior is not None and prior is not root:
+            if not report(
+                f"scheduler p{part.pid} is owned by two partition roots"
+            ):
+                return
+        owners[id(part)] = root
+        twin = by_pid.get(part.pid)
+        if twin is not None and twin is not part:
+            if not report(
+                f"partition id p{part.pid} is used by two schedulers"
+            ):
+                return
+        by_pid[part.pid] = part
+        registered = partitions.dirty.get(part.pid)
+        if registered is not None and registered is not part:
+            if not report(
+                f"dirty registry maps p{part.pid} to a scheduler that is "
+                f"not the partition's live one"
+            ):
+                return
+        if part.incset and registered is None and not part.active:
+            if not report(
+                f"partition p{part.pid} has {len(part.incset)} pending "
+                f"member(s) but is not registered dirty"
+            ):
+                return
+    for pid, part in partitions.dirty.items():
+        if part.pid != pid:
+            if not report(
+                f"dirty registry key p{pid} holds scheduler p{part.pid}"
+            ):
+                return
 
 
 def _audit_disposed(nodes, report) -> None:

@@ -84,6 +84,28 @@ class _Frame:
         self.freeze_edges = node.static_edges and node.edges_frozen
 
 
+class _Ctx:
+    """Per-thread execution context: call stack, unchecked depth, drain
+    depth.
+
+    The runtime's mutable per-activation state must be thread-local so
+    concurrent partition drains (``Runtime(parallel_drains=N)``) never
+    interleave frames: each worker thread gets its own context lazily,
+    and the serial path always uses the single context of the creating
+    thread.  All contexts stay registered on the runtime so the
+    integrity audit can check quiescence across every thread.
+    """
+
+    __slots__ = ("stack", "unchecked", "drain_depth")
+
+    def __init__(self) -> None:
+        self.stack: List[_Frame] = []
+        self.unchecked = 0
+        #: >0 while this thread is inside a scheduler drain; suppresses
+        #: nested forced evaluation (Algorithm 5's re-entrancy guard).
+        self.drain_depth = 0
+
+
 class Runtime:
     """One independent Alphonse universe.
 
@@ -124,6 +146,13 @@ class Runtime:
     watchdog:
         Optional :class:`~repro.core.watchdog.Watchdog` enforcing
         per-drain step/wall-time budgets and livelock detection.
+    parallel_drains:
+        Opt-in concurrency: with ``parallel_drains=N`` (N > 1), global
+        flushes (``rt.flush()``, batch commits touching several
+        partitions) drain disjoint partitions concurrently on a pool of
+        up to N threads (see :mod:`repro.core.parallel`).  Requires
+        ``partitioning=True``.  The default (None) keeps the engine
+        single-threaded with zero locking on the hot path.
     """
 
     def __init__(
@@ -138,6 +167,7 @@ class Runtime:
         events: Optional[EventBus] = None,
         containment: bool = True,
         watchdog: Optional[Watchdog] = None,
+        parallel_drains: Optional[int] = None,
     ) -> None:
         self.events = events if events is not None else EventBus()
         self._collector = StatsCollector().attach(self.events)
@@ -147,7 +177,24 @@ class Runtime:
             self.events, self.order, self.partitions, keep_registry=keep_registry
         )
         self.scheduler: Scheduler = make_scheduler(scheduler, self)
-        self.call_stack: List[_Frame] = []
+        #: Per-thread execution contexts (call stack, unchecked depth,
+        #: drain depth), created lazily per thread; the creating
+        #: thread's context exists from the start.
+        self._local = threading.local()
+        self._contexts: List[_Ctx] = []
+        self._context  # materialize the owning thread's context
+        self._parallel: Optional[Any] = None
+        self.parallel_drains = parallel_drains
+        if parallel_drains is not None and parallel_drains > 1:
+            if not partitioning:
+                raise ValueError(
+                    "parallel_drains requires partitioning=True"
+                )
+            from .parallel import ParallelDrainExecutor
+
+            self._parallel = ParallelDrainExecutor(self, parallel_drains)
+            self.partitions.enable_locking()
+            self.events.use_lock()
         self.strict_cycles = strict_cycles
         self.eval_limit = eval_limit
         self.max_reentry = max_reentry
@@ -167,7 +214,6 @@ class Runtime:
         #: skipped entirely while it is zero); correctness never depends
         #: on it.
         self._poison_live = 0
-        self._unchecked_depth = 0
         #: Stable-id adoption state installed by :meth:`Runtime.recover`
         #: (a :class:`~repro.persist.recover.RestoredState`); None in
         #: runtimes not reconstructed from a checkpoint.  Cleared once
@@ -209,6 +255,30 @@ class Runtime:
         return forward
 
     @property
+    def _context(self) -> _Ctx:
+        """This thread's execution context (created lazily)."""
+        try:
+            return self._local.ctx
+        except AttributeError:
+            ctx = _Ctx()
+            self._local.ctx = ctx
+            self._contexts.append(ctx)
+            return ctx
+
+    @property
+    def call_stack(self) -> List[_Frame]:
+        """This thread's frame stack (Algorithm 5's call stack)."""
+        return self._context.stack
+
+    @property
+    def _unchecked_depth(self) -> int:
+        return self._context.unchecked
+
+    @_unchecked_depth.setter
+    def _unchecked_depth(self, value: int) -> None:
+        self._context.unchecked = value
+
+    @property
     def stats(self) -> RuntimeStats:
         """Operation counters, maintained by an event-bus subscriber."""
         return self._collector.stats
@@ -230,13 +300,14 @@ class Runtime:
         push the checkpointed value into the location.
         """
         self.events.emit(EventKind.ACCESS, location._node)
-        if self.call_stack:
-            if self._unchecked_depth:
+        ctx = self._context
+        if ctx.stack:
+            if ctx.unchecked:
                 self.events.emit(
                     EventKind.UNCHECKED_SUPPRESSION, location._node
                 )
             else:
-                frame = self.call_stack[-1]
+                frame = ctx.stack[-1]
                 node = self._storage_node(location)
                 node.value = location._value
                 if not frame.freeze_edges:
@@ -361,8 +432,9 @@ class Runtime:
             # "ELSE IF SetSize(Inconsistent) > 0 THEN Evaluate(Inconsistent)"
             self._force_evaluation_for(node)
 
-        if self.call_stack and not self._unchecked_depth:
-            frame = self.call_stack[-1]
+        ctx = self._context
+        if ctx.stack and not ctx.unchecked:
+            frame = ctx.stack[-1]
             if not frame.freeze_edges:
                 self.graph.create_edge(
                     node, frame.node, dedupe=frame.deps_seen
@@ -450,6 +522,7 @@ class Runtime:
         :class:`CycleError`; ``max_reentry`` bounds runaway recursion
         from DET violations.
         """
+        ctx = self._context
         if node.executing:
             if self.strict_cycles:
                 raise CycleError(node.label)
@@ -460,14 +533,14 @@ class Runtime:
             # The outer activation's in-edges are about to be removed;
             # clear its dedupe sets so reads after the inner activation
             # returns re-create their edges.
-            for outer in self.call_stack:
+            for outer in ctx.stack:
                 if outer.node is node:
                     outer.deps_seen.clear()
         assert node.thunk is not None, "procedure node lost its thunk"
         if not (node.static_edges and node.edges_frozen):
             self.graph.remove_pred_edges(node)
         frame = _Frame(node)
-        self.call_stack.append(frame)
+        ctx.stack.append(frame)
         self.events.emit(EventKind.EXECUTION_STARTED, node)
         node.executing += 1
         node.activation_seq += 1
@@ -477,8 +550,8 @@ class Runtime:
         # activation that opened it, not of its callees: a procedure
         # invoked from inside the region is its own incremental instance
         # and must record its own read set, so tracking resumes here.
-        saved_unchecked = self._unchecked_depth
-        self._unchecked_depth = 0
+        saved_unchecked = ctx.unchecked
+        ctx.unchecked = 0
         injector = self._fault_injector
         try:
             if injector is not None:
@@ -509,9 +582,9 @@ class Runtime:
             node.consistent = False
             raise
         finally:
-            self._unchecked_depth = saved_unchecked
+            ctx.unchecked = saved_unchecked
             node.executing -= 1
-            popped = self.call_stack.pop()
+            popped = ctx.stack.pop()
             assert popped is frame
         committed = node.activation_seq == my_activation
         if committed:
@@ -568,18 +641,25 @@ class Runtime:
         )
 
     def _force_evaluation_for(self, node: DepNode) -> None:
-        """Flush the inconsistent set governing ``node``'s partition."""
-        if self.scheduler.active:
+        """Flush the inconsistent set governing ``node``'s partition.
+
+        Partition-local by construction: only the worklist of ``node``'s
+        own component is drained — pending changes in other partitions
+        stay batched (§6.3).  The loop tolerates the partition growing
+        mid-drain (re-execution creating unions).
+        """
+        if self._context.drain_depth:
             return  # nested call during propagation; outer drain continues
         forced = False
         while True:
-            incset = self.partitions.set_of(node)
-            if not incset:
+            part = self.partitions.sched_of(node)
+            if not part.incset:
                 break
             if not forced:
                 forced = True
                 self.events.emit(EventKind.FORCED_EVALUATION_STARTED, node)
-            self.scheduler.drain(incset)
+            if not self.scheduler.drain(part):
+                break  # no progress possible here (owned elsewhere/stale)
         if forced:
             self.events.emit(EventKind.FORCED_EVALUATION, node)
 
@@ -609,6 +689,16 @@ class Runtime:
     def pending_changes(self) -> bool:
         """True if any partition has unpropagated changes."""
         return self.partitions.has_pending()
+
+    def close(self) -> None:
+        """Release pooled resources (the parallel-drain worker threads).
+
+        Optional for serial runtimes (a no-op); parallel runtimes should
+        be closed when done so worker threads don't linger until process
+        exit.  Safe to call more than once.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
 
     def check_invariants(self, *, raise_on_violation: bool = True) -> List[str]:
         """Audit the runtime's structural invariants (edge symmetry,
@@ -771,11 +861,12 @@ class Runtime:
         The programmer asserts, as in the paper, that the suppressed
         dependencies cannot affect maintained results.
         """
-        self._unchecked_depth += 1
+        ctx = self._context
+        ctx.unchecked += 1
         try:
             yield self
         finally:
-            self._unchecked_depth -= 1
+            ctx.unchecked -= 1
 
     @contextlib.contextmanager
     def active(self):
@@ -803,8 +894,7 @@ class Runtime:
         """Tear down an evicted cache entry."""
         self.graph.remove_pred_edges(node)
         self.graph.remove_succ_edges(node)
-        incset = self.partitions.set_of(node)
-        incset.discard(node)
+        self.partitions.discard(node)
         node.thunk = None
         node.disposed = True
         if type(node.value) is Poisoned:
@@ -909,6 +999,18 @@ def _make_thunk(
 # Current-runtime management.  A thread-local stack with a process-wide
 # default, so simple scripts can use the library without ever creating a
 # Runtime explicitly while tests get full isolation via ``rt.active()``.
+#
+# Module-global audit (the partition tie-break counter used to live at
+# module scope too; it is per-PartitionManager now).  What remains here
+# is deliberate and concurrency-safe:
+#
+# * ``_tls`` / ``_default_runtime`` / ``_default_lock`` — the
+#   current-runtime mechanism itself: per-thread activation stacks over
+#   one lock-guarded process default.
+# * ``_UNSET`` — an immutable sentinel.
+# * ``IncrementalProcedure._ids`` and ``node._node_ids`` — id sequences
+#   that must be process-wide (procedure identity spans runtimes;
+#   ``itertools.count`` increments atomically under the GIL).
 # ----------------------------------------------------------------------
 
 _tls = threading.local()

@@ -32,9 +32,17 @@ leaves node selection to subclasses:
   Incremental-style engines.  Heights are computed per refill, so it
   trades scheduling bookkeeping for immunity to stale Pearce–Kelly keys.
 
+The unit of draining is a partition (:class:`PartitionScheduler`), not
+the runtime: :meth:`Scheduler.drain` claims one partition, processes it
+to empty, and releases it.  Policy state (e.g. the height policy's
+refill buffer) is allocated per drain, never on the scheduler instance,
+so disjoint partitions can drain concurrently on a thread pool (see
+:mod:`repro.core.parallel`) through one shared Scheduler.
+
 Schedulers announce their work on the runtime's event bus
 (``PROPAGATION_STEP``, ``EAGER_REEXECUTION``, ``QUIESCENCE_CUT``,
-``DRAIN``) and never touch counters directly.
+``DRAIN``) and never touch counters directly; drain boundary events
+carry their partition id in ``data``.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type, Union
 from .errors import EvaluationLimitError, NodeExecutionError
 from .events import EventKind
 from .node import DepNode, NodeKind, Poisoned, values_equal
-from .partition import InconsistentSet
+from .partition import PartitionScheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import Runtime
@@ -59,16 +67,20 @@ __all__ = [
 
 
 class Scheduler:
-    """Drains inconsistent sets for one runtime.
+    """Drains partitions' inconsistent sets for one runtime.
 
     Re-entrancy: eager re-execution can itself call incremental
     procedures, which per Algorithm 5 would try to force evaluation
-    again.  We suppress nested forcing with the ``active`` flag — the
-    outer drain loop will reach any newly marked nodes anyway (they land
-    in the same or a merged partition's set).
+    again.  We suppress nested forcing per *thread* (the runtime's
+    execution context tracks a drain depth) — the outer drain loop will
+    reach any newly marked nodes anyway (they land in the same or a
+    merged partition's set).  Cross-thread exclusion is per *partition*:
+    ``begin_drain`` claims ownership, so two threads drain a partition
+    never, and disjoint partitions freely in parallel.
 
     Subclasses override :meth:`_next` (node selection) and optionally
-    :meth:`_begin_drain` / :meth:`_abort_drain` (per-drain state).
+    :meth:`_begin_drain` / :meth:`_abort_drain` (per-drain state — a
+    fresh state object per drain keeps concurrent drains independent).
     """
 
     #: Registry key; subclasses set a unique one.
@@ -76,24 +88,35 @@ class Scheduler:
 
     def __init__(self, runtime: "Runtime") -> None:
         self.runtime = runtime
-        self.active = False
+
+    @property
+    def active(self) -> bool:
+        """True while *this thread* is inside a drain."""
+        return self.runtime._context.drain_depth > 0
 
     # -- selection policy (subclass interface) ---------------------------
 
-    def _begin_drain(self) -> None:
-        """Reset any per-drain selection state."""
+    def _begin_drain(self):
+        """Allocate per-drain selection state (None for stateless)."""
+        return None
 
-    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
+    def _next(
+        self, part: PartitionScheduler, state
+    ) -> Optional[DepNode]:
         """Choose and remove the next pending node, or None when done."""
         raise NotImplementedError
 
-    def _abort_drain(self, incset: InconsistentSet) -> None:
-        """Return privately buffered nodes to ``incset`` after an error."""
+    def _abort_drain(self, part: PartitionScheduler, state) -> None:
+        """Return privately buffered nodes to the partition's worklist."""
 
     # -- drain lifecycles ------------------------------------------------
 
-    def drain(self, incset: InconsistentSet) -> int:
-        """Process ``incset`` to empty; returns the number of steps.
+    def drain(self, part: PartitionScheduler) -> int:
+        """Process one partition to empty; returns the number of steps.
+
+        Returns 0 without draining when this thread is already inside a
+        drain (nested forcing suppressed) or another thread owns this
+        partition.
 
         Abort safety: if anything escapes — a watchdog trip, a strict-
         mode cycle, a KeyboardInterrupt — the node in flight is returned
@@ -102,41 +125,51 @@ class Scheduler:
         stranded and the next flush resumes exactly where this drain
         stopped.
         """
-        if self.active:
-            return 0
         rt = self.runtime
+        ctx = rt._context
+        if ctx.drain_depth:
+            return 0
+        partitions = rt.partitions
+        if not partitions.begin_drain(part):
+            return 0
         emit = rt.events.emit
         limit = rt.eval_limit
         watchdog = rt.watchdog
-        if watchdog is not None and not watchdog.enabled:
-            watchdog = None
+        budget = None
+        if watchdog is not None and watchdog.enabled:
+            budget = watchdog.begin()
         steps = 0
         current: Optional[DepNode] = None
-        self.active = True
-        self._begin_drain()
-        if len(incset):
+        state = self._begin_drain()
+        guard = partitions.guard()
+        ctx.drain_depth += 1
+        if len(part.incset):
             # A non-empty set always yields >= 1 step, so the paired
             # DRAIN / DRAIN_ABORTED end event is guaranteed to follow.
-            emit(EventKind.DRAIN_STARTED, None, amount=len(incset))
-        if watchdog is not None:
-            watchdog.begin()
+            emit(
+                EventKind.DRAIN_STARTED,
+                None,
+                amount=len(part.incset),
+                data={"partition": part.pid},
+            )
         try:
-            while True:
-                current = self._next(incset)
+            while not part.superseded:
+                with guard:
+                    current = self._next(part, state)
                 if current is None:
                     break
                 steps += 1
                 emit(EventKind.PROPAGATION_STEP, current)
                 if limit is not None and steps > limit:
                     raise EvaluationLimitError(limit)
-                if watchdog is not None:
-                    watchdog.step(current)
+                if budget is not None:
+                    budget.step(current)
                 self._process(current)
                 current = None
         except BaseException as exc:
             if current is not None:
-                rt.partitions.mark(current)
-            self._abort_drain(incset)
+                partitions.mark(current)
+            self._abort_drain(part, state)
             emit(
                 EventKind.DRAIN_ABORTED,
                 current,
@@ -145,10 +178,15 @@ class Scheduler:
             )
             raise
         finally:
-            self.active = False
-            rt.partitions.note_drained(incset)
+            ctx.drain_depth -= 1
+            partitions.end_drain(part)
             if steps:
-                emit(EventKind.DRAIN, None, amount=steps)
+                emit(
+                    EventKind.DRAIN,
+                    None,
+                    amount=steps,
+                    data={"partition": part.pid},
+                )
         return steps
 
     def drain_budget(self, max_steps: int) -> int:
@@ -160,42 +198,48 @@ class Scheduler:
         of budget is not an error — remaining work stays pending and the
         next call (or the next forced evaluation) continues it.
         """
-        if self.active or max_steps <= 0:
-            return 0
         rt = self.runtime
+        ctx = rt._context
+        if ctx.drain_depth or max_steps <= 0:
+            return 0
+        partitions = rt.partitions
         emit = rt.events.emit
         watchdog = rt.watchdog
-        if watchdog is not None and not watchdog.enabled:
-            watchdog = None
+        budget = None
+        if watchdog is not None and watchdog.enabled:
+            budget = watchdog.begin()
         done = 0
-        self.active = True
-        self._begin_drain()
-        pending_size = sum(len(s) for s in rt.partitions.pending_sets())
+        pending_size = sum(len(p.incset) for p in partitions.pending_parts())
         if pending_size:
             emit(EventKind.DRAIN_STARTED, None, amount=pending_size)
-        if watchdog is not None:
-            watchdog.begin()
+        guard = partitions.guard()
+        ctx.drain_depth += 1
         try:
             while done < max_steps:
-                pending = rt.partitions.pending_sets()
+                pending = partitions.pending_parts()
                 if not pending:
                     break
-                for incset in pending:
+                for part in pending:
+                    if not partitions.begin_drain(part):
+                        continue
+                    state = self._begin_drain()
                     node: Optional[DepNode] = None
                     try:
-                        while done < max_steps:
-                            node = self._next(incset)
+                        while done < max_steps and not part.superseded:
+                            with guard:
+                                node = self._next(part, state)
                             if node is None:
                                 break
                             done += 1
                             emit(EventKind.PROPAGATION_STEP, node)
-                            if watchdog is not None:
-                                watchdog.step(node)
+                            if budget is not None:
+                                budget.step(node)
                             self._process(node)
                             node = None
                     except BaseException as exc:
                         if node is not None:
-                            rt.partitions.mark(node)
+                            partitions.mark(node)
+                        self._abort_drain(part, state)
                         emit(
                             EventKind.DRAIN_ABORTED,
                             node,
@@ -206,29 +250,46 @@ class Scheduler:
                     finally:
                         # Budget exhaustion must not orphan privately
                         # buffered nodes: hand them back before moving on.
-                        self._abort_drain(incset)
-                    rt.partitions.note_drained(incset)
+                        if node is None:
+                            self._abort_drain(part, state)
+                        partitions.end_drain(part)
                     if done >= max_steps:
                         break
         finally:
-            self.active = False
+            ctx.drain_depth -= 1
             if done:
                 emit(EventKind.DRAIN, None, amount=done)
         return done
 
     def drain_all(self) -> int:
-        """Flush every pending partition (a global "evaluate now")."""
-        if self.active:
+        """Flush every pending partition (a global "evaluate now").
+
+        With ``Runtime(parallel_drains=N)`` the flush fans pending
+        partitions out to the parallel executor; otherwise each drains
+        in turn on the calling thread.
+        """
+        rt = self.runtime
+        if rt._context.drain_depth:
             return 0
+        executor = rt._parallel
+        if executor is not None:
+            return executor.drain_pending()
         total = 0
         # Draining one set can dirty another (via cross-partition unions
         # created by re-execution), so loop to a fixpoint.
         while True:
-            pending = self.runtime.partitions.pending_sets()
+            pending = rt.partitions.pending_parts()
             if not pending:
                 break
-            for incset in pending:
-                total += self.drain(incset)
+            progressed = False
+            for part in pending:
+                steps = self.drain(part)
+                total += steps
+                if steps or not part.incset:
+                    # Emptied by draining, a merge, or lazy discard.
+                    progressed = True
+            if not progressed:
+                break  # every remaining partition is owned elsewhere
         return total
 
     # -- the paper's per-node processing rules (fixed) -------------------
@@ -305,8 +366,10 @@ class TopologicalScheduler(Scheduler):
 
     name = "topological"
 
-    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
-        return incset.pop()
+    def _next(
+        self, part: PartitionScheduler, state
+    ) -> Optional[DepNode]:
+        return part.incset.pop()
 
 
 class HeightOrderedScheduler(Scheduler):
@@ -314,28 +377,27 @@ class HeightOrderedScheduler(Scheduler):
 
     Height of a node is the longest pred-path to a storage node (storage
     itself is height 0).  Each refill drains the whole inconsistent set
-    into a private buffer, computes heights once, and serves the buffer
-    smallest-height first; nodes marked *during* processing are picked
-    up by the next refill.  Unlike the insertion-time heap keys this
-    priority is always fresh, at the cost of an O(affected subgraph)
-    height computation per refill — the classic throughput-vs-overhead
-    scheduling trade the Scheduler interface exists to let callers make.
+    into a private per-drain buffer, computes heights once, and serves
+    the buffer smallest-height first; nodes marked *during* processing
+    are picked up by the next refill.  Unlike the insertion-time heap
+    keys this priority is always fresh, at the cost of an O(affected
+    subgraph) height computation per refill — the classic
+    throughput-vs-overhead scheduling trade the Scheduler interface
+    exists to let callers make.
     """
 
     name = "height"
 
-    def __init__(self, runtime: "Runtime") -> None:
-        super().__init__(runtime)
-        self._buffer: List[DepNode] = []
+    def _begin_drain(self) -> List[DepNode]:
+        return []
 
-    def _begin_drain(self) -> None:
-        self._buffer.clear()
-
-    def _next(self, incset: InconsistentSet) -> Optional[DepNode]:
-        if not self._buffer:
+    def _next(
+        self, part: PartitionScheduler, state: List[DepNode]
+    ) -> Optional[DepNode]:
+        if not state:
             batch: List[DepNode] = []
             while True:
-                node = incset.pop()
+                node = part.incset.pop()
                 if node is None:
                     break
                 batch.append(node)
@@ -343,13 +405,15 @@ class HeightOrderedScheduler(Scheduler):
                 return None
             memo: Dict[int, int] = {}
             batch.sort(key=lambda n: self._height(n, memo), reverse=True)
-            self._buffer = batch  # tail = smallest height
-        return self._buffer.pop()
+            state.extend(batch)  # tail = smallest height
+        return state.pop()
 
-    def _abort_drain(self, incset: InconsistentSet) -> None:
-        for node in self._buffer:
+    def _abort_drain(
+        self, part: PartitionScheduler, state: List[DepNode]
+    ) -> None:
+        for node in state:
             self.runtime.partitions.mark(node)
-        self._buffer.clear()
+        state.clear()
 
     @staticmethod
     def _height(node: DepNode, memo: Dict[int, int]) -> int:

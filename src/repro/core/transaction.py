@@ -21,8 +21,11 @@ Inside a ``with rt.batch():`` block:
   value is compared against the location's pre-batch cached value, so a
   write cycle A → B → A detects *no* change at all.
 * Commit performs change detection per distinct location, marks the
-  changed ones, and triggers at most one propagation drain pass —
-  regardless of how many writes the block performed.
+  changed ones, and triggers one independent propagation drain per
+  *touched partition* (§6.3) — regardless of how many writes the block
+  performed.  Pending work in partitions the batch never wrote stays
+  batched; under ``Runtime(parallel_drains=N)`` the touched partitions
+  drain concurrently.
 
 Caveats (documented, not enforced): derived values *read* inside the
 block may be stale with respect to the block's own writes, since
@@ -67,6 +70,29 @@ __all__ = ["Transaction"]
 #: Baseline marker for "location had no graph node when first written in
 #: this batch" — distinct from NO_VALUE, which is a legal node state.
 _NO_NODE = object()
+
+
+def _drain_partitions(rt: "Runtime", parts: list) -> int:
+    """One independent drain per partition the commit/rollback touched.
+
+    Partition-local semantics (§6.3): only the components the batch
+    actually changed propagate now — pending work in unrelated
+    partitions stays batched for *their* next call or flush.  With
+    ``Runtime(parallel_drains=N)`` and several touched partitions, the
+    drains run concurrently on the executor; serially each partition
+    drains in turn.  A partition absorbed by a union mid-wave simply
+    comes up empty.
+    """
+    parts = [p for p in parts if p.incset]
+    if not parts:
+        return 0
+    executor = rt._parallel
+    if executor is not None and len(parts) > 1:
+        return executor.drain_parts(parts)
+    total = 0
+    for part in parts:
+        total += rt.scheduler.drain(part)
+    return total
 
 
 class Transaction:
@@ -163,6 +189,7 @@ class Transaction:
         self._committed = True
         rt = self.runtime
         changed = 0
+        touched: Dict[int, Any] = {}
         for location, baseline, _prior in self._writes.values():
             node = location._node
             if node is None:
@@ -173,13 +200,19 @@ class Transaction:
                 changed += 1
                 rt.events.emit(EventKind.CHANGE_DETECTED, node)
                 rt.partitions.mark(node)
+                part = rt.partitions.sched_of(node)
+                touched[part.pid] = part
         rt.events.emit(
             EventKind.BATCH_COMMIT,
             None,
-            data={"writes": len(self._writes), "coalesced": self.coalesced},
+            data={
+                "writes": len(self._writes),
+                "coalesced": self.coalesced,
+                "partitions": sorted(touched),
+            },
         )
         if drain and changed:
-            rt.scheduler.drain_all()
+            _drain_partitions(rt, list(touched.values()))
         return changed
 
     # -- rollback ---------------------------------------------------------
@@ -206,6 +239,10 @@ class Transaction:
         rt = self.runtime
         restored = 0
         marked = 0
+        touched: Dict[int, Any] = {}
+        # Restoration is atomic across partitions: every location is
+        # rewound before any partition drains, so no drain can observe a
+        # half-rolled-back store even when the batch spanned components.
         for location, baseline, prior in self._writes.values():
             location._value = prior
             restored += 1
@@ -220,11 +257,13 @@ class Transaction:
                 node.value = prior
                 marked += 1
                 rt.partitions.mark(node)
+                part = rt.partitions.sched_of(node)
+                touched[part.pid] = part
         rt.events.emit(
             EventKind.ROLLBACK,
             None,
             data={"restored": restored, "marked": marked},
         )
         if marked:
-            rt.scheduler.drain_all()
+            _drain_partitions(rt, list(touched.values()))
         return restored

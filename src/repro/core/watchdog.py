@@ -18,10 +18,13 @@ Three independent budgets, any subset may be set:
 * ``livelock_threshold`` — the same node processed more than K times in
   one drain, the classic signature of an oscillating eager result.
 
-The scheduler calls :meth:`begin` at drain start and :meth:`step` per
-processed node; a watchdog with no budgets set reports ``enabled`` False
-and the scheduler skips the calls entirely, so the default runtime pays
-nothing.
+The scheduler calls :meth:`begin` at drain start, which hands back a
+:class:`DrainBudget` — one budget ledger *per drain*, so concurrent
+partition drains (``Runtime(parallel_drains=N)``) are each charged only
+for their own partition's steps — and calls ``budget.step(node)`` per
+processed node.  A watchdog with no budgets set reports ``enabled``
+False and the scheduler skips the calls entirely, so the default
+runtime pays nothing.
 """
 
 from __future__ import annotations
@@ -33,11 +36,103 @@ from .errors import PropagationBudgetError
 from .events import EventBus, EventKind
 from .node import DepNode
 
-__all__ = ["Watchdog"]
+__all__ = ["DrainBudget", "Watchdog"]
+
+
+class DrainBudget:
+    """The per-drain ledger: step count, deadline, and hot-node tally.
+
+    One instance exists per drain (created by :meth:`Watchdog.begin`),
+    never shared between drains, so a drain is charged only for its own
+    partition's work even when several run concurrently.
+    """
+
+    __slots__ = ("_dog", "_steps", "_deadline", "_counts", "_labels")
+
+    def __init__(self, dog: "Watchdog") -> None:
+        self._dog = dog
+        self._steps = 0
+        if dog.max_seconds is not None:
+            self._deadline: Optional[float] = (
+                time.monotonic() + dog.max_seconds
+            )
+        else:
+            self._deadline = None
+        #: id(node) -> times processed this drain.
+        self._counts: Dict[int, int] = {}
+        self._labels: Dict[int, str] = {}
+
+    def step(self, node: DepNode) -> None:
+        """Charge one propagation step to ``node``; raise on any budget."""
+        dog = self._dog
+        self._steps += 1
+        key = id(node)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count == 1:
+            self._labels[key] = node.label
+        if (
+            dog.livelock_threshold is not None
+            and count > dog.livelock_threshold
+        ):
+            raise self._trip(
+                node,
+                "livelock",
+                f"node {node.label!r} processed {count} times in one drain "
+                f"(threshold {dog.livelock_threshold}); this usually means "
+                f"a DET violation keeps re-dirtying the region",
+            )
+        if dog.max_steps is not None and self._steps > dog.max_steps:
+            raise self._trip(
+                node,
+                "steps",
+                f"drain exceeded {dog.max_steps} propagation steps",
+            )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise self._trip(
+                node,
+                "wall-time",
+                f"drain exceeded {dog.max_seconds}s of wall time after "
+                f"{self._steps} steps",
+            )
+
+    def _trip(
+        self, node: DepNode, budget: str, message: str
+    ) -> PropagationBudgetError:
+        """Announce the trip and build the error (the span-boundary
+        event the tracer pairs with the DRAIN_ABORTED that follows)."""
+        hot = self.hot_nodes()
+        events = self._dog.events
+        if events is not None:
+            events.emit(
+                EventKind.WATCHDOG_TRIPPED,
+                node,
+                data={"budget": budget, "hot": hot},
+            )
+        return PropagationBudgetError(budget, message, hot)
+
+    def hot_nodes(self) -> List[Tuple[str, int]]:
+        """The most frequently processed nodes of this drain, as
+        ``(label, count)`` pairs, hottest first."""
+        ranked = sorted(
+            self._counts.items(), key=lambda item: item[1], reverse=True
+        )
+        return [
+            (self._labels[key], count)
+            for key, count in ranked[: self._dog.hot_report]
+        ]
 
 
 class Watchdog:
-    """Per-drain budget enforcement; see the module docstring."""
+    """Per-drain budget configuration; see the module docstring.
+
+    The watchdog itself is immutable configuration plus the event bus;
+    all mutable per-drain state lives on the :class:`DrainBudget` that
+    :meth:`begin` returns.  The legacy instance-level :meth:`step` /
+    :meth:`hot_nodes` delegate to the most recently begun budget (a
+    convenience for direct/diagnostic use; the scheduler always goes
+    through the handle).
+    """
 
     __slots__ = (
         "max_steps",
@@ -45,10 +140,7 @@ class Watchdog:
         "livelock_threshold",
         "hot_report",
         "events",
-        "_steps",
-        "_deadline",
-        "_counts",
-        "_labels",
+        "_last",
     )
 
     def __init__(
@@ -73,12 +165,7 @@ class Watchdog:
         #: Event bus to announce trips on; installed by the runtime the
         #: watchdog is attached to (``Runtime(watchdog=...)``).
         self.events: Optional[EventBus] = None
-        self._steps = 0
-        self._deadline: Optional[float] = None
-        #: id(node) -> times processed this drain (only kept when the
-        #: livelock budget is set or a hot-region report may be needed).
-        self._counts: Dict[int, int] = {}
-        self._labels: Dict[int, str] = {}
+        self._last: Optional[DrainBudget] = None
 
     @property
     def enabled(self) -> bool:
@@ -91,72 +178,22 @@ class Watchdog:
 
     # -- scheduler interface --------------------------------------------
 
-    def begin(self) -> None:
-        """Reset per-drain state (called by the scheduler at drain start)."""
-        self._steps = 0
-        self._counts.clear()
-        self._labels.clear()
-        if self.max_seconds is not None:
-            self._deadline = time.monotonic() + self.max_seconds
-        else:
-            self._deadline = None
+    def begin(self) -> DrainBudget:
+        """Open a fresh per-drain budget (called at drain start)."""
+        budget = DrainBudget(self)
+        self._last = budget
+        return budget
 
     def step(self, node: DepNode) -> None:
-        """Charge one propagation step to ``node``; raise on any budget."""
-        self._steps += 1
-        key = id(node)
-        count = self._counts.get(key, 0) + 1
-        self._counts[key] = count
-        if count == 1:
-            self._labels[key] = node.label
-        if (
-            self.livelock_threshold is not None
-            and count > self.livelock_threshold
-        ):
-            raise self._trip(
-                node,
-                "livelock",
-                f"node {node.label!r} processed {count} times in one drain "
-                f"(threshold {self.livelock_threshold}); this usually means "
-                f"a DET violation keeps re-dirtying the region",
-            )
-        if self.max_steps is not None and self._steps > self.max_steps:
-            raise self._trip(
-                node,
-                "steps",
-                f"drain exceeded {self.max_steps} propagation steps",
-            )
-        if self._deadline is not None and time.monotonic() > self._deadline:
-            raise self._trip(
-                node,
-                "wall-time",
-                f"drain exceeded {self.max_seconds}s of wall time after "
-                f"{self._steps} steps",
-            )
-
-    def _trip(
-        self, node: DepNode, budget: str, message: str
-    ) -> PropagationBudgetError:
-        """Announce the trip and build the error (the span-boundary
-        event the tracer pairs with the DRAIN_ABORTED that follows)."""
-        hot = self.hot_nodes()
-        if self.events is not None:
-            self.events.emit(
-                EventKind.WATCHDOG_TRIPPED,
-                node,
-                data={"budget": budget, "hot": hot},
-            )
-        return PropagationBudgetError(budget, message, hot)
+        """Charge a step to the most recently begun drain (legacy)."""
+        if self._last is None:
+            self._last = DrainBudget(self)
+        self._last.step(node)
 
     # -- diagnostics -----------------------------------------------------
 
     def hot_nodes(self) -> List[Tuple[str, int]]:
-        """The most frequently processed nodes of the current drain, as
-        ``(label, count)`` pairs, hottest first."""
-        ranked = sorted(
-            self._counts.items(), key=lambda item: item[1], reverse=True
-        )
-        return [
-            (self._labels[key], count)
-            for key, count in ranked[: self.hot_report]
-        ]
+        """Hot nodes of the most recently begun drain (legacy surface)."""
+        if self._last is None:
+            return []
+        return self._last.hot_nodes()

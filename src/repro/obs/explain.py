@@ -372,10 +372,25 @@ def _upstream_chain(
     """
     links: List[CausalLink] = []
     cause: Optional[_Record] = None
+    # A cause must live in the target's partition: causal chains never
+    # cross partitions (disjoint components share no edges).  The
+    # reachability check below already guarantees this; the id compare
+    # is a cheap pre-filter that skips whole foreign-partition drains.
+    partitions = getattr(runtime, "partitions", None)
+    same_part = (
+        partitions.partition_id(node)
+        if partitions is not None and partitions.enabled
+        else None
+    )
     for rec in reversed(records):
         if rec[0] >= before:
             continue
         if rec[1] is not EventKind.CHANGE_DETECTED:
+            continue
+        if (
+            same_part is not None
+            and partitions.partition_id(rec[2]) != same_part
+        ):
             continue
         if rec[2] is node or _reaches(rec[2], node):
             cause = rec

@@ -27,15 +27,15 @@ from ..core.node import DepNode, NodeKind, Poisoned
 __all__ = ["GraphSnapshot", "SnapshotDiff"]
 
 
-def _partition_root(node: DepNode) -> Optional[int]:
-    """id() of the node's union-find root, without path compression or
-    events (read-only: inspection must not perturb the counters)."""
+def _partition_root(node: DepNode) -> Optional[Any]:
+    """The node's union-find root item, found without path compression
+    or events (read-only: inspection must not perturb the counters)."""
     item = node.partition_item
     if item is None:
         return None
     while item.parent is not item:
         item = item.parent
-    return id(item)
+    return item
 
 
 def _heights(nodes: List[DepNode]) -> Dict[int, int]:
@@ -94,10 +94,11 @@ class GraphSnapshot:
         Each node dict has: ``id`` (stable ``node_id``), ``label``,
         ``kind`` (storage/demand/eager), ``consistent``, ``pending``
         (in its inconsistent set), ``height`` (longest pred-path from
-        storage), ``partition`` (small int shared by connected nodes,
-        None when partitioning is off), ``poisoned``, ``has_value``,
-        and ``disposed``.  Requires ``Runtime(keep_registry=True)``
-        (the default).
+        storage), ``partition`` (the engine's stable partition id —
+        the same id tagged on drain events and spans — shared by
+        connected nodes; None when partitioning is off), ``poisoned``,
+        ``has_value``, and ``disposed``.  Requires
+        ``Runtime(keep_registry=True)`` (the default).
         """
         live = [n for n in runtime.graph.nodes]
         heights = _heights(live)
@@ -106,8 +107,17 @@ class GraphSnapshot:
         edges: List[Tuple[int, int]] = []
         for node in live:
             root = _partition_root(node)
-            if root is not None and root not in part_ids:
-                part_ids[root] = len(part_ids)
+            if root is None:
+                part = None
+            elif root.payload is not None:
+                # The scheduler's pid: stable across snapshots of one
+                # runtime, so diffs report real partition changes.
+                part = root.payload.pid
+            else:
+                key = id(root)
+                if key not in part_ids:
+                    part_ids[key] = len(part_ids)
+                part = part_ids[key]
             nodes.append(
                 {
                     "id": node.node_id,
@@ -116,9 +126,7 @@ class GraphSnapshot:
                     "consistent": node.consistent,
                     "pending": node.in_inconsistent_set,
                     "height": heights.get(id(node), 0),
-                    "partition": part_ids.get(root)
-                    if root is not None
-                    else None,
+                    "partition": part,
                     "poisoned": type(node.value) is Poisoned,
                     "has_value": node.has_value(),
                     "disposed": node.disposed,

@@ -23,6 +23,7 @@ event bus's per-emit dict lookup, same as before this module existed.
 from __future__ import annotations
 
 import bisect
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -213,6 +214,12 @@ def _num(value: float) -> str:
     return repr(value)
 
 
+#: Cap on distinct per-partition drain counters: a long-lived runtime
+#: churning partitions would otherwise grow the registry without bound;
+#: drains beyond the cap fall into one overflow series.
+_PARTITION_SERIES = 64
+
+
 class RuntimeMetrics:
     """The standard engine metrics, fed from the event bus.
 
@@ -295,10 +302,15 @@ class RuntimeMetrics:
         #: Changes detected since the last completed drain, the
         #: denominator of steps_per_change.
         self._changes_since_drain = 0
-        #: Stack of (node_id, start_time) for in-flight executions.
-        self._exec_stack: List[Tuple[Any, float]] = []
+        #: Per-thread stacks of (node_id, start_time) for in-flight
+        #: executions: concurrent partition drains run bodies on worker
+        #: threads, and pairing start/end events across threads would
+        #: misattribute time.
+        self._exec_stacks: Dict[int, List[Tuple[Any, float]]] = {}
         #: Per-procedure-name time histograms.
         self._per_proc: Dict[str, Histogram] = {}
+        #: Per-partition drain counters (capped; see _PARTITION_SERIES).
+        self._per_partition: Dict[int, Counter] = {}
 
     # -- subscription lifecycle -----------------------------------------
 
@@ -316,9 +328,18 @@ class RuntimeMetrics:
         for kind in self.KINDS:
             self._bus.unsubscribe(kind, self._handle)
         self._bus = None
-        self._exec_stack.clear()
+        self._exec_stacks.clear()
 
     # -- event handling --------------------------------------------------
+
+    @property
+    def _exec_stack(self) -> List[Tuple[Any, float]]:
+        """The calling thread's in-flight execution stack."""
+        ident = threading.get_ident()
+        stack = self._exec_stacks.get(ident)
+        if stack is None:
+            stack = self._exec_stacks[ident] = []
+        return stack
 
     def _handle(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
         if kind is EventKind.EXECUTION_STARTED:
@@ -331,6 +352,8 @@ class RuntimeMetrics:
             self.drain_set_size.observe(amount)
         elif kind is EventKind.DRAIN or kind is EventKind.DRAIN_ABORTED:
             self.drain_steps.observe(amount)
+            if isinstance(data, dict) and "partition" in data:
+                self._count_partition_drain(data["partition"])
             if self._changes_since_drain:
                 self.steps_per_change.observe(
                     amount / self._changes_since_drain
@@ -373,6 +396,20 @@ class RuntimeMetrics:
             )
             self._per_proc[name] = histogram
         histogram.observe(elapsed)
+
+    def _count_partition_drain(self, pid: Any) -> None:
+        counter = self._per_partition.get(pid)
+        if counter is None:
+            if len(self._per_partition) >= _PARTITION_SERIES:
+                pid = "overflow"
+                counter = self._per_partition.get(pid)
+            if counter is None:
+                counter = self.registry.counter(
+                    f"alphonse_partition_drains_total::p{pid}",
+                    f"drains completed for partition p{pid}",
+                )
+                self._per_partition[pid] = counter
+        counter.inc()
 
     # -- derived views ---------------------------------------------------
 

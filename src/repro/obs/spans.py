@@ -29,6 +29,7 @@ open span (e.g. the tracer attached mid-drain) is ignored.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -50,6 +51,7 @@ class Span:
         "children",
         "node_id",
         "seq",
+        "tid",
     )
 
     def __init__(
@@ -59,6 +61,10 @@ class Span:
         self.label = label
         self.start = start
         self.end: Optional[float] = None
+        #: Identity of the thread the span opened on — concurrent
+        #: partition drains produce per-thread span stacks, and the
+        #: Chrome export lanes spans by this.
+        self.tid = threading.get_ident()
         #: "ok", "aborted" (drain torn down), "poisoned" (body failure
         #: contained), or "interrupted" (closed because an enclosing
         #: span ended while this one was still open).
@@ -134,10 +140,22 @@ class SpanTracer:
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        #: One open-span stack per thread: concurrent partition drains
+        #: each nest their own spans without interleaving (the bus's
+        #: emit lock serializes handler entry, so dict access is safe).
+        self._stacks: Dict[int, List[Span]] = {}
         self._clock = clock if clock is not None else time.perf_counter
         self._seq = 0
         self._bus: Optional[EventBus] = None
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's open-span stack."""
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = self._stacks[ident] = []
+        return stack
 
     # -- subscription lifecycle -----------------------------------------
 
@@ -155,20 +173,26 @@ class SpanTracer:
         for kind in self.KINDS:
             self._bus.unsubscribe(kind, self._handle)
         self._bus = None
-        # Anything still open was interrupted by the end of observation.
-        while self._stack:
-            self._close(self._stack[-1], self._clock(), "interrupted")
+        # Anything still open — on any thread — was interrupted by the
+        # end of observation.  (The clock is only read if something is
+        # open: tests inject finite clocks.)
+        for stack in self._stacks.values():
+            if stack:
+                now = self._clock()
+                while stack:
+                    self._close_on(stack, stack[-1], now, "interrupted")
+        self._stacks.clear()
 
     # -- event folding ---------------------------------------------------
 
     def _handle(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
         role = _OPEN_ROLES.get(kind)
         if role is not None:
-            self._open(role, node, amount)
+            self._open(role, node, amount, data)
             return
         self._on_close(kind, node, amount, data)
 
-    def _open(self, role: str, node: Any, amount: int) -> None:
+    def _open(self, role: str, node: Any, amount: int, data: Any) -> None:
         span = Span(
             role,
             getattr(node, "label", None) or role,
@@ -179,6 +203,10 @@ class SpanTracer:
         self._seq += 1
         if role == "drain":
             span.meta["pending"] = amount
+        if isinstance(data, dict):
+            # DRAIN_STARTED carries {"partition": pid}: tag the span so
+            # flame views can group drain time by partition.
+            span.meta.update(data)
         self._stack.append(span)
 
     def _on_close(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
@@ -203,6 +231,8 @@ class SpanTracer:
                 target.meta.update(data)
         if kind in (EventKind.DRAIN, EventKind.DRAIN_ABORTED):
             target.meta["steps"] = amount
+            if isinstance(data, dict):
+                target.meta.update(data)
         elif kind in (EventKind.BATCH_COMMIT, EventKind.ROLLBACK):
             if isinstance(data, dict):
                 target.meta.update(data)
@@ -223,13 +253,18 @@ class SpanTracer:
         return None
 
     def _close(self, span: Span, end: float, status: str) -> None:
-        assert self._stack and self._stack[-1] is span
-        self._stack.pop()
+        self._close_on(self._stack, span, end, status)
+
+    def _close_on(
+        self, stack: List[Span], span: Span, end: float, status: str
+    ) -> None:
+        assert stack and stack[-1] is span
+        stack.pop()
         span.end = end
         if status != "ok":
             span.status = status
-        if self._stack:
-            self._stack[-1].children.append(span)
+        if stack:
+            stack[-1].children.append(span)
         else:
             self.roots.append(span)
 
@@ -309,7 +344,7 @@ class SpanTracer:
                     "ts": span.start * 1e6,
                     "dur": span.duration * 1e6,
                     "pid": 1,
-                    "tid": 1,
+                    "tid": span.tid,
                     "args": args,
                 }
             )

@@ -78,11 +78,11 @@ def write_checkpoint(
     the payload is durable but *before* the atomic rename, where a
     simulated crash must leave the previous checkpoint intact.
     """
-    if rt.call_stack:
+    if any(ctx.stack for ctx in rt._contexts):
         raise RuntimeStateError(
             "cannot checkpoint while a procedure is executing"
         )
-    if rt.scheduler.active:
+    if rt.scheduler.active or rt.partitions.any_active():
         raise RuntimeStateError("cannot checkpoint during a drain")
     if rt.graph._registry is None:
         raise RuntimeStateError(

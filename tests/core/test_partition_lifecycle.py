@@ -1,0 +1,188 @@
+"""Partition lifecycle edge cases: live merges, poison healing across a
+merge, and the partition↔scheduler ownership bijection under churn.
+
+The §6.3 union-find makes partitions *dynamic* — any execution that
+reads across components splices two live schedulers.  These tests pin
+the hairy corners of that protocol: merging while both sides hold
+pending work (including mid-drain, which exercises the active-side
+survivor rule), healing a poisoned node whose partition was absorbed in
+the meantime, and a Hypothesis-driven churn workload whose only oracle
+is ``rt.check_invariants()`` (the ownership-bijection audit)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cell, DEMAND, EAGER, NodeExecutionError, Runtime, cached
+
+
+def _pid(rt, cell):
+    return rt.partitions.partition_id(cell._node)
+
+
+class TestMergeWhileBothPending:
+    def test_union_with_pending_work_on_both_sides(self, rt):
+        """Two components, each with marked-but-undrained work, fused by
+        a new reader: the merged partition serves both backlogs."""
+        a, b = Cell(1, label="a"), Cell(10, label="b")
+
+        @cached(strategy=EAGER)
+        def pa():
+            return a.get() * 2
+
+        @cached(strategy=EAGER)
+        def pb():
+            return b.get() * 3
+
+        pa(), pb()
+        rt.flush()
+        assert _pid(rt, a) != _pid(rt, b)
+        # Dirty both components without draining either.
+        a.set(2)
+        b.set(20)
+        assert rt.pending_changes()
+
+        @cached
+        def joined():
+            return pa() + pb()
+
+        # The demand read forces each side consistent and, by creating
+        # edges across the components, unions their partitions.
+        assert joined() == 64
+        rt.flush()
+        assert _pid(rt, a) == _pid(rt, b)
+        assert not rt.pending_changes()
+        rt.check_invariants()
+
+    def test_mid_drain_merge_absorbs_pending_loser(self, rt):
+        """A body executed *during* partition A's drain reads partition
+        B while B still has pending members: the active scheduler must
+        survive the union and serve B's backlog too."""
+        a, b = Cell(0, label="a"), Cell(10, label="b")
+
+        @cached(strategy=EAGER)
+        def pb():
+            return b.get() * 3
+
+        @cached(strategy=EAGER)
+        def bridge():
+            # Reads b only once a flips positive, so the first run keeps
+            # the partitions disjoint.
+            if a.get() > 0:
+                return a.get() + b.get()
+            return a.get()
+
+        bridge(), pb()
+        rt.flush()
+        assert _pid(rt, a) != _pid(rt, b)
+        # Dirty B, then dirty A; the flush drains one partition at a
+        # time, and bridge's re-execution reads b mid-drain, splicing
+        # the other (possibly still pending) partition in.
+        b.set(20)
+        a.set(5)
+        rt.flush()
+        assert bridge() == 25
+        assert pb() == 60
+        assert _pid(rt, a) == _pid(rt, b)
+        assert not rt.pending_changes()
+        rt.check_invariants()
+
+
+class TestPoisonHealingAcrossMerge:
+    def test_heal_after_partition_absorbed(self, rt):
+        """Poison a node, merge its partition into another, then heal:
+        the healing write must find the (re-homed) scheduler."""
+        src, other = Cell(1, label="src"), Cell(100, label="other")
+
+        @cached(strategy=EAGER)
+        def fragile():
+            value = src.get()
+            if value < 0:
+                raise ValueError("negative")
+            return value * 10
+
+        @cached(strategy=EAGER)
+        def steady():
+            return other.get() + 1
+
+        fragile(), steady()
+        rt.flush()
+        src.set(-1)
+        rt.flush()  # poison is contained; the drain completes
+        with pytest.raises(NodeExecutionError):
+            fragile()
+        # Merge the poisoned partition into the healthy one via a new
+        # cross-component reader of the *storage* (not the poisoned
+        # node, whose read would re-raise).
+        assert _pid(rt, src) != _pid(rt, other)
+
+        @cached
+        def fused():
+            return abs(src.get()) + other.get()
+
+        assert fused() == 101
+        assert _pid(rt, src) == _pid(rt, other)
+        # Heal through the merged partition.
+        src.set(7)
+        rt.flush()
+        assert fragile() == 70
+        assert fused() == 107
+        assert steady() == 101
+        assert rt._poison_live == 0
+        rt.check_invariants()
+
+
+class TestOwnershipBijectionUnderChurn:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_bijection_survives_1k_random_edits(self, seed):
+        """1000 random edits (writes, batches, flushes, new cross-
+        component readers) leave the partition↔scheduler ownership
+        bijection intact — the audit is the oracle."""
+        rng = random.Random(seed)
+        runtime = Runtime()
+        with runtime.active():
+            cells = [Cell(i, label=f"c{i}") for i in range(12)]
+            procs = []
+
+            def make_proc(indices):
+                chosen = [cells[i] for i in indices]
+                strategy = rng.choice([DEMAND, EAGER])
+
+                @cached(strategy=strategy)
+                def reader():
+                    return sum(c.get() for c in chosen)
+
+                return reader
+
+            # Seed a few single-component readers so partitions exist.
+            for i in range(0, 12, 3):
+                proc = make_proc([i])
+                proc()
+                procs.append(proc)
+
+            for step in range(1000):
+                action = rng.random()
+                if action < 0.70:
+                    rng.choice(cells).set(rng.randrange(100))
+                elif action < 0.80:
+                    runtime.flush()
+                elif action < 0.90:
+                    with runtime.batch():
+                        for _ in range(rng.randrange(1, 4)):
+                            rng.choice(cells).set(rng.randrange(100))
+                elif action < 0.97:
+                    rng.choice(procs)()
+                else:
+                    # A new reader over a random subset: may union
+                    # several partitions at once.
+                    indices = rng.sample(range(12), rng.randrange(1, 4))
+                    proc = make_proc(indices)
+                    proc()
+                    procs.append(proc)
+                if step % 250 == 0:
+                    runtime.check_invariants()
+            runtime.flush()
+            runtime.check_invariants()

@@ -195,7 +195,13 @@ class TestBatchEdgeCases:
             a.set(5)
             a.set(6)
             b.set(7)
-        assert payloads == [{"writes": 2, "coalesced": 1}]
+        assert len(payloads) == 1
+        payload = payloads[0]
+        assert payload["writes"] == 2
+        assert payload["coalesced"] == 1
+        # Both cells feed one procedure, so the commit touched exactly
+        # one partition.
+        assert len(payload["partitions"]) == 1
 
     def test_empty_batch(self, rt):
         before = rt.stats.snapshot()

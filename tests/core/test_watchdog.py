@@ -164,7 +164,7 @@ class TestSchedulingIntegration:
         with rt.active():
             cells[0].set(99)
             rt.flush()
-        assert dog._steps == 0  # never charged
+        assert dog._last is None  # never began a budget, never charged
 
     def test_budget_applies_to_idle_tick(self):
         rt, cells, total = _fanout_runtime(Watchdog(max_steps=2))

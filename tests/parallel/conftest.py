@@ -1,0 +1,34 @@
+"""Parallel-suite harness: force aggressive preemption.
+
+Races between concurrent partition drains hide behind CPython's default
+5 ms switch interval — a short drain can finish inside one scheduling
+quantum and never interleave.  Every test in this suite runs with the
+interval cranked down to 10 µs so the interpreter switches threads
+mid-drain constantly, which is what actually exercises the locking
+protocol (run in CI under ``PYTHONDEVMODE=1`` for the extra checks).
+"""
+
+import sys
+
+import pytest
+
+from repro import Runtime
+
+
+@pytest.fixture(autouse=True)
+def aggressive_preemption():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+@pytest.fixture
+def prt():
+    """An active Runtime with a 4-worker parallel drain executor."""
+    runtime = Runtime(parallel_drains=4)
+    with runtime.active():
+        yield runtime
+    runtime.close()
