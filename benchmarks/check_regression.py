@@ -37,8 +37,10 @@ WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
 #: Experiments whose op counters are gated.  E9b's counters come from
 #: the parallel-drain flush: drift there means the concurrent engine
 #: started doing different *work* than the serial one, not just
-#: different wall-clock.
-TRACKED = ("E1", "E6a", "E6b", "E9b")
+#: different wall-clock.  E16's come from the idle-resilience tree
+#: cycle: drift there means an attached-but-idle policy changed what
+#: the engine *does*, not just what it costs.
+TRACKED = ("E1", "E6a", "E6b", "E9b", "E16")
 
 #: Allowed relative drift per counter.
 TOLERANCE = 0.10

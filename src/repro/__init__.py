@@ -22,6 +22,9 @@ Subpackages
 ``repro.baselines``
     Exhaustive re-evaluation and traditional (combinator-only)
     memoization, for the benchmark comparisons.
+``repro.resil``
+    The resilience policy layer: retry with backoff, circuit breakers,
+    execution deadlines, and degraded stale reads.
 """
 
 from .core import (
@@ -65,19 +68,36 @@ from .obs import (
     RuntimeMetrics,
     SpanTracer,
 )
+from .resil import (
+    ALLOW_STALE,
+    FRESH,
+    BreakerPolicy,
+    CircuitOpenError,
+    DeadlineExceeded,
+    ResiliencePolicy,
+    RetryPolicy,
+    StalenessInfo,
+    TransientFault,
+    check_deadline,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALLOW_STALE",
     "AlphonseError",
+    "BreakerPolicy",
     "Cell",
+    "CircuitOpenError",
     "CycleError",
     "DEMAND",
+    "DeadlineExceeded",
     "EAGER",
     "EventBus",
     "EventKind",
     "Explanation",
     "FIFO",
+    "FRESH",
     "GraphSnapshot",
     "HeightOrderedScheduler",
     "IntegrityError",
@@ -87,11 +107,14 @@ __all__ = [
     "Observability",
     "Poisoned",
     "PropagationBudgetError",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "Runtime",
     "RuntimeMetrics",
     "RuntimeStats",
     "Scheduler",
     "SpanTracer",
+    "StalenessInfo",
     "TopologicalScheduler",
     "TraceExporter",
     "Transaction",
@@ -99,9 +122,11 @@ __all__ = [
     "TrackedDict",
     "TrackedList",
     "TrackedObject",
+    "TransientFault",
     "Unbounded",
     "Watchdog",
     "cached",
+    "check_deadline",
     "get_runtime",
     "maintained",
     "reset_default_runtime",

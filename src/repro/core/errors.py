@@ -113,6 +113,10 @@ class NodeExecutionError(AlphonseError):
         self.node_label = node_label
         self.origin = origin
         self.root = root
+        #: The :class:`~repro.core.node.Poisoned` record behind this
+        #: error; degraded reads (:mod:`repro.resil`) consult its
+        #: retained last-known-good value.
+        self.poison = poison
 
 
 class PropagationBudgetError(AlphonseError):
@@ -123,19 +127,31 @@ class PropagationBudgetError(AlphonseError):
     ``"steps"``, ``"wall-time"``, or ``"livelock"``, and ``hot_nodes``
     lists ``(label, times_processed)`` pairs for the most frequently
     re-processed nodes of the aborted drain — the usual suspects for a
-    DET violation or an oscillating eager region.
+    DET violation or an oscillating eager region.  When a resilience
+    policy is attached, ``quarantined`` names the procedures whose
+    circuit breakers were open at trip time — a hot node that is *also*
+    quarantined points at a failure storm rather than a DET bug.
     """
 
-    def __init__(self, kind: str, detail: str, hot_nodes: list) -> None:
+    def __init__(
+        self,
+        kind: str,
+        detail: str,
+        hot_nodes: list,
+        quarantined: list = None,
+    ) -> None:
         region = ", ".join(
             f"{label} x{count}" for label, count in hot_nodes
         )
         suffix = f" (hot region: {region})" if region else ""
+        if quarantined:
+            suffix += f" (quarantined: {', '.join(quarantined)})"
         super().__init__(
             f"propagation watchdog tripped [{kind}]: {detail}{suffix}"
         )
         self.kind = kind
         self.hot_nodes = hot_nodes
+        self.quarantined = list(quarantined) if quarantined else []
 
 
 class IntegrityError(AlphonseError):

@@ -151,6 +151,24 @@ class EventKind(enum.Enum):
     #: :class:`~repro.persist.recover.RecoveryReport` as a dict.
     RECOVERY = "recovery"
 
+    #: The resilience layer is re-running a failed procedure body
+    #: (:mod:`repro.resil`); ``data`` is a dict with ``attempt`` (the
+    #: 1-based attempt that just failed), ``error`` (exception class
+    #: name), and ``delay`` (backoff seconds before the re-run).
+    RETRY = "retry"
+    #: A per-procedure circuit breaker changed state; ``data`` is a dict
+    #: with ``procedure`` and the ``from``/``to`` states (``closed`` /
+    #: ``open`` / ``half-open``).
+    BREAKER_STATE = "breaker-state"
+    #: A procedure body overran its configured ``deadline_seconds``;
+    #: ``data`` is a dict with ``deadline_seconds`` and ``elapsed``.
+    #: The containable ``DeadlineExceeded`` poisoning follows.
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    #: A degraded read (``rt.read(..., staleness=ALLOW_STALE)``) served
+    #: a poisoned node's last-known-good value; ``node`` is None,
+    #: ``data`` a dict with ``label``, ``origin``, and ``age_seconds``.
+    STALE_READ = "stale-read"
+
 
 #: Subscriber signature: ``handler(kind, node, amount, data)``.
 Handler = Callable[[EventKind, Any, int, Any], None]

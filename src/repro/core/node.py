@@ -47,13 +47,23 @@ class Poisoned:
     :class:`~repro.core.errors.NodeExecutionError`.  A ``Poisoned``
     value equals nothing (see :func:`values_equal`), so healing writes
     always propagate past it.
+
+    ``stale_value``/``stamp`` retain the last good value the poison
+    overwrote (``NO_VALUE``/None when the node never produced one, and
+    chained through successive poisonings), so degraded reads
+    (``rt.read(..., staleness=ALLOW_STALE)``, :mod:`repro.resil`) can
+    serve an old answer instead of an error.  ``stamp`` is a
+    ``time.monotonic`` timestamp of when the value went stale; neither
+    field survives persistence — a recovered poison has no history.
     """
 
-    __slots__ = ("error", "origin")
+    __slots__ = ("error", "origin", "stale_value", "stamp")
 
     def __init__(self, error: BaseException, origin: str) -> None:
         self.error = error
         self.origin = origin
+        self.stale_value: Any = NO_VALUE
+        self.stamp: Optional[float] = None
 
     def __repr__(self) -> str:
         return f"<poisoned by {type(self.error).__name__} at {self.origin!r}>"

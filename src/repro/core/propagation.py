@@ -11,6 +11,11 @@ This shim keeps the old import path and name working:
   surface, same processing rules, same topological pop order).
 
 New code should import from :mod:`repro.core.scheduler`.
+
+Note: the resilience policy layer (:mod:`repro.resil`) hooks the
+execution path, not this module — retry/breaker/deadline handling lives
+in ``Runtime.execute_node`` and the scheduler's eager-processing loop
+(quarantine short-circuits in ``TopologicalScheduler._process``).
 """
 
 from __future__ import annotations

@@ -42,6 +42,7 @@ from __future__ import annotations
 import contextlib
 import itertools
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .cache import ArgumentTable, CachePolicy, Unbounded
@@ -49,6 +50,7 @@ from .errors import CycleError, NodeExecutionError, RuntimeStateError
 from .events import EventBus, EventKind
 from .graph import DependencyGraph
 from .node import (
+    NO_VALUE,
     DepNode,
     NodeKind,
     Poisoned,
@@ -65,6 +67,22 @@ from .watchdog import Watchdog
 
 #: Sentinel distinguishing "no incoming write value" from writing None.
 _UNSET = object()
+
+
+def _retain_stale(poison: Poisoned, prior: Any) -> None:
+    """Carry the last-known-good value onto a fresh ``Poisoned``.
+
+    Chained through successive poisonings, so however long a node stays
+    bad its most recent good value (and the moment it went stale)
+    remains servable by degraded reads (``rt.read`` with
+    ``ALLOW_STALE``, :mod:`repro.resil`).
+    """
+    if type(prior) is Poisoned:
+        poison.stale_value = prior.stale_value
+        poison.stamp = prior.stamp
+    elif prior is not NO_VALUE:
+        poison.stale_value = prior
+        poison.stamp = time.monotonic()
 
 
 class _Frame:
@@ -146,6 +164,13 @@ class Runtime:
     watchdog:
         Optional :class:`~repro.core.watchdog.Watchdog` enforcing
         per-drain step/wall-time budgets and livelock detection.
+    resilience:
+        Optional :class:`~repro.resil.ResiliencePolicy` deciding what to
+        do with a failing body *before* containment poisons it: retry
+        with backoff, quarantine behind a circuit breaker, or bound it
+        with an execution deadline (see ``docs/robustness.md``).  The
+        default (None) costs one attribute check per execution, exactly
+        like the fault-injector hook.
     parallel_drains:
         Opt-in concurrency: with ``parallel_drains=N`` (N > 1), global
         flushes (``rt.flush()``, batch commits touching several
@@ -167,6 +192,7 @@ class Runtime:
         events: Optional[EventBus] = None,
         containment: bool = True,
         watchdog: Optional[Watchdog] = None,
+        resilience: Optional[Any] = None,
         parallel_drains: Optional[int] = None,
     ) -> None:
         self.events = events if events is not None else EventBus()
@@ -209,6 +235,12 @@ class Runtime:
         #: ``injector.run(node, thunk)``.  Testing-only; None in
         #: production, costing one attribute check per execution.
         self._fault_injector: Optional[Any] = None
+        #: Resilience policy hook (see :mod:`repro.resil`): when set,
+        #: ``execute_node`` routes every body run through
+        #: ``policy.execute(self, node, injector)`` — retry loops,
+        #: breaker admission, and deadline frames wrap the body there.
+        #: None by default, costing one attribute check per execution.
+        self._resilience: Optional[Any] = None
         #: Number of graph nodes currently caching a Poisoned value — an
         #: optimization gate only (the eager poisoned-input shortcut is
         #: skipped entirely while it is zero); correctness never depends
@@ -240,6 +272,8 @@ class Runtime:
             (EventKind.CHANGE_DETECTED, "change"),
         ):
             self.events.subscribe(kind, self._bridge_legacy(name))
+        if resilience is not None:
+            self.use_resilience(resilience)
 
     def _bridge_legacy(self, name: str):
         """Forward a bus event to the deprecated ``on_event`` hook."""
@@ -443,7 +477,16 @@ class Runtime:
         if node.consistent:
             value = node.value
             if type(value) is Poisoned:
-                if not len(node.pred):
+                resil = self._resilience
+                if (
+                    resil is not None
+                    and resil.wants_probe(self, node, value)
+                ):
+                    # Quarantine poison (the body never ran) whose
+                    # breaker is due a half-open probe: fall through to
+                    # execution so the probe happens on this demand.
+                    node.consistent = False
+                elif not len(node.pred):
                     # The body raised before performing a single tracked
                     # read, so no write can ever re-mark this node — a
                     # cached poison here would be permanent.  Such
@@ -553,8 +596,11 @@ class Runtime:
         saved_unchecked = ctx.unchecked
         ctx.unchecked = 0
         injector = self._fault_injector
+        resil = self._resilience
         try:
-            if injector is not None:
+            if resil is not None:
+                result = resil.execute(self, node, injector)
+            elif injector is not None:
                 result = injector.run(node, node.thunk)
             else:
                 result = node.thunk()
@@ -580,6 +626,14 @@ class Runtime:
             # Non-containable (engine-control errors, KeyboardInterrupt,
             # containment off): leave no trustworthy cached value.
             node.consistent = False
+            # Keep the marking invariant: a node silently becoming
+            # inconsistent must wake its dependents, else a later healing
+            # write stops propagating here — drain processing sees the
+            # flag already False and marks nobody (the deadline-interrupt
+            # unwind is the live case: nested nodes tear down this path
+            # while only the frame owner is poisoned).
+            for succ in node.succ.nodes():
+                self.partitions.mark(succ)
             raise
         finally:
             ctx.unchecked = saved_unchecked
@@ -613,6 +667,7 @@ class Runtime:
             poison = Poisoned(exc, node.label)
         if type(node.value) is not Poisoned:
             self._poison_live += 1
+        _retain_stale(poison, node.value)
         node.value = poison
         self.events.emit(
             EventKind.NODE_POISONED,
@@ -629,7 +684,9 @@ class Runtime:
         re-running its body (the scheduler's containment shortcut)."""
         if type(node.value) is not Poisoned:
             self._poison_live += 1
-        node.value = Poisoned(source.error, source.origin)
+        poison = Poisoned(source.error, source.origin)
+        _retain_stale(poison, node.value)
+        node.value = poison
         node.consistent = True
         self.events.emit(
             EventKind.NODE_POISONED,
@@ -851,6 +908,55 @@ class Runtime:
     def in_batch(self) -> bool:
         """True while a ``with rt.batch():`` block is open."""
         return self._transaction is not None
+
+    # ------------------------------------------------------------------
+    # resilience (see repro.resil, docs/robustness.md "Failure policy")
+    # ------------------------------------------------------------------
+
+    @property
+    def resilience(self) -> Optional[Any]:
+        """The attached :class:`~repro.resil.ResiliencePolicy`, if any."""
+        return self._resilience
+
+    def use_resilience(self, policy: Optional[Any]) -> Optional[Any]:
+        """Attach (or with None, detach) a resilience policy.
+
+        With a policy attached, every procedure-body execution runs
+        through its retry/breaker/deadline machinery before containment
+        can poison the node.  The watchdog attached *at this moment* is
+        linked so its trip diagnostics list quarantined procedures;
+        returns the policy for chaining.
+        """
+        self._resilience = policy
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.resilience = policy
+        return policy
+
+    def read(self, target: Any, *, staleness: str = "fresh") -> Any:
+        """Read a value with an explicit staleness tolerance.
+
+        ``target`` is a tracked :class:`Location` or a zero-argument
+        callable (typically a ``@cached`` procedure or a closure over
+        one).  With the default ``staleness="fresh"`` this is an
+        ordinary read — poisoned results raise
+        :class:`~repro.core.errors.NodeExecutionError`.  With
+        :data:`~repro.resil.ALLOW_STALE` (``"allow-stale"``), a poisoned
+        result with retained history returns its last-known-good value
+        instead (a ``STALE_READ`` event records the degradation); a
+        poison with no history still raises.  Use :meth:`read_info` to
+        learn *whether* the value served was stale.
+        """
+        value, _info = self.read_info(target, staleness=staleness)
+        return value
+
+    def read_info(
+        self, target: Any, *, staleness: str = "fresh"
+    ) -> Tuple[Any, Any]:
+        """:meth:`read`, returning ``(value, StalenessInfo)``."""
+        from ..resil.stale import read_with_info
+
+        return read_with_info(self, target, staleness=staleness)
 
     @contextlib.contextmanager
     def unchecked(self):

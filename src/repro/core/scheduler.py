@@ -326,6 +326,17 @@ class Scheduler:
                     rt._poison_from_input(node, source)
                     self._mark_successors(node)
                     return
+            resil = rt._resilience
+            if resil is not None and rt.containment:
+                # Quarantine: a procedure whose circuit breaker is open
+                # is known-bad — poison without burning drain budget on
+                # its body.  The next demand read half-open-probes it
+                # (see Runtime.call), which is also the healing path.
+                source = resil.quarantine_poison(node)
+                if source is not None:
+                    rt._poison_from_input(node, source)
+                    self._mark_successors(node)
+                    return
             old = node.value
             had_value = node.has_value()
             try:

@@ -106,6 +106,17 @@ class RuntimeStats:
     #: Watchdog budgets tripped (each precedes a drain abort).
     watchdog_trips: int = 0
 
+    #: Failed body runs re-executed by the resilience layer
+    #: (:mod:`repro.resil`) before containment could poison them.
+    retries: int = 0
+    #: Circuit-breaker state changes (closed/open/half-open edges).
+    breaker_transitions: int = 0
+    #: Procedure bodies that overran their configured deadline.
+    deadlines_exceeded: int = 0
+    #: Degraded reads that served a poisoned node's last-known-good
+    #: value (``rt.read(..., staleness=ALLOW_STALE)``).
+    stale_reads: int = 0
+
     def reset(self) -> None:
         """Zero every counter."""
         for f in fields(self):
@@ -159,6 +170,10 @@ _COUNTER_FOR = {
     EventKind.NODE_POISONED: "nodes_poisoned",
     EventKind.ROLLBACK: "rollbacks",
     EventKind.WATCHDOG_TRIPPED: "watchdog_trips",
+    EventKind.RETRY: "retries",
+    EventKind.BREAKER_STATE: "breaker_transitions",
+    EventKind.DEADLINE_EXCEEDED: "deadlines_exceeded",
+    EventKind.STALE_READ: "stale_reads",
 }
 
 #: Span-boundary kinds whose occurrences are already counted by their

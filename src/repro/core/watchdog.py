@@ -102,14 +102,19 @@ class DrainBudget:
         """Announce the trip and build the error (the span-boundary
         event the tracer pairs with the DRAIN_ABORTED that follows)."""
         hot = self.hot_nodes()
+        resil = self._dog.resilience
+        quarantined = resil.quarantined() if resil is not None else []
+        data = {"budget": budget, "hot": hot}
+        if quarantined:
+            # A hot node that is also quarantined points at a failure
+            # storm (breaker churn) rather than a DET bug.
+            data["quarantined"] = quarantined
         events = self._dog.events
         if events is not None:
-            events.emit(
-                EventKind.WATCHDOG_TRIPPED,
-                node,
-                data={"budget": budget, "hot": hot},
-            )
-        return PropagationBudgetError(budget, message, hot)
+            events.emit(EventKind.WATCHDOG_TRIPPED, node, data=data)
+        return PropagationBudgetError(
+            budget, message, hot, quarantined=quarantined
+        )
 
     def hot_nodes(self) -> List[Tuple[str, int]]:
         """The most frequently processed nodes of this drain, as
@@ -140,6 +145,7 @@ class Watchdog:
         "livelock_threshold",
         "hot_report",
         "events",
+        "resilience",
         "_last",
     )
 
@@ -165,6 +171,9 @@ class Watchdog:
         #: Event bus to announce trips on; installed by the runtime the
         #: watchdog is attached to (``Runtime(watchdog=...)``).
         self.events: Optional[EventBus] = None
+        #: Resilience policy whose quarantined procedures enrich trip
+        #: diagnostics; linked by ``Runtime.use_resilience``.
+        self.resilience = None
         self._last: Optional[DrainBudget] = None
 
     @property

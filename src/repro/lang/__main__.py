@@ -111,6 +111,14 @@ def build_argparser() -> argparse.ArgumentParser:
         "re-running the same program adopts its cached results "
         "(alphonse mode only)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retry transient procedure-body failures up to N attempts "
+        "before poisoning (runtime-wide RetryPolicy; alphonse mode only)",
+    )
     return parser
 
 
@@ -179,16 +187,19 @@ def main(argv=None) -> int:
         trace_failed = False
         want_obs = args.profile or args.explain is not None or args.spans
         want_persist = args.checkpoint is not None or args.resume is not None
-        need_runtime = args.trace is not None or want_obs or want_persist
+        want_resil = args.max_retries is not None
+        need_runtime = (
+            args.trace is not None or want_obs or want_persist or want_resil
+        )
         if need_runtime:
             if args.mode != "alphonse":
                 print(
                     "warning: --trace/--profile/--explain/--spans/"
-                    "--checkpoint/--resume have no effect in "
-                    "conventional mode",
+                    "--checkpoint/--resume/--max-retries have no effect "
+                    "in conventional mode",
                     file=sys.stderr,
                 )
-                need_runtime = want_obs = want_persist = False
+                need_runtime = want_obs = want_persist = want_resil = False
             else:
                 from ..core import Runtime, TraceExporter
 
@@ -211,6 +222,20 @@ def main(argv=None) -> int:
                     trace.attach(runtime.events)
                 if want_obs:
                     runtime.obs.enable()
+                if want_resil:
+                    if args.max_retries < 1:
+                        print(
+                            "error: --max-retries must be >= 1",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    from ..resil import ResiliencePolicy, RetryPolicy
+
+                    runtime.use_resilience(
+                        ResiliencePolicy(
+                            retry=RetryPolicy(max_attempts=args.max_retries)
+                        )
+                    )
         try:
             interp = run_source(
                 source,

@@ -61,7 +61,9 @@ class Explanation:
 
     ``verdict`` summarizes the outcome: ``recomputed``,
     ``first-execution``, ``cached``, ``quiescent``, ``poisoned``,
-    ``pending``, or ``never-demanded``.
+    ``quarantined`` (poisoned by an open circuit breaker without the
+    body running — see :mod:`repro.resil`), ``pending``, or
+    ``never-demanded``.
     """
 
     target: str
@@ -258,6 +260,12 @@ def _explain_node(
                     detail="no recorded change reached this node",
                 )
             )
+        if verdict == "cached" and type(node.value) is Poisoned:
+            # Poisoned outside the recorded window (or with no recorder
+            # running): the cached value itself is the evidence.
+            verdict = "poisoned"
+            if getattr(node.value.error, "quarantine", False):
+                verdict = "quarantined"
         return Explanation(node.label, verdict, links, computed_from)
 
     # It ran.  Anchor on the later of execution / containment.
@@ -304,6 +312,12 @@ def _explain_node(
         )
     elif type(node.value) is Poisoned:
         verdict = "poisoned"
+    if verdict == "poisoned" and type(node.value) is Poisoned:
+        # Duck-typed so obs never imports the resil package: a poison
+        # whose error carries the ``quarantine`` marker was applied by
+        # an open circuit breaker — the body never ran.
+        if getattr(node.value.error, "quarantine", False):
+            verdict = "quarantined"
     if last_cut is not None and last_cut[0] > anchor_seq:
         links.append(
             CausalLink(

@@ -251,6 +251,10 @@ class RuntimeMetrics:
             EventKind.CHECKPOINT,
             EventKind.WAL_APPEND,
             EventKind.RECOVERY,
+            EventKind.RETRY,
+            EventKind.BREAKER_STATE,
+            EventKind.DEADLINE_EXCEEDED,
+            EventKind.STALE_READ,
         }
     )
 
@@ -298,6 +302,22 @@ class RuntimeMetrics:
         )
         self.recoveries = reg.counter(
             "alphonse_recoveries_total", "runtimes reconstructed from disk"
+        )
+        self.retries = reg.counter(
+            "alphonse_retries_total",
+            "failed body runs re-executed by the resilience layer",
+        )
+        self.breaker_transitions = reg.counter(
+            "alphonse_breaker_transitions_total",
+            "circuit-breaker state changes",
+        )
+        self.deadlines_exceeded = reg.counter(
+            "alphonse_deadlines_exceeded_total",
+            "procedure bodies that overran their deadline",
+        )
+        self.stale_reads = reg.counter(
+            "alphonse_stale_reads_total",
+            "degraded reads served from a last-known-good value",
         )
         #: Changes detected since the last completed drain, the
         #: denominator of steps_per_change.
@@ -372,6 +392,14 @@ class RuntimeMetrics:
             self.wal_records.inc(amount)
         elif kind is EventKind.RECOVERY:
             self.recoveries.inc(amount)
+        elif kind is EventKind.RETRY:
+            self.retries.inc(amount)
+        elif kind is EventKind.BREAKER_STATE:
+            self.breaker_transitions.inc(amount)
+        elif kind is EventKind.DEADLINE_EXCEEDED:
+            self.deadlines_exceeded.inc(amount)
+        elif kind is EventKind.STALE_READ:
+            self.stale_reads.inc(amount)
 
     def _finish_execution(self, node: Any) -> None:
         node_id = getattr(node, "node_id", None)

@@ -1,0 +1,51 @@
+"""Resilience policy layer: what to do with a failure *before* poisoning.
+
+The execution core contains faults (``Poisoned`` values), bounds drains
+(watchdogs), and survives crashes (``repro.persist``) — but it has no
+opinion about faults that are transient, slow, or recurring.  This
+package supplies that policy, threaded through ``Runtime.execute_node``
+behind a single ``None`` check so it costs nothing when unused:
+
+* :class:`RetryPolicy` — re-run a body raising :class:`TransientFault`
+  (or anything with a truthy ``transient`` attribute) with exponential
+  backoff and seeded jitter before letting containment poison it.
+* :class:`BreakerPolicy` — per-procedure circuit breakers: after N
+  consecutive body-origin failures the procedure is quarantined
+  (:class:`CircuitOpenError` poisons without running the body) until a
+  demand read performs a half-open probe.
+* ``deadline_seconds`` — per-procedure execution deadlines, enforced
+  cooperatively at hook sites / :func:`check_deadline` calls and by a
+  timer thread for CPU-bound bodies, producing a containable
+  :class:`DeadlineExceeded`.
+* :func:`~repro.core.runtime.Runtime.read` with :data:`ALLOW_STALE` —
+  degraded reads serving a poisoned node's last-known-good value with a
+  typed :class:`StalenessInfo` instead of a ``NodeExecutionError``.
+
+Attach a configured :class:`ResiliencePolicy` with
+``Runtime(resilience=...)`` or ``rt.use_resilience(...)``; see the
+"Failure policy" section of ``docs/robustness.md``.
+"""
+
+from .breaker import BreakerPolicy, CircuitBreaker
+from .deadline import DeadlineInterrupt, check_deadline
+from .errors import CircuitOpenError, DeadlineExceeded, TransientFault, \
+    is_transient
+from .policy import ResiliencePolicy
+from .retry import RetryPolicy
+from .stale import ALLOW_STALE, FRESH, StalenessInfo
+
+__all__ = [
+    "ALLOW_STALE",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "DeadlineInterrupt",
+    "FRESH",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "StalenessInfo",
+    "TransientFault",
+    "check_deadline",
+    "is_transient",
+]

@@ -1,0 +1,124 @@
+"""Per-procedure circuit breakers: quarantine for recurring failures.
+
+Containment stops one failure from cascading; a breaker stops a *hot*
+failure from burning drain budget.  State machine (classic three-state):
+
+* ``closed`` — executions proceed; consecutive body-origin poisonings
+  are counted.
+* ``open`` — reached after ``failure_threshold`` consecutive failures.
+  Eager re-executions are short-circuited: the scheduler poisons the
+  node with :class:`~repro.resil.CircuitOpenError` *without running the
+  body*, and the watchdog's trip diagnostics list the procedure as
+  quarantined.
+* ``half-open`` — entered by the next *demand* read once
+  ``reset_timeout`` has elapsed (the default of ``0`` means the very
+  next demand probes).  One probe execution runs for real: success
+  closes the breaker and heals the node; failure re-opens it.
+
+Failures chained from poisoned *inputs* never count — only the
+procedure's own body failing moves its breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["BreakerPolicy", "CircuitBreaker"]
+
+#: A state change ``(from, to)`` to report on the event bus, or None.
+Transition = Optional[Tuple[str, str]]
+
+
+class BreakerPolicy:
+    """Configuration shared by every breaker the policy mints.
+
+    ``failure_threshold`` consecutive body-origin failures open the
+    breaker; ``reset_timeout`` seconds must then pass before a demand
+    read may probe (``0`` = probe on the very next demand).
+    """
+
+    __slots__ = ("failure_threshold", "reset_timeout")
+
+    def __init__(self, failure_threshold: int = 3, *,
+                 reset_timeout: float = 0.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+
+
+class CircuitBreaker:
+    """Mutable per-procedure breaker state (thread-safe).
+
+    Methods return the state :data:`Transition` they caused (if any) so
+    the caller — which holds the runtime — can emit ``BREAKER_STATE``
+    events outside this lock.
+    """
+
+    __slots__ = ("name", "policy", "state", "failures", "opened_at", "_lock")
+
+    def __init__(self, name: str, policy: BreakerPolicy) -> None:
+        self.name = name
+        self.policy = policy
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def probe_due(self, now: float) -> bool:
+        """Has ``reset_timeout`` elapsed since the breaker opened?"""
+        timeout = self.policy.reset_timeout
+        if timeout <= 0:
+            return True
+        opened_at = self.opened_at
+        return opened_at is None or now >= opened_at + timeout
+
+    def allow(self, *, demand: bool, now: float) -> Tuple[bool, Transition]:
+        """May an execution proceed right now?
+
+        Demand reads may turn an ``open`` breaker ``half-open`` (the
+        probe); eager re-executions inside drains never probe.
+        """
+        with self._lock:
+            if self.state != "open":
+                return True, None
+            if demand and self.probe_due(now):
+                self.state = "half-open"
+                return True, ("open", "half-open")
+            return False, None
+
+    def record_success(self) -> Transition:
+        """A body run completed: reset the consecutive-failure count."""
+        with self._lock:
+            previous = self.state
+            self.state = "closed"
+            self.failures = 0
+            self.opened_at = None
+            if previous != "closed":
+                return (previous, "closed")
+            return None
+
+    def record_failure(self, now: float) -> Transition:
+        """A body-origin failure: count it, opening at the threshold.
+
+        A failed ``half-open`` probe re-opens immediately regardless of
+        the count.
+        """
+        with self._lock:
+            previous = self.state
+            self.failures += 1
+            if (previous == "half-open"
+                    or self.failures >= self.policy.failure_threshold):
+                self.state = "open"
+                self.opened_at = now
+                if previous != "open":
+                    return (previous, "open")
+            return None
+
+
+def quarantined_names(breakers) -> List[str]:
+    """Names of procedures whose breakers are currently open, sorted."""
+    return sorted(name for name, b in breakers.items() if b.state == "open")

@@ -1,0 +1,163 @@
+"""Execution deadlines: bound how long one procedure body may run.
+
+Enforcement is two-pronged, because Python threads cannot be killed:
+
+* **Cooperative** — every body entry under the policy (the same hook
+  site the fault injector uses) checks the enclosing deadline frames,
+  and user bodies may call :func:`check_deadline` inside loops.  A blown
+  frame raises the *non-containable* :class:`DeadlineInterrupt`, which
+  unwinds nested nodes as inconsistent (they simply re-run on the next
+  demand) until it reaches the frame's owner, where the policy converts
+  it into a containable :class:`~repro.resil.DeadlineExceeded` that
+  poisons only the deadline-bearing node.
+* **Timer thread** — a lazy daemon :class:`DeadlineMonitor` flips each
+  frame's ``expired`` flag when its wall-clock budget runs out, so a
+  CPU-bound body that never reaches a hook site is still condemned the
+  moment it finishes (its result is discarded and the node poisons).
+  The flag is a plain attribute write; bodies polling via
+  :func:`check_deadline` pay one attribute read per call.
+
+Frames live in a module-level ``threading.local`` stack so the free
+function :func:`check_deadline` works from any body without plumbing
+the policy through user code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional
+
+__all__ = ["DeadlineInterrupt", "DeadlineMonitor", "check_deadline"]
+
+
+class DeadlineFrame:
+    """One active deadline scope: a node body running under a budget."""
+
+    __slots__ = ("label", "deadline", "start", "expire_at", "expired",
+                 "done", "_clock")
+
+    def __init__(self, label: str, deadline: float,
+                 clock: Callable[[], float]) -> None:
+        self.label = label
+        self.deadline = deadline
+        self._clock = clock
+        self.start = clock()
+        self.expire_at = self.start + deadline
+        self.expired = False
+        self.done = False
+
+    def elapsed(self) -> float:
+        return self._clock() - self.start
+
+    def blown(self) -> bool:
+        if self.expired:
+            return True
+        if self._clock() >= self.expire_at:
+            self.expired = True
+            return True
+        return False
+
+
+class DeadlineInterrupt(Exception):
+    """Unwind toward the frame whose deadline blew.
+
+    Deliberately *non-containable*: nodes it tears through must become
+    inconsistent (safe — they re-run on demand), not poisoned; only the
+    frame's owner converts it into a containable ``DeadlineExceeded``.
+    """
+
+    containable = False
+
+    def __init__(self, frame: DeadlineFrame) -> None:
+        super().__init__(
+            f"deadline of {frame.deadline:g}s for {frame.label!r} exceeded"
+        )
+        self.frame = frame
+
+
+_frames = threading.local()
+
+
+def frame_stack() -> List[DeadlineFrame]:
+    """This thread's active deadline frames, outermost first."""
+    stack = getattr(_frames, "stack", None)
+    if stack is None:
+        stack = _frames.stack = []
+    return stack
+
+
+def check_deadline() -> None:
+    """Cooperative checkpoint for long-running procedure bodies.
+
+    Call inside CPU-bound loops.  Costs one attribute read per enclosing
+    deadline frame (and nothing when no deadline is active); raises
+    :class:`DeadlineInterrupt` for the outermost blown frame so the
+    whole over-budget region unwinds at once.
+    """
+    stack = getattr(_frames, "stack", None)
+    if not stack:
+        return
+    for frame in stack:  # outermost first: widest blown scope wins
+        if frame.blown():
+            raise DeadlineInterrupt(frame)
+
+
+class DeadlineMonitor:
+    """Lazy daemon timer thread that expires frames on schedule.
+
+    Frames are kept in a min-heap on ``expire_at``; the thread sleeps
+    until the earliest expiry, flips ``expired``, and drops frames whose
+    bodies already finished (``done``).  Started on first registration,
+    so a policy with no deadlines configured never spawns it.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._heap: list = []
+        self._seq = 0
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def register(self, frame: DeadlineFrame) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("deadline monitor is closed")
+            heapq.heappush(self._heap, (frame.expire_at, self._seq, frame))
+            self._seq += 1
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run,
+                    name="alphonse-deadline-monitor",
+                    daemon=True,
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def unregister(self, frame: DeadlineFrame) -> None:
+        frame.done = True
+        with self._cond:
+            self._cond.notify()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+
+    def _run(self) -> None:
+        with self._cond:
+            while not self._closed:
+                while self._heap and self._heap[0][2].done:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    self._cond.wait(timeout=1.0)
+                    continue
+                expire_at, _, frame = self._heap[0]
+                now = self._clock()
+                if now >= expire_at:
+                    heapq.heappop(self._heap)
+                    if not frame.done:
+                        frame.expired = True
+                    continue
+                self._cond.wait(timeout=min(expire_at - now, 1.0))

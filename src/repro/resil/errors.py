@@ -1,0 +1,94 @@
+"""Fault taxonomy for the resilience layer.
+
+Containment (:mod:`repro.core`) decides *where* a failure stops:
+a containable exception becomes a ``Poisoned`` value on the raising
+node.  The classes here add the orthogonal axis the policy layer needs
+— *whether the same body might succeed if simply run again*:
+
+* :class:`TransientFault` — yes: the canonical retryable marker.  Test
+  harnesses and user bodies raise it (or any exception with a truthy
+  ``transient`` attribute) to say "this failure is environmental, not
+  semantic".  The default :class:`~repro.resil.RetryPolicy` retries
+  exactly these.
+* :class:`DeadlineExceeded` — a body overran its per-procedure
+  ``deadline_seconds``.  It is itself transient (slowness is usually
+  environmental), so a retry policy may re-run the body, and it is
+  containable, so exhausted retries poison the node and heal like any
+  other poison.
+* :class:`CircuitOpenError` — raised *instead of running* a body whose
+  circuit breaker is open.  Its ``quarantine`` attribute marks the
+  resulting poison so ``rt.explain()`` reports a ``"quarantined"``
+  verdict and a demand read knows a half-open probe is worthwhile.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "TransientFault",
+    "is_transient",
+]
+
+
+class TransientFault(Exception):
+    """A failure that may not recur: safe to retry the same body.
+
+    Containable (poisons on exhaustion) and ``transient`` (matched by
+    the default retry predicate).  Raise it from procedure bodies for
+    failures like timeouts or connection resets, or subclass it to
+    carry domain detail.
+    """
+
+    containable = True
+    transient = True
+
+
+class DeadlineExceeded(TransientFault):
+    """A procedure body exceeded its configured execution deadline.
+
+    Produced by the policy layer — cooperatively at hook sites, or via
+    the timer thread for CPU-bound bodies — never raised spontaneously
+    by user code.  Transient and containable: retries may re-run the
+    body with a fresh deadline, and exhaustion poisons the node, which
+    heals through ordinary re-marking writes.
+    """
+
+    def __init__(self, node_label: str, deadline_seconds: float,
+                 elapsed: float) -> None:
+        super().__init__(
+            f"procedure body {node_label!r} exceeded its "
+            f"{deadline_seconds:g}s deadline (ran {elapsed:.3f}s)"
+        )
+        self.node_label = node_label
+        self.deadline_seconds = deadline_seconds
+        self.elapsed = elapsed
+
+
+class CircuitOpenError(Exception):
+    """Short-circuit marker: the procedure's breaker is open.
+
+    The body was *not* run.  Containable, so the node is poisoned
+    exactly as if the body had failed again — but ``quarantine`` lets
+    downstream surfaces (``rt.explain()``, the demand-read probe hook)
+    distinguish "known bad, skipped" from "ran and failed".  Not
+    transient: retrying inside the same execution would just hit the
+    open breaker again; the way back in is the half-open demand probe.
+    """
+
+    containable = True
+    quarantine = True
+    transient = False
+
+    def __init__(self, procedure: str, failures: int) -> None:
+        super().__init__(
+            f"circuit breaker for procedure {procedure!r} is open after "
+            f"{failures} consecutive failure(s); a demand read probes it"
+        )
+        self.procedure = procedure
+        self.failures = failures
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True if ``exc`` opts into retry via a truthy ``transient`` attr."""
+    return bool(getattr(exc, "transient", False))

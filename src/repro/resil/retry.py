@@ -1,0 +1,95 @@
+"""Retry with exponential backoff for transient body failures.
+
+A :class:`RetryPolicy` is pure configuration plus a seeded jitter RNG;
+the re-run loop itself lives in
+:meth:`repro.resil.ResiliencePolicy.execute`, wrapped around the same
+body invocation the fault injector hooks — so chaos-injected flaky
+faults are retried exactly like organic ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Tuple, Type, Union
+
+from .errors import is_transient
+
+__all__ = ["RetryPolicy"]
+
+#: What a policy retries: ``None`` (transient faults only), an
+#: exception class or tuple of classes, or a predicate on the exception.
+RetryOn = Union[
+    None,
+    Type[BaseException],
+    Tuple[Type[BaseException], ...],
+    Callable[[BaseException], bool],
+]
+
+
+class RetryPolicy:
+    """Bounded re-execution with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts *total* body runs, so ``max_attempts=3``
+    means one try plus at most two retries.  The delay before retry
+    number *n* (1-based) is::
+
+        base_delay * multiplier ** (n - 1)    # capped at max_delay
+
+    plus, when ``jitter`` is non-zero, a uniform random fraction of the
+    delay drawn from an RNG seeded with ``seed`` — deterministic across
+    runs, per the chaos-harness rule that the seed *is* the repro.  The
+    ``sleep`` hook exists so tests can observe delays without waiting.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "multiplier", "max_delay",
+                 "jitter", "retry_on", "sleep", "rng")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        *,
+        base_delay: float = 0.0,
+        multiplier: float = 2.0,
+        max_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        seed: int = 0,
+        retry_on: RetryOn = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if max_delay is not None and max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self.sleep = sleep
+        # String-seeded so derivation is PYTHONHASHSEED-independent.
+        self.rng = random.Random(f"retry:{seed}")
+
+    def matches(self, exc: BaseException) -> bool:
+        """Should this exception class of failure be retried at all?"""
+        retry_on = self.retry_on
+        if retry_on is None:
+            return is_transient(exc)
+        if isinstance(retry_on, (type, tuple)):
+            return isinstance(exc, retry_on)
+        return bool(retry_on(exc))
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        delay = self.base_delay * (self.multiplier ** (attempt - 1))
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        if self.jitter and delay:
+            delay += delay * self.jitter * self.rng.random()
+        return delay

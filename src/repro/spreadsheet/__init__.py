@@ -7,6 +7,7 @@ illustrates how one Alphonse program can be used to construct another."
 
 from .model import (
     ERROR_MARKER,
+    STALE_MARKER,
     CellExp,
     CircularReference,
     SheetCell,
@@ -20,6 +21,7 @@ __all__ = [
     "CircularReference",
     "ERROR_MARKER",
     "FormulaError",
+    "STALE_MARKER",
     "SheetCell",
     "Spreadsheet",
     "SpreadsheetLoadError",

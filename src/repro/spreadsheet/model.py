@@ -11,15 +11,21 @@ cell in the array and return the result of its value method."
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core import TrackedObject, get_runtime, maintained
 from ..core.errors import AlphonseError, CycleError, NodeExecutionError
+from ..core.node import NO_VALUE
 from ..ag.expr import Exp, IdExp, IntExp, LetExp, PlusExp, RootExp, root
 
 #: What :meth:`Spreadsheet.display` shows for a cell whose formula (or
 #: any cell it reads) raised — the classic spreadsheet error marker.
 ERROR_MARKER = "#ERR!"
+
+#: What :meth:`Spreadsheet.display` shows under ``allow_stale=True`` for
+#: a failed cell with no last-known-good value to fall back on.
+STALE_MARKER = "#STALE?"
 
 
 class CircularReference(AlphonseError):
@@ -278,7 +284,7 @@ class Spreadsheet:
         except CycleError as exc:
             raise CircularReference(row, col) from exc
 
-    def display(self, row: int, col: int) -> Any:
+    def display(self, row: int, col: int, *, allow_stale: bool = False) -> Any:
         """The cell's value, with failures rendered as ``"#ERR!"``.
 
         A formula whose evaluation raised — in this cell or any cell it
@@ -286,11 +292,52 @@ class Spreadsheet:
         propagating the exception; so does a circular reference.  Like a
         real spreadsheet, the marker is live: editing the offending cell
         heals every dependent on its next read.
+
+        With ``allow_stale=True`` a failed cell degrades instead of
+        erroring: the last value it successfully computed is shown (the
+        staleness semantics of ``rt.read(..., staleness=ALLOW_STALE)``;
+        see ``docs/robustness.md``), and only a cell that has *never*
+        computed shows ``"#STALE?"``.  Circular references still render
+        ``"#ERR!"`` — a cycle is a structural error, not a transient
+        failure with a trustworthy previous value.
         """
         try:
             return self.value(row, col)
-        except (NodeExecutionError, CircularReference):
+        except CircularReference:
             return ERROR_MARKER
+        except NodeExecutionError as exc:
+            if not allow_stale:
+                return ERROR_MARKER
+            poison = exc.poison
+            if poison is not None and poison.stale_value is not NO_VALUE:
+                return poison.stale_value
+            return STALE_MARKER
+
+    def staleness(self, row: int, col: int) -> Optional["StalenessInfo"]:
+        """Why (and how long) a cell's display value is degraded.
+
+        Returns ``None`` for a healthy cell; for a failed one, a
+        :class:`~repro.resil.StalenessInfo` naming the originating
+        procedure, the root error, and the age of the last-known-good
+        value (``age_seconds`` is ``None`` when there is none).
+        """
+        from ..resil.stale import StalenessInfo
+
+        try:
+            self.value(row, col)
+        except CircularReference as exc:
+            return StalenessInfo(True, f"R{row}C{col}", exc, None)
+        except NodeExecutionError as exc:
+            poison = exc.poison
+            age = None
+            if (
+                poison is not None
+                and poison.stale_value is not NO_VALUE
+                and poison.stamp is not None
+            ):
+                age = time.monotonic() - poison.stamp
+            return StalenessInfo(True, exc.origin, exc.root, age)
+        return None
 
     def values(self) -> List[List[Any]]:
         """Evaluate the whole sheet (row-major)."""

@@ -4,6 +4,7 @@ See :mod:`repro.testing.chaos`.  Kept separate from :mod:`repro.core`
 so production imports never pay for test machinery.
 """
 
+from ..resil.errors import TransientFault
 from .chaos import CrashPoint, FaultInjected, FaultPlan, FaultSpec, SimulatedCrash
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "SimulatedCrash",
+    "TransientFault",
 ]

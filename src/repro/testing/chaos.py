@@ -9,7 +9,11 @@ what this module provides:
 
 * :class:`FaultSpec` — one fault source: raise on the Nth execution of
   nodes whose label matches a substring, or with a per-execution
-  probability drawn from the plan's seeded RNG.
+  probability drawn from the plan's seeded RNG.  ``flaky=p`` is the
+  resilience-layer flavour — a probabilistic
+  :class:`~repro.resil.TransientFault` that a retry policy should heal
+  — and ``latency=s`` injects slowness instead of (or in addition to)
+  failure, for exercising execution deadlines.
 * :class:`FaultPlan` — a set of specs installed on a runtime
   (``plan.applied(rt)``).  The plan hooks ``Runtime._fault_injector``,
   so every procedure-body execution — demand calls and eager
@@ -20,7 +24,12 @@ what this module provides:
 Determinism: a plan is parameterized by an integer ``seed``; two runs of
 the same workload under the same plan inject identical faults.  This is
 what lets Hypothesis shrink chaos counterexamples and what makes the CI
-chaos job reproducible (the failing seed is the whole repro).
+chaos job reproducible (the failing seed is the whole repro).  Under
+``Runtime(parallel_drains=N)`` the plan derives one sub-RNG per
+partition (seeded from ``(seed, partition id)``), so probabilistic
+draws are reproducible per partition regardless of how the OS
+interleaves drain threads; only the *global* order of ``nth`` specs
+across partitions remains schedule-dependent.
 
 Faults default to firing *after* the body (``when="after"``): the body's
 tracked reads have happened, so the poisoned node has healing edges and
@@ -41,7 +50,11 @@ from __future__ import annotations
 
 import contextlib
 import random
+import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
+
+from ..resil.errors import TransientFault
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import DepNode
@@ -200,6 +213,11 @@ class CrashPoint:
         return thunk()
 
 
+def _transient_fault(node: "DepNode") -> Exception:
+    """Default error factory for ``flaky=`` specs."""
+    return TransientFault(f"flaky fault in {node.label!r}")
+
+
 class FaultSpec:
     """One fault source within a :class:`FaultPlan`.
 
@@ -222,6 +240,17 @@ class FaultSpec:
     error:
         Factory ``(node) -> Exception`` overriding the default
         :class:`FaultInjected`.
+    flaky:
+        Shorthand for a transient failure: fire with this probability
+        and raise a :class:`~repro.resil.TransientFault` (unless
+        ``error`` overrides it) — the fault kind a retry policy is
+        expected to heal.  Mutually exclusive with ``probability``.
+    latency:
+        Inject this many seconds of sleep (via the plan's injectable
+        ``sleep``) when the spec fires.  A spec with *only* a trigger
+        and ``latency`` is a pure latency spec: it slows the body down
+        without raising, which is what execution deadlines trip on.
+        Combined with ``flaky``/``error``, the sleep precedes the raise.
     """
 
     def __init__(
@@ -232,13 +261,27 @@ class FaultSpec:
         probability: float = 0.0,
         when: str = "after",
         error: Optional[Callable[["DepNode"], Exception]] = None,
+        flaky: Optional[float] = None,
+        latency: float = 0.0,
     ) -> None:
         if nth is not None and nth <= 0:
             raise ValueError(f"nth must be positive, got {nth!r}")
+        if flaky is not None:
+            if probability:
+                raise ValueError(
+                    "flaky is shorthand for probability; set only one"
+                )
+            if not 0.0 < flaky <= 1.0:
+                raise ValueError(f"flaky must be in (0, 1], got {flaky!r}")
+            probability = flaky
+            if error is None:
+                error = _transient_fault
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability!r}")
         if when not in ("before", "after"):
             raise ValueError(f"when must be 'before' or 'after', got {when!r}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
         if nth is None and probability == 0.0:
             raise ValueError("spec would never fire: set nth or probability")
         self.match = match
@@ -246,6 +289,10 @@ class FaultSpec:
         self.probability = probability
         self.when = when
         self.error = error
+        self.flaky = flaky
+        self.latency = latency
+        #: True when firing means "sleep, don't raise".
+        self.pure_latency = latency > 0 and flaky is None and error is None
         #: Matching executions seen so far (including the firing one).
         self.seen = 0
         self.fired = False
@@ -254,8 +301,12 @@ class FaultSpec:
         parts = [f"match={self.match!r}"]
         if self.nth is not None:
             parts.append(f"nth={self.nth}")
-        if self.probability:
+        if self.flaky is not None:
+            parts.append(f"flaky={self.flaky}")
+        elif self.probability:
             parts.append(f"p={self.probability}")
+        if self.latency:
+            parts.append(f"latency={self.latency}")
         parts.append(self.when)
         return ", ".join(parts)
 
@@ -283,12 +334,23 @@ class FaultPlan:
     stream), so reuse a *fresh* plan per run when comparing runs.
     """
 
-    def __init__(self, specs: List[FaultSpec], *, seed: int = 0) -> None:
+    def __init__(
+        self,
+        specs: List[FaultSpec],
+        *,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.specs = list(specs)
         self.seed = seed
         self.rng = random.Random(seed)
-        #: ``(node_label, spec, when)`` for every fault actually raised.
+        #: ``(node_label, spec, when)`` for every fault actually raised;
+        #: pure latency specs log with when ``"latency"``.
         self.injected: List[Tuple[str, FaultSpec, str]] = []
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        #: partition id -> derived sub-RNG (parallel drains only).
+        self._part_rngs: dict = {}
         self._runtime: Optional["Runtime"] = None
 
     # -- installation ----------------------------------------------------
@@ -318,25 +380,61 @@ class FaultPlan:
 
     # -- the Runtime._fault_injector interface ---------------------------
 
+    def _rng_for(self, node: "DepNode") -> random.Random:
+        """The RNG stream charged for ``node``'s probabilistic draws.
+
+        Serial runtimes use the single plan RNG (back-compat: identical
+        streams to earlier releases).  Under parallel drains each graph
+        partition gets a sub-RNG derived from ``(seed, partition id)``,
+        so draws are reproducible no matter how the OS interleaves the
+        drain threads.  String seeding goes through Python's sha512 path
+        and is therefore independent of ``PYTHONHASHSEED``.
+        """
+        rt = self._runtime
+        if rt is None or rt._parallel is None:
+            return self.rng
+        pid = rt.partitions.partition_id(node)
+        rng = self._part_rngs.get(pid)
+        if rng is None:
+            rng = self._part_rngs.setdefault(
+                pid, random.Random(f"{self.seed}:{pid}")
+            )
+        return rng
+
     def run(self, node: "DepNode", thunk: Callable[[], Any]) -> Any:
-        """Run one procedure body, possibly injecting a fault.
+        """Run one procedure body, possibly injecting latency or a fault.
 
         Called by ``Runtime.execute_node`` inside its containment
         ``try`` block, so injected faults are captured into Poisoned
-        values exactly like organic failures.
+        values exactly like organic failures.  Spec scanning happens
+        under the plan lock (per-spec ``seen`` counters are shared
+        state under parallel drains); injected sleeps happen outside it
+        so latency in one partition never stalls another.
         """
-        fire_after: Optional[FaultSpec] = None
-        for spec in self.specs:
-            if spec._should_fire(node, self.rng):
-                if spec.when == "before":
-                    self.injected.append((node.label, spec, "before"))
-                    spec._raise(node)
-                fire_after = spec
+        rng = self._rng_for(node)
+        sleep_for = 0.0
+        fire: Optional[FaultSpec] = None
+        with self._lock:
+            for spec in self.specs:
+                if not spec._should_fire(node, rng):
+                    continue
+                if spec.latency:
+                    sleep_for += spec.latency
+                    self.injected.append((node.label, spec, "latency"))
+                    if spec.pure_latency:
+                        spec.fired = True
+                        continue
+                fire = spec
                 break
+        if sleep_for:
+            self._sleep(sleep_for)
+        if fire is not None and fire.when == "before":
+            self.injected.append((node.label, fire, "before"))
+            fire._raise(node)
         result = thunk()
-        if fire_after is not None:
-            self.injected.append((node.label, fire_after, "after"))
-            fire_after._raise(node)
+        if fire is not None:
+            self.injected.append((node.label, fire, "after"))
+            fire._raise(node)
         return result
 
     def __len__(self) -> int:

@@ -1,0 +1,200 @@
+"""Resilience chaos properties: flaky transient faults and injected
+latency, healed by policy instead of by hand.
+
+The earlier chaos suite proves poison heals when the *test* re-marks the
+region.  These properties prove the resilience layer makes that manual
+phase unnecessary for transient failures: a seeded :class:`FaultPlan`
+of ``flaky=`` TransientFaults (plus pure-latency specs) runs against a
+runtime with retry + breaker attached, and the workload converges to
+values identical to the exhaustive baseline with NO healing writes —
+under the serial scheduler and under ``parallel_drains=4`` alike.
+
+Run with ``pytest -m chaos``.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    BreakerPolicy,
+    Cell,
+    EAGER,
+    ResiliencePolicy,
+    RetryPolicy,
+    Runtime,
+    cached,
+)
+from repro.testing import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+# With p <= 0.25 and 12 attempts the chance one execution exhausts its
+# retries is 0.25**12 ~ 6e-8: the convergence assertion is deterministic
+# for all practical purposes, which is the point — transient faults are
+# the policy layer's job, not the workload's.
+RETRY = dict(max_attempts=12, sleep=lambda seconds: None)
+
+
+def _policy():
+    return ResiliencePolicy(
+        retry=RetryPolicy(**RETRY),
+        breaker=BreakerPolicy(failure_threshold=50, reset_timeout=0.0),
+    )
+
+
+class TestFlakyConvergence:
+    @pytest.mark.parametrize("parallel", [False, True],
+                             ids=["serial", "parallel4"])
+    @given(
+        seed=st.integers(0, 2**20),
+        n=st.integers(3, 8),
+        ops=st.integers(5, 25),
+        p=st.floats(0.01, 0.25),
+    )
+    @CHAOS_SETTINGS
+    def test_converges_to_exhaustive_baseline_without_healing(
+        self, parallel, seed, n, ops, p
+    ):
+        rt = Runtime(parallel_drains=4) if parallel else Runtime()
+        try:
+            with rt.active():
+                rt.use_resilience(_policy())
+                values = list(range(1, n + 1))
+                cells = [
+                    Cell(v, label=f"c{i}") for i, v in enumerate(values)
+                ]
+
+                @cached(strategy=EAGER)
+                def pair(i):
+                    return cells[i].get() + cells[(i + 1) % n].get()
+
+                @cached
+                def total():
+                    return sum(pair(i) for i in range(n))
+
+                assert total() == 2 * sum(values)
+                plan = FaultPlan(
+                    [
+                        FaultSpec(match="pair", flaky=p),
+                        FaultSpec(match="total", flaky=p / 2),
+                        FaultSpec(match="pair", nth=3, latency=0.001),
+                    ],
+                    seed=seed,
+                    sleep=lambda seconds: None,
+                )
+                workload = random.Random(seed ^ 0xF1A6)
+                with plan.applied(rt):
+                    for _ in range(ops):
+                        victim = workload.randrange(n)
+                        values[victim] = workload.randrange(1000)
+                        cells[victim].set(values[victim])
+                        rt.flush()
+                        if workload.random() < 0.3:
+                            total()
+
+                # Convergence WITHOUT a healing phase: every transient
+                # fault was absorbed by retry inside the chaos window.
+                expected = [
+                    values[i] + values[(i + 1) % n] for i in range(n)
+                ]
+                assert [pair(i) for i in range(n)] == expected
+                assert total() == sum(expected)
+                assert not rt.pending_changes()
+                rt.check_invariants()
+        finally:
+            rt.close()
+
+
+class TestLatencyAndDeadlines:
+    def test_injected_latency_trips_deadline_then_retry_heals(self):
+        rt = Runtime()
+        policy = ResiliencePolicy(retry=RetryPolicy(**RETRY))
+        policy.set_deadline("slow_sum", 0.05)
+        rt.use_resilience(policy)
+        try:
+            with rt.active():
+                cells = [Cell(i, label=f"c{i}") for i in range(4)]
+
+                @cached
+                def slow_sum():
+                    return sum(c.get() for c in cells)
+
+                # One real 0.2s stall on the first execution: the frame
+                # blows its 0.05s budget, DeadlineExceeded is transient,
+                # and the retry (latency spec now spent) succeeds.
+                plan = FaultPlan(
+                    [FaultSpec(match="slow_sum", nth=1, latency=0.2)],
+                    seed=3,
+                )
+                with plan.applied(rt):
+                    assert slow_sum() == sum(range(4))
+                assert [entry[2] for entry in plan.injected] == ["latency"]
+                assert rt.stats.deadlines_exceeded == 1
+                assert rt.stats.retries == 1
+                rt.check_invariants()
+        finally:
+            policy.close()
+
+
+class TestParallelDeterminism:
+    """Satellite: identically-seeded plans inject identical fault sets
+    under ``parallel_drains=4`` regardless of thread interleaving."""
+
+    def _run_once(self, seed):
+        rt = Runtime(parallel_drains=4)
+        injected = None
+        finals = None
+        try:
+            with rt.active():
+                rt.use_resilience(_policy())
+                groups = 4
+                per = 3
+                cells = {
+                    g: [
+                        Cell(g * 100 + i, label=f"g{g}c{i}")
+                        for i in range(per)
+                    ]
+                    for g in range(groups)
+                }
+
+                @cached(strategy=EAGER)
+                def gsum(g):
+                    return sum(c.get() for c in cells[g])
+
+                for g in range(groups):
+                    gsum(g)
+                plan = FaultPlan(
+                    [FaultSpec(match="gsum", flaky=0.2)],
+                    seed=seed,
+                    sleep=lambda seconds: None,
+                )
+                workload = random.Random(seed ^ 0xDE7)
+                with plan.applied(rt):
+                    for _ in range(12):
+                        g = workload.randrange(groups)
+                        i = workload.randrange(per)
+                        cells[g][i].set(workload.randrange(1000))
+                        rt.flush()
+                injected = sorted(
+                    (label, kind) for label, _, kind in plan.injected
+                )
+                finals = [gsum(g) for g in range(groups)]
+                rt.check_invariants()
+        finally:
+            rt.close()
+        return injected, finals
+
+    @pytest.mark.parametrize("seed", [1, 17, 4242])
+    def test_identically_seeded_runs_inject_identically(self, seed):
+        first = self._run_once(seed)
+        second = self._run_once(seed)
+        assert first == second

@@ -1,4 +1,4 @@
-"""Parallel-suite harness: force aggressive preemption.
+"""Parallel-suite harness: force aggressive preemption, audit survivors.
 
 Races between concurrent partition drains hide behind CPython's default
 5 ms switch interval — a short drain can finish inside one scheduling
@@ -6,6 +6,11 @@ quantum and never interleave.  Every test in this suite runs with the
 interval cranked down to 10 µs so the interpreter switches threads
 mid-drain constantly, which is what actually exercises the locking
 protocol (run in CI under ``PYTHONDEVMODE=1`` for the extra checks).
+
+Every runtime a test creates is additionally run through the
+structural-invariant checker after the test body finishes (the same
+safety net as the chaos suite): a race that corrupts graph structure
+without failing an assertion still fails the test.
 """
 
 import sys
@@ -23,6 +28,33 @@ def aggressive_preemption():
         yield
     finally:
         sys.setswitchinterval(previous)
+
+
+@pytest.fixture(autouse=True)
+def audit_surviving_runtimes(monkeypatch):
+    """Post-test invariant audit of every runtime the test created.
+
+    Runtimes abandoned by a simulated process death are flagged
+    ``rt._discarded`` (see :class:`repro.testing.CrashPoint`) and
+    exempt — dead processes owe no invariants.
+    """
+    created = []
+    original_init = Runtime.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(Runtime, "__init__", recording_init)
+    yield
+    failures = {}
+    for runtime in created:
+        if getattr(runtime, "_discarded", False):
+            continue
+        violations = runtime.check_invariants(raise_on_violation=False)
+        if violations:
+            failures[repr(runtime)] = violations
+    assert not failures, f"post-test invariant audit failed: {failures}"
 
 
 @pytest.fixture

@@ -1,0 +1,220 @@
+"""Execution deadlines: slow bodies become containable, healable
+DeadlineExceeded poisons."""
+
+import time
+
+import pytest
+
+from repro import (
+    Cell,
+    DeadlineExceeded,
+    EventKind,
+    NodeExecutionError,
+    ResiliencePolicy,
+    RetryPolicy,
+    Runtime,
+    Watchdog,
+    cached,
+    check_deadline,
+)
+
+
+@pytest.fixture
+def policy_rt():
+    rt = Runtime()
+    policy = ResiliencePolicy()
+    rt.use_resilience(policy)
+    with rt.active():
+        yield rt, policy
+    policy.close()
+
+
+class TestDeadlineEnforcement:
+    def test_blocking_body_condemned_by_timer_thread(self, policy_rt):
+        rt, policy = policy_rt
+        mode = Cell("fast", label="mode")
+        policy.set_deadline("slow", 0.05)
+
+        @cached
+        def slow():
+            if mode.get() == "sleep":
+                time.sleep(0.3)  # never calls a hook site
+            return mode.get()
+
+        assert slow() == "fast"
+        mode.set("sleep")
+        with pytest.raises(NodeExecutionError) as excinfo:
+            slow()
+        root = excinfo.value.root
+        assert isinstance(root, DeadlineExceeded)
+        assert root.containable and root.transient
+        rt.check_invariants()
+
+    def test_cooperative_check_deadline_interrupts_loop(self, policy_rt):
+        rt, policy = policy_rt
+        mode = Cell("fast", label="mode")
+        policy.set_deadline("spinner", 0.05)
+
+        @cached
+        def spinner():
+            if mode.get() == "spin":
+                start = time.monotonic()
+                while time.monotonic() - start < 5.0:
+                    check_deadline()  # the cooperative hook site
+            return mode.get()
+
+        assert spinner() == "fast"
+        mode.set("spin")
+        start = time.monotonic()
+        with pytest.raises(NodeExecutionError) as excinfo:
+            spinner()
+        assert time.monotonic() - start < 2.0  # interrupted, not run out
+        assert isinstance(excinfo.value.root, DeadlineExceeded)
+
+    def test_deadline_events_and_stats(self, policy_rt):
+        rt, policy = policy_rt
+        seen = []
+        rt.events.subscribe(
+            EventKind.DEADLINE_EXCEEDED,
+            lambda kind, node, amount, data: seen.append((node.label, data)),
+        )
+        mode = Cell("fast", label="mode")
+        policy.set_deadline("slow", 0.02)
+
+        @cached
+        def slow():
+            if mode.get() == "sleep":
+                time.sleep(0.2)
+            return mode.get()
+
+        slow()
+        mode.set("sleep")
+        with pytest.raises(NodeExecutionError):
+            slow()
+        assert len(seen) == 1
+        label, data = seen[0]
+        assert label == "slow()"
+        assert data["deadline_seconds"] == 0.02
+        assert data["elapsed"] >= 0.02
+        assert rt.stats.deadlines_exceeded == 1
+
+    def test_fast_body_unaffected(self, policy_rt):
+        rt, policy = policy_rt
+        source = Cell(1, label="source")
+        policy.set_deadline("quick", 5.0)
+
+        @cached
+        def quick():
+            return source.get() * 2
+
+        assert quick() == 2
+        source.set(3)
+        assert quick() == 6
+        assert rt.stats.deadlines_exceeded == 0
+
+
+class TestDeadlineHealing:
+    def test_deadline_poison_heals_like_any_poison(self, policy_rt):
+        rt, policy = policy_rt
+        mode = Cell("sleep", label="mode")
+        policy.set_deadline("slow", 0.02)
+
+        @cached
+        def slow():
+            if mode.get() == "sleep":
+                time.sleep(0.2)
+            return mode.get()
+
+        with pytest.raises(NodeExecutionError):
+            slow()
+        mode.set("fast")  # the healing write
+        assert slow() == "fast"
+        rt.check_invariants()
+
+    def test_deadline_is_retryable(self):
+        # DeadlineExceeded is transient: with a retry policy, a body
+        # that is only sometimes slow gets another attempt.
+        rt = Runtime()
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, sleep=lambda s: None)
+        )
+        policy.set_deadline("sometimes_slow", 0.05)
+        rt.use_resilience(policy)
+        with rt.active():
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def sometimes_slow():
+                attempts.append(None)
+                value = source.get()
+                if len(attempts) == 1:
+                    time.sleep(0.3)  # only the first attempt stalls
+                return value * 10
+
+            assert sometimes_slow() == 10
+            assert len(attempts) == 2
+            assert rt.stats.retries == 1
+        policy.close()
+
+    def test_nested_nodes_unwind_inconsistent(self, policy_rt):
+        # A deadline blown inside a nested demand call tears through the
+        # inner node (left inconsistent, not poisoned) and poisons only
+        # the frame owner; once healed, the inner node re-runs cleanly.
+        rt, policy = policy_rt
+        mode = Cell("slow", label="mode")
+        policy.set_deadline("outer", 0.05)
+        inner_runs = []
+
+        @cached
+        def inner():
+            inner_runs.append(None)
+            if mode.get() == "slow":
+                start = time.monotonic()
+                while time.monotonic() - start < 5.0:
+                    check_deadline()
+            return mode.get()
+
+        @cached
+        def outer():
+            return f"outer:{inner()}"
+
+        with pytest.raises(NodeExecutionError) as excinfo:
+            outer()
+        assert excinfo.value.origin == "outer()"  # the frame owner
+        assert isinstance(excinfo.value.root, DeadlineExceeded)
+        mode.set("fast")
+        assert outer() == "outer:fast"
+        rt.check_invariants()
+
+
+class TestDeadlineConfig:
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(deadline_seconds=0)
+        policy = ResiliencePolicy()
+        with pytest.raises(ValueError):
+            policy.set_deadline("x", -1.0)
+
+    def test_monitor_restarts_after_close(self):
+        rt = Runtime()
+        policy = ResiliencePolicy()
+        policy.set_deadline("slow", 0.02)
+        rt.use_resilience(policy)
+        with rt.active():
+            mode = Cell("sleep", label="mode")
+
+            @cached
+            def slow():
+                if mode.get().startswith("sleep"):
+                    time.sleep(0.2)
+                return mode.get()
+
+            with pytest.raises(NodeExecutionError):
+                slow()
+            policy.close()
+            mode.set("sleep2")  # still slow: monitor must come back
+            with pytest.raises(NodeExecutionError) as excinfo:
+                slow()
+            assert isinstance(excinfo.value.root, DeadlineExceeded)
+        policy.close()

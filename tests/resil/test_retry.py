@@ -1,0 +1,269 @@
+"""Retry with backoff: transient faults re-run before poisoning."""
+
+import pytest
+
+from repro import (
+    Cell,
+    EAGER,
+    EventKind,
+    NodeExecutionError,
+    ResiliencePolicy,
+    RetryPolicy,
+    Runtime,
+    TransientFault,
+    cached,
+)
+
+
+def _no_sleep_policy(**kw):
+    kw.setdefault("sleep", lambda seconds: None)
+    return RetryPolicy(**kw)
+
+
+class TestRetryToSuccess:
+    def test_transient_fault_retried_until_success(self):
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=3))
+            )
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def wobbly():
+                attempts.append(len(attempts))
+                value = source.get()
+                if len(attempts) < 3:
+                    raise TransientFault("blip")
+                return value * 10
+
+            assert wobbly() == 10
+            assert len(attempts) == 3
+            assert rt.stats.retries == 2
+            rt.check_invariants()
+
+    def test_retry_events_carry_attempt_and_error(self):
+        rt = Runtime()
+        seen = []
+        rt.events.subscribe(
+            EventKind.RETRY,
+            lambda kind, node, amount, data: seen.append((node.label, data)),
+        )
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=2))
+            )
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def wobbly():
+                attempts.append(len(attempts))
+                source.get()
+                if len(attempts) < 2:
+                    raise TransientFault("blip")
+                return "ok"
+
+            assert wobbly() == "ok"
+        assert len(seen) == 1
+        label, data = seen[0]
+        assert label == "wobbly()"
+        assert data["attempt"] == 1
+        assert data["error"] == "TransientFault"
+
+    def test_eager_reexecution_also_retried(self):
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=3))
+            )
+            source = Cell(1, label="source")
+            fail_next = []
+
+            @cached(strategy=EAGER)
+            def wobbly():
+                value = source.get()
+                if fail_next:
+                    fail_next.pop()
+                    raise TransientFault("blip")
+                return value * 10
+
+            assert wobbly() == 10
+            fail_next.extend([None, None])  # two transient failures
+            source.set(2)
+            rt.flush()
+            assert wobbly() == 20  # healed by retries inside the drain
+            assert rt.stats.retries == 2
+            rt.check_invariants()
+
+
+class TestBackoff:
+    def test_exponential_backoff_sequence(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=0.1,
+            multiplier=2.0,
+            jitter=0.0,
+            sleep=slept.append,
+        )
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(ResiliencePolicy(retry=policy))
+            source = Cell(1, label="source")
+
+            @cached
+            def always_fails():
+                source.get()
+                raise TransientFault("down")
+
+            with pytest.raises(NodeExecutionError):
+                always_fails()
+        assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=10.0, max_delay=2.0,
+            sleep=lambda s: None,
+        )
+        assert policy.delay_for(1) == 1.0
+        assert policy.delay_for(2) == 2.0
+        assert policy.delay_for(3) == 2.0
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.5, seed=7)
+        b = RetryPolicy(max_attempts=2, base_delay=1.0, jitter=0.5, seed=7)
+        delays_a = [a.delay_for(1) for _ in range(5)]
+        delays_b = [b.delay_for(1) for _ in range(5)]
+        assert delays_a == delays_b  # same seed, same stream
+        assert all(1.0 <= d <= 1.5 for d in delays_a)
+
+
+class TestRetrySelectivity:
+    def test_non_transient_failure_not_retried(self):
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=5))
+            )
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def broken():
+                attempts.append(None)
+                source.get()
+                raise ValueError("a real bug")
+
+            with pytest.raises(NodeExecutionError) as excinfo:
+                broken()
+            assert isinstance(excinfo.value.root, ValueError)
+            assert len(attempts) == 1  # no retry for non-transient faults
+            assert rt.stats.retries == 0
+
+    def test_retry_on_widens_to_named_exceptions(self):
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(
+                    retry=_no_sleep_policy(max_attempts=3, retry_on=OSError)
+                )
+            )
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def flaky_io():
+                attempts.append(None)
+                value = source.get()
+                if len(attempts) < 2:
+                    raise OSError("connection reset")
+                return value
+
+            assert flaky_io() == 1
+            assert len(attempts) == 2
+
+    def test_input_poison_is_not_retried(self):
+        # NodeExecutionError chained from a poisoned input is not a
+        # transient failure of *this* body; retrying it would re-raise
+        # identically every attempt.
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=5))
+            )
+            source = Cell(1, label="source")
+            downstream_runs = []
+
+            @cached
+            def bad_input():
+                value = source.get()
+                if value < 0:
+                    raise ValueError("no")
+                return value
+
+            @cached
+            def consumer():
+                downstream_runs.append(None)
+                return bad_input() + 1
+
+            assert consumer() == 2
+            source.set(-1)
+            with pytest.raises(NodeExecutionError):
+                consumer()
+            assert rt.stats.retries == 0
+
+
+class TestExhaustionAndHealing:
+    def test_exhausted_retries_poison_then_heal(self):
+        rt = Runtime()
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(retry=_no_sleep_policy(max_attempts=3))
+            )
+            source = Cell(1, label="source")
+
+            @cached
+            def wobbly():
+                value = source.get()
+                if value < 0:
+                    raise TransientFault("still down")
+                return value * 10
+
+            assert wobbly() == 10
+            source.set(-1)
+            with pytest.raises(NodeExecutionError) as excinfo:
+                wobbly()
+            assert isinstance(excinfo.value.root, TransientFault)
+            assert rt.stats.retries == 2  # 3 attempts = 2 retries
+            source.set(5)  # the healing write
+            assert wobbly() == 50
+            rt.check_invariants()
+
+    def test_per_procedure_override_beats_default(self):
+        rt = Runtime()
+        with rt.active():
+            policy = ResiliencePolicy(retry=_no_sleep_policy(max_attempts=4))
+            rt.use_resilience(policy)
+            source = Cell(1, label="source")
+            attempts = []
+
+            @cached
+            def no_retries():
+                attempts.append(None)
+                source.get()
+                raise TransientFault("blip")
+
+            policy.set_retry("no_retries", None)  # opt out of the default
+            with pytest.raises(NodeExecutionError):
+                no_retries()
+            assert len(attempts) == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=2, base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=2, jitter=-0.1)

@@ -1,0 +1,192 @@
+"""Degraded reads: ALLOW_STALE serves the last-known-good value of a
+poisoned node instead of raising."""
+
+import pytest
+
+from repro import (
+    ALLOW_STALE,
+    Cell,
+    EventKind,
+    FRESH,
+    NodeExecutionError,
+    ResiliencePolicy,
+    Runtime,
+    StalenessInfo,
+    cached,
+)
+from repro.ag.expr import Exp
+from repro.core import maintained
+from repro.spreadsheet import ERROR_MARKER, STALE_MARKER, Spreadsheet
+
+
+class _FailingExp(Exp):
+    """An expression whose evaluation calls an injected thunk."""
+
+    def __init__(self, thunk, **kw):
+        super().__init__(**kw)
+        self._thunk = thunk
+
+    @maintained
+    def value(self):
+        return self._thunk()
+
+
+@pytest.fixture
+def failing_proc(rt):
+    source = Cell(1, label="source")
+
+    @cached
+    def derived():
+        value = source.get()
+        if value < 0:
+            raise ValueError(f"bad input {value}")
+        return value * 10
+
+    assert derived() == 10
+    return source, derived
+
+
+class TestStaleReads:
+    def test_allow_stale_serves_last_known_good(self, rt, failing_proc):
+        source, derived = failing_proc
+        source.set(-1)
+        with pytest.raises(NodeExecutionError):
+            derived()
+        value, info = rt.read_info(derived, staleness=ALLOW_STALE)
+        assert value == 10  # the pre-failure result
+        assert isinstance(info, StalenessInfo)
+        assert info.stale
+        assert info.origin == "derived()"
+        assert isinstance(info.error, ValueError)
+        assert info.age_seconds is not None and info.age_seconds >= 0
+
+    def test_fresh_mode_still_raises(self, rt, failing_proc):
+        source, derived = failing_proc
+        source.set(-1)
+        with pytest.raises(NodeExecutionError):
+            rt.read(derived, staleness=FRESH)
+        with pytest.raises(NodeExecutionError):
+            rt.read(derived)  # fresh is the default
+
+    def test_healthy_read_reports_not_stale(self, rt, failing_proc):
+        source, derived = failing_proc
+        value, info = rt.read_info(derived, staleness=ALLOW_STALE)
+        assert value == 10
+        assert not info.stale
+        assert info.origin is None and info.age_seconds is None
+
+    def test_no_history_still_raises(self, rt):
+        source = Cell(-1, label="source")
+
+        @cached
+        def never_succeeded():
+            value = source.get()
+            if value < 0:
+                raise ValueError("bad from birth")
+            return value
+
+        with pytest.raises(NodeExecutionError):
+            rt.read(never_succeeded, staleness=ALLOW_STALE)
+
+    def test_stale_value_chains_through_repoisoning(self, rt, failing_proc):
+        # Successive failures must not wipe the last-known-good value.
+        source, derived = failing_proc
+        for bad in (-1, -2, -3):
+            source.set(bad)
+            with pytest.raises(NodeExecutionError):
+                derived()
+        value, info = rt.read_info(derived, staleness=ALLOW_STALE)
+        assert value == 10
+        assert info.stale
+
+    def test_healing_restores_fresh_reads(self, rt, failing_proc):
+        source, derived = failing_proc
+        source.set(-1)
+        with pytest.raises(NodeExecutionError):
+            derived()
+        source.set(7)
+        value, info = rt.read_info(derived, staleness=ALLOW_STALE)
+        assert value == 70
+        assert not info.stale
+
+    def test_stale_read_emits_event_and_counts(self, rt, failing_proc):
+        seen = []
+        rt.events.subscribe(
+            EventKind.STALE_READ,
+            lambda kind, node, amount, data: seen.append(data),
+        )
+        source, derived = failing_proc
+        source.set(-1)
+        with pytest.raises(NodeExecutionError):
+            derived()
+        rt.read(derived, staleness=ALLOW_STALE)
+        assert len(seen) == 1
+        assert seen[0]["origin"] == "derived()"
+        assert rt.stats.stale_reads == 1
+
+    def test_invalid_staleness_mode_rejected(self, rt, failing_proc):
+        source, derived = failing_proc
+        with pytest.raises(ValueError):
+            rt.read(derived, staleness="eventually")
+
+    def test_read_accepts_location(self, rt):
+        cell = Cell(42, label="answer")
+        assert rt.read(cell) == 42  # a Cell IS a Location
+
+    def test_stale_read_under_attached_policy(self, rt, failing_proc):
+        rt.use_resilience(ResiliencePolicy())
+        source, derived = failing_proc
+        source.set(-1)
+        with pytest.raises(NodeExecutionError):
+            derived()
+        value, info = rt.read_info(derived, staleness=ALLOW_STALE)
+        assert value == 10 and info.stale
+
+
+class TestSpreadsheetStaleDisplay:
+    def test_display_allow_stale_serves_previous_value(self, rt):
+        sheet = Spreadsheet(2, 2)
+        sheet.set_formula(0, 0, 5)
+        sheet.set_formula(0, 1, "R0C0 + 1")
+        assert sheet.display(0, 1) == 6
+
+        def boom():
+            raise RuntimeError("external feed down")
+
+        sheet.cell_at(0, 0).func = _FailingExp(boom)
+        assert sheet.display(0, 1) == ERROR_MARKER
+        assert sheet.display(0, 1, allow_stale=True) == 6
+        info = sheet.staleness(0, 1)
+        assert info is not None and info.stale
+        assert sheet.staleness(1, 1) is None  # healthy cell
+
+    def test_display_stale_marker_without_history(self, rt):
+        sheet = Spreadsheet(1, 1)
+
+        def boom():
+            raise RuntimeError("bad from birth")
+
+        sheet.cell_at(0, 0).func = _FailingExp(boom)
+        assert sheet.display(0, 0) == ERROR_MARKER
+        assert sheet.display(0, 0, allow_stale=True) == STALE_MARKER
+
+    def test_circular_reference_never_degrades(self, rt):
+        sheet = Spreadsheet(1, 2)
+        sheet.set_formula(0, 0, "R0C1")
+        sheet.set_formula(0, 1, "R0C0")
+        assert sheet.display(0, 0, allow_stale=True) == ERROR_MARKER
+
+    def test_healing_clears_stale_display(self, rt):
+        sheet = Spreadsheet(1, 2)
+        sheet.set_formula(0, 0, 5)
+        sheet.set_formula(0, 1, "R0C0 + 1")
+        assert sheet.display(0, 1) == 6
+
+        def boom():
+            raise RuntimeError("down")
+
+        sheet.cell_at(0, 0).func = _FailingExp(boom)
+        assert sheet.display(0, 1, allow_stale=True) == 6
+        sheet.set_formula(0, 0, 9)  # the healing edit
+        assert sheet.display(0, 1) == 10
+        assert sheet.staleness(0, 1) is None

@@ -1,0 +1,129 @@
+"""Resilience x transactions: retry inside a batch must not trip
+rollback, and an open breaker must not suppress it."""
+
+import pytest
+
+from repro import (
+    BreakerPolicy,
+    Cell,
+    EventKind,
+    NodeExecutionError,
+    ResiliencePolicy,
+    RetryPolicy,
+    Runtime,
+    TransientFault,
+    cached,
+)
+from repro.resil import CircuitOpenError
+
+
+class TestRetryInsideTransaction:
+    def test_successful_retry_does_not_trip_rollback(self):
+        rt = Runtime()
+        rollbacks = []
+        rt.events.subscribe(
+            EventKind.ROLLBACK,
+            lambda kind, node, amount, data: rollbacks.append(kind),
+        )
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=3, sleep=lambda s: None)
+                )
+            )
+            source = Cell(1, label="source")
+            other = Cell(0, label="other")
+            attempts = []
+
+            @cached
+            def flaky():
+                attempts.append(None)
+                value = source.get()
+                if len(attempts) < 2:
+                    raise TransientFault("blip")
+                return value * 10
+
+            with rt.batch(rollback_on_error=True):
+                other.set(5)
+                assert flaky() == 10  # fails once, retried to success
+
+            assert rollbacks == []  # the contained retry never escaped
+            assert other.peek() == 5  # the batch committed
+            assert rt.stats.retries == 1
+            rt.check_invariants()
+
+    def test_exhausted_retry_still_rolls_back(self):
+        # The counterpart: when retries run out the poison surfaces as
+        # NodeExecutionError, escapes the batch, and rollback fires.
+        rt = Runtime()
+        rollbacks = []
+        rt.events.subscribe(
+            EventKind.ROLLBACK,
+            lambda kind, node, amount, data: rollbacks.append(kind),
+        )
+        with rt.active():
+            rt.use_resilience(
+                ResiliencePolicy(
+                    retry=RetryPolicy(max_attempts=2, sleep=lambda s: None)
+                )
+            )
+            source = Cell(1, label="source")
+            other = Cell(0, label="other")
+
+            @cached
+            def doomed():
+                source.get()
+                raise TransientFault("always down")
+
+            with pytest.raises(NodeExecutionError):
+                with rt.batch(rollback_on_error=True):
+                    other.set(99)
+                    doomed()
+
+            assert len(rollbacks) == 1
+            assert other.peek() == 0  # the write was restored
+            rt.check_invariants()
+
+
+class TestBreakerInsideTransaction:
+    def test_open_breaker_does_not_suppress_rollback(self):
+        rt = Runtime()
+        rollbacks = []
+        rt.events.subscribe(
+            EventKind.ROLLBACK,
+            lambda kind, node, amount, data: rollbacks.append(kind),
+        )
+        with rt.active():
+            policy = ResiliencePolicy(
+                breaker=BreakerPolicy(failure_threshold=2, reset_timeout=1e9)
+            )
+            rt.use_resilience(policy)
+            flag = Cell(False, label="flag")
+            base = Cell(10, label="base")
+            other = Cell(0, label="other")
+
+            @cached
+            def risky():
+                value = base.get()
+                if flag.get():
+                    raise RuntimeError("boom")
+                return value + 1
+
+            assert risky() == 11
+            flag.set(True)
+            for i in range(2):
+                base.set(100 + i)
+                with pytest.raises(NodeExecutionError):
+                    risky()
+            assert policy.breaker_state("risky") == "open"
+
+            base.set(500)  # re-dirty before the batch
+            with pytest.raises(NodeExecutionError) as excinfo:
+                with rt.batch(rollback_on_error=True):
+                    other.set(42)
+                    risky()  # short-circuited by the open breaker
+
+            assert isinstance(excinfo.value.root, CircuitOpenError)
+            assert len(rollbacks) == 1  # the breaker never eats rollback
+            assert other.peek() == 0  # the write was restored
+            rt.check_invariants()
