@@ -1,0 +1,95 @@
+"""E17 — the multi-tenant serve layer under measured load.
+
+Two claims, two records (both published to ``BENCH_serve.json``):
+
+* **E17 (gated)** — the serve layer's lifecycle counters are
+  deterministic.  A scripted sequential scenario (residency limit 2,
+  four tenants, a fixed touch order, mailbox-forced 429s) must land on
+  exactly the same requests-served / rejection / eviction /
+  resurrection totals every run; ``check_regression.py`` gates them
+  like any op count.
+* **E17L (reported)** — latency and throughput under real concurrency:
+  100+ seeded clients editing shared spreadsheets through admission
+  control, with p50/p99 per-request latency and end-of-run convergence
+  (served grids == serial replay of each session's edit log), a sound
+  invariant audit, and zero leaked threads after drain-then-checkpoint
+  shutdown.  Wall-clock numbers are machine-dependent and not gated;
+  the correctness booleans are asserted here.
+"""
+
+import os
+
+from repro.serve import LoadProfile, ServeConfig, run_load
+from repro.serve.loadgen import run_counter_scenario, write_bench_record
+
+from .tableio import emit
+
+BENCH_SERVE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+CLIENTS = 120
+SESSIONS = 12
+EDITS_PER_CLIENT = 15
+
+
+def test_e17_serve_counters(tmp_path):
+    counters = run_counter_scenario(str(tmp_path / "counters"))
+    emit(
+        "E17",
+        "serve lifecycle counters (deterministic scripted scenario)",
+        ["counter", "value"],
+        sorted(counters.items()),
+        counters={"ops": counters},
+    )
+    write_bench_record(
+        BENCH_SERVE_PATH,
+        "E17",
+        {
+            "title": "serve lifecycle counters",
+            "counters": {"ops": counters},
+        },
+    )
+    assert counters == {
+        "requests_served": 6,
+        "rejections": 2,
+        "evictions": 4,
+        "resurrections": 2,
+    }
+
+
+def test_e17l_serve_load(tmp_path):
+    profile = LoadProfile(
+        clients=CLIENTS,
+        sessions=SESSIONS,
+        edits_per_client=EDITS_PER_CLIENT,
+        seed=20260808,
+        config=ServeConfig(
+            root=str(tmp_path / "state"),
+            rows=8,
+            cols=8,
+            max_live_sessions=8,  # < SESSIONS: eviction churn under load
+            mailbox_limit=8,
+            workers=4,
+        ),
+    )
+    report = run_load(profile)
+    emit(
+        "E17L",
+        f"serve load: {CLIENTS} clients x {EDITS_PER_CLIENT} ops over "
+        f"{SESSIONS} shared sheets",
+        ["metric", "value"],
+        [
+            ["requests", report.requests],
+            ["rejected (429)", report.rejected],
+            ["throughput (req/s)", round(report.throughput_rps, 1)],
+            ["p50 latency (ms)", round(report.p50_ms, 3)],
+            ["p99 latency (ms)", round(report.p99_ms, 3)],
+            ["max latency (ms)", round(report.max_ms, 3)],
+            ["converged", report.converged],
+            ["audit violations", len(report.audit_violations)],
+            ["leaked threads", len(report.leaked_threads)],
+        ],
+        counters={"load": report.to_dict()},
+    )
+    write_bench_record(BENCH_SERVE_PATH, "E17L", report.to_dict())
+    assert report.clean, report.to_dict()
+    assert report.counters["evictions"] > 0  # the residency limit did bite

@@ -1,11 +1,14 @@
-"""Op-count regression gate over BENCH_core.json.
+"""Op-count regression gate over BENCH_core.json and BENCH_serve.json.
 
 The tracked experiments (E1, E6a, E6b) record deterministic operation
 counters — executions, accesses, cache hits, propagation steps — in
 their result records (``counters.ops``).  Those counts are the paper's
 claims in number form: if an engine change makes the first height()
 query execute 2x the nodes, wall-clock benchmarks may hide it under
-noise, but the op counts cannot.
+noise, but the op counts cannot.  E17 extends the same idea to the
+serve layer: its scripted lifecycle scenario lands on exact
+request/rejection/eviction/resurrection totals, published to
+``BENCH_serve.json`` by ``bench_e17_serve.py``.
 
 Usage::
 
@@ -31,6 +34,7 @@ from typing import Dict
 
 HERE = os.path.dirname(__file__)
 BENCH_JSON_PATH = os.path.join(HERE, "BENCH_core.json")
+BENCH_SERVE_PATH = os.path.join(HERE, "BENCH_serve.json")
 BASELINE_PATH = os.path.join(HERE, "baseline_counters.json")
 WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
 
@@ -39,8 +43,10 @@ WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
 #: started doing different *work* than the serial one, not just
 #: different wall-clock.  E16's come from the idle-resilience tree
 #: cycle: drift there means an attached-but-idle policy changed what
-#: the engine *does*, not just what it costs.
-TRACKED = ("E1", "E6a", "E6b", "E9b", "E16")
+#: the engine *does*, not just what it costs.  E17's come from the
+#: serve layer's scripted lifecycle scenario: drift there means
+#: admission control, LRU eviction, or resurrection changed behaviour.
+TRACKED = ("E1", "E6a", "E6b", "E9b", "E16", "E17")
 
 #: Allowed relative drift per counter.
 TOLERANCE = 0.10
@@ -62,6 +68,21 @@ def load_current() -> Dict[str, Dict[str, int]]:
         ops = (record.get("counters") or {}).get("ops")
         if exp in TRACKED and isinstance(ops, dict):
             out[exp] = {k: v for k, v in ops.items()}
+    # The serve benchmarks publish to their own file, keyed by record id
+    # ({"E17": {..., "counters": {"ops": {...}}}, "E17L": {...}}).
+    if os.path.exists(BENCH_SERVE_PATH):
+        try:
+            with open(BENCH_SERVE_PATH, encoding="utf-8") as fh:
+                serve = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot read {BENCH_SERVE_PATH} ({exc}); rerun "
+                f"benchmarks/bench_e17_serve.py"
+            )
+        for exp, record in serve.items():
+            ops = (record.get("counters") or {}).get("ops")
+            if exp in TRACKED and isinstance(ops, dict):
+                out[exp] = {k: v for k, v in ops.items()}
     return out
 
 
@@ -114,8 +135,8 @@ def main(argv=None) -> int:
     if missing:
         print(
             f"error: no op counters for {', '.join(missing)} — run "
-            f"`pytest benchmarks/bench_e1_*.py benchmarks/bench_e6_*.py` "
-            f"then collect_results.py",
+            f"`pytest benchmarks/bench_e1_*.py benchmarks/bench_e6_*.py "
+            f"benchmarks/bench_e17_serve.py` then collect_results.py",
             file=sys.stderr,
         )
         return 2

@@ -1,0 +1,119 @@
+"""CI serve smoke: boot the server, burst it, assert a clean run.
+
+The serve-smoke CI job's entry point.  Runs a seeded loadgen burst over
+TCP against a freshly booted server plus the deterministic lifecycle
+scenario, and asserts:
+
+* zero invariant-audit failures across every session touched;
+* convergence — served grids equal a serial replay of each session's
+  edit log;
+* graceful drain-then-checkpoint shutdown with zero leaked threads;
+* the lifecycle counters land on their exact expected values.
+
+Writes a machine-readable summary (for the CI artifact) to
+``serve_smoke_report.json`` (or the path given as argv[1]) and a
+``BENCH_serve.json`` next to it.  Exit status 0 means every assertion
+held.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [report.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.serve import LoadProfile, ServeConfig, run_load  # noqa: E402
+from repro.serve.loadgen import (  # noqa: E402
+    run_counter_scenario,
+    write_bench_record,
+)
+
+EXPECTED_COUNTERS = {
+    "requests_served": 6,
+    "rejections": 2,
+    "evictions": 4,
+    "resurrections": 2,
+}
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    report_path = argv[0] if argv else "serve_smoke_report.json"
+    bench_path = os.path.join(
+        os.path.dirname(report_path) or ".", "BENCH_serve.json"
+    )
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as td:
+        counters = run_counter_scenario(os.path.join(td, "counters"))
+        if counters != EXPECTED_COUNTERS:
+            failures.append(
+                f"lifecycle counters drifted: {counters} != {EXPECTED_COUNTERS}"
+            )
+
+        profile = LoadProfile(
+            clients=60,
+            sessions=8,
+            edits_per_client=10,
+            seed=2026,
+            transport="tcp",
+            config=ServeConfig(
+                root=os.path.join(td, "state"),
+                rows=8,
+                cols=8,
+                max_live_sessions=6,
+                mailbox_limit=8,
+                workers=4,
+            ),
+        )
+        load = run_load(profile)
+        if not load.converged:
+            failures.append(f"load run did not converge: {load.mismatches[:5]}")
+        if load.audit_violations:
+            failures.append(
+                f"invariant audit failed: {load.audit_violations[:5]}"
+            )
+        if load.leaked_threads:
+            failures.append(f"threads leaked: {load.leaked_threads}")
+        if load.errors:
+            failures.append(f"{load.errors} request errors")
+
+    summary = {
+        "lifecycle_counters": counters,
+        "load": load.to_dict(),
+        "failures": failures,
+        "ok": not failures,
+    }
+    with open(report_path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    write_bench_record(
+        bench_path, "E17", {"title": "serve lifecycle counters",
+                            "counters": {"ops": counters}}
+    )
+    write_bench_record(bench_path, "E17L", load.to_dict())
+
+    print(json.dumps(summary["load"]["latency_ms"], indent=2))
+    for failure in failures:
+        print(f"serve smoke FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"serve smoke OK — {load.requests} requests over TCP, "
+            f"{load.counters['evictions']:.0f} evictions, "
+            f"p99 {load.p99_ms:.2f} ms",
+            file=sys.stderr,
+        )
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

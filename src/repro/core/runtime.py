@@ -259,6 +259,9 @@ class Runtime:
         self.last_recovery: Optional[Any] = None
         #: The active ``with rt.batch():`` transaction, if any.
         self._transaction: Optional[Transaction] = None
+        #: Set by :meth:`close`; a closed runtime has released every
+        #: thread-backed resource it owned.
+        self._closed = False
         #: Per-runtime argument tables, keyed by IncrementalProcedure id.
         self._tables: Dict[int, ArgumentTable] = {}
         #: Deprecated observer hook ``(event, node) -> None`` with events
@@ -748,14 +751,54 @@ class Runtime:
         return self.partitions.has_pending()
 
     def close(self) -> None:
-        """Release pooled resources (the parallel-drain worker threads).
+        """Release every thread-backed resource this runtime owns.
 
-        Optional for serial runtimes (a no-op); parallel runtimes should
-        be closed when done so worker threads don't linger until process
-        exit.  Safe to call more than once.
+        Idempotent, and the runtime is a context manager (``with
+        Runtime() as rt: ...`` closes on exit).  In order:
+
+        * shuts down the parallel-drain worker pool (if any);
+        * detaches the resilience policy and stops its shared
+          :class:`~repro.resil.deadline.DeadlineMonitor` daemon (safe
+          even for a policy shared across runtimes — the monitor
+          restarts lazily if the policy is used again);
+        * unlinks the watchdog's policy back-reference;
+        * closes the attached persistence manager, which flushes and
+          closes the write-ahead log.
+
+        Without this, a long-lived process that churns runtimes (one
+        per tenant session, say) leaks a monitor thread per deadline
+        policy and an open WAL file handle per persistence manager.
+        The runtime's graph stays readable after close — only the
+        background machinery is gone — but no further durability or
+        deadline enforcement happens.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._parallel is not None:
             self._parallel.close()
+        policy = self._resilience
+        if policy is not None:
+            self.use_resilience(None)
+            close = getattr(policy, "close", None)
+            if close is not None:
+                close()
+        if self.watchdog is not None:
+            self.watchdog.resilience = None
+        manager = self._persist
+        if manager is not None:
+            manager.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
 
     def check_invariants(self, *, raise_on_violation: bool = True) -> List[str]:
         """Audit the runtime's structural invariants (edge symmetry,

@@ -15,6 +15,18 @@ Histogram buckets are *fixed at construction* (and the standard buckets
 are module constants), so bucket edges are identical across runs and
 processes — snapshots from two CI runs diff cell-for-cell.
 
+Concurrent emitters: a registry may be shared by collectors running on
+several threads (the serve layer aggregates every session's
+:class:`RuntimeMetrics` into one registry).  Registration and the two
+read surfaces (:meth:`MetricsRegistry.snapshot`,
+:meth:`MetricsRegistry.to_prometheus`) take the registry lock and copy
+each instrument's state before rendering, so a scrape landing mid-drain
+never sees a half-registered instrument or a torn histogram (bucket
+counts that disagree with the advertised total).  Instrument *updates*
+stay lock-free: a ``+=`` race between two emitters can under-count by a
+tick, which Prometheus-style monotonic scraping tolerates, but a read
+never tears.
+
 Zero-subscriber cost: nothing here touches the engine until
 :meth:`RuntimeMetrics.attach`; an unattached runtime pays only the
 event bus's per-emit dict lookup, same as before this module existed.
@@ -126,32 +138,47 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
+        # Copy the buckets first and derive the total from the copy:
+        # a concurrent observe() between reading counts and total would
+        # otherwise produce a snapshot whose buckets don't sum to its
+        # advertised count — the torn-histogram read.
+        counts = list(self.counts)
         return {
             "type": "histogram",
             "buckets": list(self.buckets),
-            "counts": list(self.counts),
-            "count": self.total,
+            "counts": counts,
+            "count": sum(counts),
             "sum": self.sum,
         }
 
 
 class MetricsRegistry:
-    """Named instruments with one snapshot / exposition surface."""
+    """Named instruments with one snapshot / exposition surface.
+
+    Registration is idempotent per ``(name, type)`` — re-registering
+    returns the existing instrument — which is also how several
+    :class:`RuntimeMetrics` collectors sharing one registry aggregate
+    into the same counters.  Registration and the read surfaces are
+    guarded by one lock so a scrape is safe while other threads emit
+    and register.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _register(self, metric: Any) -> Any:
-        existing = self._metrics.get(metric.name)
-        if existing is not None:
-            if type(existing) is not type(metric):
-                raise ValueError(
-                    f"metric {metric.name!r} already registered as "
-                    f"{type(existing).__name__}"
-                )
-            return existing
-        self._metrics[metric.name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._register(Counter(name, help))
@@ -173,17 +200,31 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def _sorted_items(self) -> List[Tuple[str, Any]]:
+        """A consistent copy of the instrument table for iteration.
+
+        Taken under the lock so a concurrent ``_register`` can never
+        resize the dict mid-scrape.
+        """
+        with self._lock:
+            return sorted(self._metrics.items())
+
     def snapshot(self) -> Dict[str, Any]:
         """All instruments as one JSON-able dict, sorted by name."""
         return {
-            name: metric.snapshot()
-            for name, metric in sorted(self._metrics.items())
+            name: metric.snapshot() for name, metric in self._sorted_items()
         }
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Safe under concurrent emitters: each histogram is rendered from
+        one copied snapshot of its buckets, so the cumulative series,
+        the ``+Inf`` bucket, and ``_count`` always agree even when
+        observations land mid-scrape.
+        """
         lines: List[str] = []
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._sorted_items():
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             if isinstance(metric, Counter):
@@ -194,17 +235,17 @@ class MetricsRegistry:
                 lines.append(f"{name} {_num(metric.value)}")
             else:
                 lines.append(f"# TYPE {name} histogram")
+                counts = list(metric.counts)
+                total = sum(counts)
                 cumulative = 0
-                for edge, count in zip(metric.buckets, metric.counts):
+                for edge, count in zip(metric.buckets, counts):
                     cumulative += count
                     lines.append(
                         f'{name}_bucket{{le="{_num(edge)}"}} {cumulative}'
                     )
-                lines.append(
-                    f'{name}_bucket{{le="+Inf"}} {metric.total}'
-                )
+                lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
                 lines.append(f"{name}_sum {_num(metric.sum)}")
-                lines.append(f"{name}_count {metric.total}")
+                lines.append(f"{name}_count {total}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -140,10 +140,22 @@ class DeadlineMonitor:
         with self._cond:
             self._cond.notify()
 
-    def close(self) -> None:
+    def close(self, *, join_timeout: float = 2.0) -> None:
+        """Stop the timer thread and wait for it to exit.
+
+        Joining (bounded by ``join_timeout``) is what lets a graceful
+        shutdown assert *zero leaked threads*: a merely-signalled
+        daemon may still be winding down when the caller counts.
+        Idempotent; a closed monitor refuses new registrations and the
+        owning policy lazily builds a fresh one if reused.
+        """
         with self._cond:
+            already = self._closed
             self._closed = True
             self._cond.notify()
+            thread = self._thread
+        if thread is not None and not already:
+            thread.join(timeout=join_timeout)
 
     def _run(self) -> None:
         with self._cond:

@@ -1,0 +1,54 @@
+"""repro.serve — a multi-tenant incremental-computation service.
+
+Hosts many concurrent *sessions*, each a checkpoint+WAL-backed
+spreadsheet under its own :class:`~repro.core.runtime.Runtime` (private
+watchdog budget and resilience policy), behind one asyncio server:
+
+* :class:`~repro.serve.server.Server` — admission control, routing, the
+  newline-JSON protocol, and the HTTP operator surface (``/metrics``,
+  ``/healthz``, ``/sessions``);
+* :class:`~repro.serve.manager.SessionManager` — LRU
+  eviction-to-checkpoint and lazy resurrection from disk;
+* :class:`~repro.serve.dispatch.WorkerPool` — session-pinned worker
+  threads, so disjoint tenants never serialize;
+* :mod:`repro.serve.loadgen` — the seeded load harness that proves a
+  run converged, audited sound, and leaked nothing.
+
+Deliberately *not* imported from :mod:`repro`'s top level: importing
+the core engine must stay free of asyncio/server machinery.
+
+See ``docs/serving.md`` for the full tour.
+"""
+
+from .config import ServeConfig
+from .dispatch import WorkerPool
+from .loadgen import LoadProfile, LoadReport, run_counter_scenario, run_load
+from .manager import SessionManager
+from .metrics import ServeMetrics
+from .protocol import (
+    ProtocolError,
+    Rejected,
+    ServeError,
+    SessionOpError,
+    Unavailable,
+)
+from .server import Server
+from .session import Session
+
+__all__ = [
+    "LoadProfile",
+    "LoadReport",
+    "ProtocolError",
+    "Rejected",
+    "ServeConfig",
+    "ServeError",
+    "ServeMetrics",
+    "Server",
+    "Session",
+    "SessionManager",
+    "SessionOpError",
+    "Unavailable",
+    "WorkerPool",
+    "run_counter_scenario",
+    "run_load",
+]

@@ -1,0 +1,65 @@
+"""Configuration of the serve layer (one dataclass, sensible defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything a :class:`~repro.serve.server.Server` needs to know.
+
+    Per-session knobs (``rows``/``cols``, watchdog budgets, deadline)
+    apply to every tenant runtime the server creates or resurrects;
+    admission and residency knobs bound the server as a whole.
+    """
+
+    #: Directory holding one subdirectory of durable state per session.
+    root: str = "serve-state"
+    #: Sheet dimensions for sessions created fresh.
+    rows: int = 8
+    cols: int = 8
+
+    # -- residency -----------------------------------------------------
+    #: Sessions kept live in memory; the least-recently-used idle
+    #: session beyond this is checkpointed to disk and closed.  Busy
+    #: sessions (in-flight requests) are never evicted, so the live set
+    #: may transiently overflow rather than block admission.
+    max_live_sessions: int = 64
+
+    # -- admission -----------------------------------------------------
+    #: In-flight requests tolerated per session before admission control
+    #: answers 429; the mailbox is per-tenant so one hot session cannot
+    #: starve the rest.
+    mailbox_limit: int = 16
+    #: The ``retry_after`` hint (seconds) sent with a 429.
+    retry_after: float = 0.02
+
+    # -- execution -----------------------------------------------------
+    #: Worker threads; sessions are pinned to workers by id hash.
+    workers: int = 4
+    #: Per-session watchdog budget (propagation steps per drain);
+    #: ``None`` runs without a watchdog.
+    watchdog_max_steps: Optional[int] = 200_000
+    #: Per-session execution deadline (seconds per procedure body);
+    #: ``None`` disables the resilience policy entirely.
+    deadline_seconds: Optional[float] = None
+    #: Per-session ``parallel_drains`` for the tenant runtime.
+    parallel_drains: Optional[int] = None
+    #: Attach the explain recorder to each session (ring-buffered, so
+    #: safe for long-lived tenants).
+    explain: bool = True
+
+    # -- transport -----------------------------------------------------
+    host: str = "127.0.0.1"
+    #: 0 picks an ephemeral port; read ``server.port`` after start().
+    port: int = 0
+    #: Byte limit per request line on the socket path.
+    line_limit: int = 1 << 20
+
+    # -- shutdown ------------------------------------------------------
+    #: How long graceful shutdown waits for in-flight work to drain.
+    drain_timeout: float = 30.0

@@ -1,0 +1,101 @@
+"""Partition-keyed worker pool: the serve layer's execution substrate.
+
+The asyncio loop must never run a drain — a recomputation can take
+arbitrarily long (that is what watchdogs are for) and would freeze every
+other connection.  Instead each session's operations are shipped to a
+small pool of worker threads, *pinned by session id*: ``submit(key,
+fn)`` hashes the key onto one worker's queue, so
+
+* operations of one session execute in submission order on one thread
+  (no session-level interleaving — the session lock is then only a
+  guard against misuse, never contended), and
+* disjoint tenants land on different workers and never serialize
+  behind each other's recomputations.
+
+The tenant is the partition key here, mirroring how the engine's own
+:mod:`repro.core.parallel` drains disjoint graph partitions
+concurrently: isolation boundaries in the data (separate runtimes,
+separate graphs) become concurrency boundaries in the service.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from concurrent.futures import Future
+from typing import Any, Callable, List
+
+__all__ = ["WorkerPool"]
+
+#: Queue sentinel asking a worker thread to exit.
+_STOP = object()
+
+
+class WorkerPool:
+    """``workers`` threads, each draining its own FIFO queue."""
+
+    def __init__(self, workers: int, *, name: str = "serve-worker") -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one thread")
+        self._queues: List["queue.Queue[Any]"] = [
+            queue.Queue() for _ in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._run,
+                args=(q,),
+                name=f"{name}-{i}",
+                daemon=True,
+            )
+            for i, q in enumerate(self._queues)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return len(self._queues)
+
+    def worker_for(self, key: str) -> int:
+        """Which worker a key is pinned to (stable across calls)."""
+        return zlib.crc32(key.encode("utf-8")) % len(self._queues)
+
+    def submit(self, key: str, fn: Callable[[], Any]) -> "Future[Any]":
+        """Run ``fn`` on the worker owning ``key``; resolve the future
+        with its result or exception.
+
+        Same key -> same worker -> strict submission order; that
+        ordering guarantee is what lets eviction submit a session's
+        *close* to the session's own worker and know every previously
+        admitted operation has finished when it runs.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        future: "Future[Any]" = Future()
+        self._queues[self.worker_for(key)].put((future, fn))
+        return future
+
+    def close(self, *, join_timeout: float = 10.0) -> None:
+        """Stop accepting work, finish queued jobs, join the threads."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+
+    def _run(self, q: "queue.Queue[Any]") -> None:
+        while True:
+            item = q.get()
+            if item is _STOP:
+                return
+            future, fn = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                future.set_exception(exc)

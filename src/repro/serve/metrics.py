@@ -1,0 +1,62 @@
+"""Serve-layer instrumentation over one shared metrics registry.
+
+The server owns a single :class:`~repro.obs.metrics.MetricsRegistry`.
+Every tenant session's :class:`~repro.obs.metrics.RuntimeMetrics`
+collector is constructed against it, so the engine-level series
+(``alphonse_executions_total``, drain histograms, ...) aggregate across
+all live runtimes — registration is idempotent per name, each session
+just increments the shared instruments.  This module adds the serve
+layer's own series on top, and one ``/metrics`` scrape exposes both.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import TIME_BUCKETS, MetricsRegistry
+
+__all__ = ["ServeMetrics"]
+
+
+class ServeMetrics:
+    """The serve layer's counters/gauges on a (usually shared) registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.requests = reg.counter(
+            "serve_requests_total", "session operations completed successfully"
+        )
+        self.rejections = reg.counter(
+            "serve_rejections_total",
+            "requests turned away by admission control (429)",
+        )
+        self.errors = reg.counter(
+            "serve_errors_total", "session operations that failed (4xx/5xx)"
+        )
+        self.evictions = reg.counter(
+            "serve_evictions_total",
+            "live sessions checkpointed to disk to make room",
+        )
+        self.resurrections = reg.counter(
+            "serve_resurrections_total",
+            "sessions reopened from their on-disk checkpoint",
+        )
+        self.sessions_created = reg.counter(
+            "serve_sessions_created_total", "sessions opened fresh (no disk state)"
+        )
+        self.sessions_live = reg.gauge(
+            "serve_sessions_live", "sessions currently resident in memory"
+        )
+        self.request_seconds = reg.histogram(
+            "serve_request_seconds",
+            "wall time per session operation, admission to response",
+            TIME_BUCKETS,
+        )
+
+    def counters(self) -> dict:
+        """The four headline serve counters (the E17 regression gate)."""
+        return {
+            "requests_served": self.requests.value,
+            "rejections": self.rejections.value,
+            "evictions": self.evictions.value,
+            "resurrections": self.resurrections.value,
+        }

@@ -1,0 +1,193 @@
+"""Wire protocol of the multi-tenant serve layer.
+
+Two surfaces share one listening port:
+
+* **Request protocol** — newline-delimited JSON, one request object per
+  line, answered by one response object per line in request order.  A
+  request names an ``op`` and, for tenant operations, the ``session``
+  it targets::
+
+      {"id": 7, "op": "write", "session": "alice",
+       "cells": [[0, 0, "5"], [1, 0, "R0C0 + 2"]]}
+
+  Responses are ``{"id": 7, "ok": true, "result": {...}}`` or
+  ``{"id": 7, "ok": false, "error": {"code": 429, "message": ...,
+  "retry_after": 0.05}}``.  Error codes follow HTTP semantics: 400
+  malformed request, 422 the operation itself failed (bad formula,
+  poisoned read), 429 admission control rejected the request
+  (``retry_after`` says when to try again), 503 the server is
+  draining for shutdown.
+
+* **Operator surface** — a connection whose first line parses as an
+  HTTP GET is answered as plain HTTP and closed: ``/metrics``
+  (Prometheus text exposition of the shared registry), ``/healthz``,
+  and ``/sessions`` (per-session stats as JSON).
+
+The protocol layer is transport-free: it validates dicts and renders
+bytes.  :mod:`repro.serve.server` owns the sockets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "GLOBAL_OPS",
+    "ProtocolError",
+    "Rejected",
+    "SESSION_OPS",
+    "ServeError",
+    "SessionOpError",
+    "Unavailable",
+    "encode_line",
+    "error_response",
+    "http_response",
+    "is_http",
+    "ok_response",
+    "parse_request",
+]
+
+#: Operations executed inside one tenant session (require ``session``).
+SESSION_OPS = frozenset(
+    {
+        "write",
+        "batch",
+        "read",
+        "explain",
+        "snapshot",
+        "dump",
+        "log",
+        "audit",
+        "stats",
+    }
+)
+
+#: Operations answered by the server itself, no session involved.
+GLOBAL_OPS = frozenset({"metrics", "healthz", "server_stats", "shutdown"})
+
+#: Upper bound on one request line; longer lines are a protocol error
+#: (and the transport's read limit backstops hostile peers).
+MAX_LINE_BYTES = 1 << 20
+
+
+class ServeError(Exception):
+    """Base of every error the serve layer reports to a client."""
+
+    code = 500
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def payload(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+
+class ProtocolError(ServeError):
+    """Malformed request: not JSON, unknown op, missing fields."""
+
+    code = 400
+
+
+class SessionOpError(ServeError):
+    """The operation ran and failed (bad formula, poisoned read...)."""
+
+    code = 422
+
+
+class Rejected(ServeError):
+    """Admission control turned the request away (mailbox full)."""
+
+    code = 429
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def payload(self) -> Dict[str, Any]:
+        payload = super().payload()
+        payload["retry_after"] = round(self.retry_after, 4)
+        return payload
+
+
+class Unavailable(ServeError):
+    """The server is draining for shutdown; no new work is admitted."""
+
+    code = 503
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    """One wire line -> a validated request dict.
+
+    Guarantees on return: ``op`` is a known operation, and session ops
+    carry a non-empty string ``session``.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op in SESSION_OPS:
+        session = request.get("session")
+        if not isinstance(session, str) or not session:
+            raise ProtocolError(f"op {op!r} requires a 'session' string")
+        if "/" in session or "\\" in session or session in (".", ".."):
+            # Session ids become directory names under the serve root.
+            raise ProtocolError(f"invalid session id {session!r}")
+    elif op not in GLOBAL_OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    return request
+
+
+def ok_response(request: Optional[Dict[str, Any]], result: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "result": result}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def error_response(
+    request: Optional[Dict[str, Any]], error: ServeError
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": False, "error": error.payload()}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One response dict -> one wire line."""
+    return json.dumps(obj, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+# ----------------------------------------------------------------------
+# Operator surface: just enough HTTP for curl / a Prometheus scraper.
+# ----------------------------------------------------------------------
+
+_HTTP_METHODS = (b"GET ", b"HEAD ")
+
+
+def is_http(first_line: bytes) -> bool:
+    """Does this opening line look like an HTTP request line?"""
+    return first_line.startswith(_HTTP_METHODS)
+
+
+def http_response(
+    status: str, body: str, *, content_type: str = "text/plain; charset=utf-8"
+) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + payload

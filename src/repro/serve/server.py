@@ -1,0 +1,299 @@
+"""The multi-tenant incremental-computation server.
+
+One asyncio loop owns admission, routing, and all bookkeeping; worker
+threads (:mod:`repro.serve.dispatch`) run every drain.  A request's
+life::
+
+    socket line ──parse──▶ admission check ──▶ session acquire
+        (429 if the tenant's mailbox is full,   (open / resurrect /
+         503 if the server is draining)          LRU-evict as needed)
+                ──▶ pinned worker runs Session.apply ──▶ response line
+
+:meth:`Server.handle` is the transport-free core — tests, benchmarks,
+and the load harness call it directly with request dicts; the TCP layer
+is a thin line-framing shell around it.  The operator surface (HTTP GET
+``/metrics``, ``/healthz``, ``/sessions`` on the same port) serves
+Prometheus text from the registry that every tenant runtime and the
+serve layer itself aggregate into.
+
+Graceful shutdown is drain-then-checkpoint: stop admitting, wait for
+in-flight work, checkpoint and close every session (stopping their
+deadline monitors and drain pools), then join the worker threads — a
+clean shutdown leaks zero threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .config import ServeConfig
+from .dispatch import WorkerPool
+from .manager import SessionManager
+from .metrics import ServeMetrics
+from .protocol import (
+    SESSION_OPS,
+    ProtocolError,
+    Rejected,
+    ServeError,
+    Unavailable,
+    encode_line,
+    error_response,
+    http_response,
+    is_http,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Sessions + admission + transport, configured by :class:`ServeConfig`."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = ServeMetrics(self.registry)
+        self.pool = WorkerPool(self.config.workers)
+        self.sessions = SessionManager(self.config, self.pool, self.metrics)
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        self._draining = False
+        self._closed = False
+        #: Set when the last in-flight request finishes while draining.
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._total_inflight = 0
+        #: Background loop tasks (shrink sweeps, remote-initiated
+        #: shutdown) awaited before shutdown tears anything down.
+        self._bg_tasks: set = set()
+
+    # -- core dispatch (transport-free) --------------------------------
+
+    async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one already-parsed request; always returns a response
+        dict (errors become ``ok: false`` payloads, never exceptions)."""
+        started = time.perf_counter()
+        try:
+            result = await self._dispatch(request)
+        except ServeError as exc:
+            if isinstance(exc, Rejected):
+                self.metrics.rejections.inc()
+            else:
+                self.metrics.errors.inc()
+            return error_response(request, exc)
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
+            self.metrics.errors.inc()
+            return error_response(request, ServeError(f"internal error: {exc}"))
+        finally:
+            self.metrics.request_seconds.observe(time.perf_counter() - started)
+        return ok_response(request, result)
+
+    async def handle_line(self, line: bytes) -> Dict[str, Any]:
+        """Parse + handle one wire line (shared by TCP and tests)."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.errors.inc()
+            return error_response(None, exc)
+        return await self.handle(request)
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Any:
+        op = request.get("op")
+        if op in SESSION_OPS:
+            return await self._session_op(request)
+        if op == "healthz":
+            return self.health()
+        if op == "metrics":
+            return {"prometheus": self.registry.to_prometheus()}
+        if op == "server_stats":
+            return self.server_stats()
+        if op == "shutdown":
+            # Ack first, drain in the background: the requesting client
+            # still gets its response line before admission closes.
+            self._spawn(self.shutdown())
+            return {"draining": True}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    async def _session_op(self, request: Dict[str, Any]) -> Any:
+        if self._draining:
+            raise Unavailable("server is draining for shutdown")
+        sid = request["session"]
+        inflight = self.sessions.inflight
+        depth = inflight.get(sid, 0)
+        if depth >= self.config.mailbox_limit:
+            raise Rejected(
+                f"session {sid!r} mailbox full "
+                f"({depth}/{self.config.mailbox_limit})",
+                self.config.retry_after,
+            )
+        inflight[sid] = depth + 1
+        self._total_inflight += 1
+        self._idle.clear()
+        try:
+            session = await self.sessions.acquire(sid)
+            result = await asyncio.wrap_future(
+                self.pool.submit(sid, lambda: session.apply(request))
+            )
+        finally:
+            remaining = inflight.get(sid, 1) - 1
+            if remaining:
+                inflight[sid] = remaining
+            else:
+                inflight.pop(sid, None)
+            self._total_inflight -= 1
+            if self._total_inflight == 0:
+                self._idle.set()
+            if not self._draining and self.sessions.over_limit:
+                # Busy-session overflow: shrink back once tenants idle.
+                self._spawn(self.sessions.shrink())
+        self.metrics.requests.inc()
+        return result
+
+    def _spawn(self, coro: Any) -> "asyncio.Task[Any]":
+        task = asyncio.get_running_loop().create_task(coro)
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+        return task
+
+    # -- operator surface ----------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "live_sessions": self.sessions.live,
+            "inflight": self._total_inflight,
+        }
+
+    def server_stats(self) -> Dict[str, Any]:
+        return {
+            "health": self.health(),
+            "counters": self.metrics.counters(),
+            "sessions": self.sessions.stats(),
+        }
+
+    def _http_get(self, path: str) -> bytes:
+        if path in ("/healthz", "/health"):
+            body = json.dumps(self.health())
+            status = "503 Service Unavailable" if self._draining else "200 OK"
+            return http_response(status, body, content_type="application/json")
+        if path == "/metrics":
+            return http_response(
+                "200 OK",
+                self.registry.to_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/sessions":
+            return http_response(
+                "200 OK",
+                json.dumps(self.server_stats(), default=str, indent=2),
+                content_type="application/json",
+            )
+        return http_response("404 Not Found", f"no route {path}\n")
+
+    # -- TCP transport -------------------------------------------------
+
+    async def start(self) -> "Server":
+        """Bind the listening socket (port 0 picks an ephemeral port)."""
+        self._tcp = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.line_limit,
+        )
+        self.port = self._tcp.sockets[0].getsockname()[1]
+        return self
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if is_http(first):
+                await self._serve_http(first, reader, writer)
+                return
+            line = first
+            while line:
+                response = await self.handle_line(line.strip() or b"{}")
+                writer.write(encode_line(response))
+                await writer.drain()
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # Drain the (ignored) request headers so the peer's write side
+        # is consumed before we respond and close.
+        while True:
+            header = await reader.readline()
+            if header in (b"", b"\r\n", b"\n"):
+                break
+        parts = first.decode("ascii", "replace").split()
+        path = parts[1] if len(parts) > 1 else "/"
+        writer.write(self._http_get(path))
+        await writer.drain()
+
+    # -- shutdown ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Drain-then-checkpoint graceful shutdown.
+
+        Stops admitting session work, waits (bounded) for in-flight
+        requests, checkpoints and closes every session, closes the
+        listener, and joins the worker threads.  Idempotent; returns a
+        small report.
+        """
+        if self._closed:
+            return {"closed": True, "sessions_closed": 0, "drained": True}
+        self._draining = True
+        drained = True
+        if self._total_inflight:
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                drained = False
+        # Let in-flight shrink sweeps finish before tearing down (minus
+        # this task itself when shutdown arrived over the wire).
+        pending = [t for t in self._bg_tasks if t is not asyncio.current_task()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        closed = await self.sessions.close_all()
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        self.pool.close()
+        self._closed = True
+        return {"closed": True, "sessions_closed": closed, "drained": drained}

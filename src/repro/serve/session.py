@@ -1,0 +1,303 @@
+"""One tenant: a checkpoint+WAL-backed spreadsheet under its own runtime.
+
+A session is the serve layer's isolation unit.  Each one owns a private
+:class:`~repro.core.runtime.Runtime` — its own dependency graph, its own
+watchdog budget, its own resilience policy — so a tenant that poisons
+nodes, blows deadlines, or livelocks damages nobody else.  Durability
+comes from :mod:`repro.persist`: the sheet is checkpointed at
+``<root>/<sid>/sheet`` and every formula edit is WAL-logged, which is
+what makes eviction cheap (checkpoint + close, resurrect later) and
+crashes survivable.
+
+All session methods run on the session's pinned worker thread (see
+:mod:`repro.serve.dispatch`); the internal lock is a belt-and-braces
+guard for direct library use, not something the server path contends on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core import Runtime
+from ..core.errors import AlphonseError, NodeExecutionError
+from ..core.integrity import audit
+from ..core.watchdog import Watchdog
+from ..obs.metrics import MetricsRegistry, RuntimeMetrics
+from ..resil import ALLOW_STALE, FRESH, ResiliencePolicy
+from ..spreadsheet import CircularReference, Spreadsheet
+from .config import ServeConfig
+from .protocol import ProtocolError, SessionOpError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A live tenant: spreadsheet + runtime + durable state directory."""
+
+    def __init__(
+        self,
+        sid: str,
+        sheet: Spreadsheet,
+        runtime: Runtime,
+        path: str,
+        *,
+        resurrected: bool,
+    ) -> None:
+        self.sid = sid
+        self.sheet = sheet
+        self.runtime = runtime
+        self.path = path
+        self.resurrected = resurrected
+        #: Applied formula edits in execution order — ``(row, col,
+        #: source)`` triples.  This is the serializable history a
+        #: convergence check replays; batch edits are appended only
+        #: after the whole batch committed.  Mirrored to an append-only
+        #: sidecar (``<path>.editlog``) so the history survives
+        #: eviction and resurrection along with the sheet itself.
+        self.edit_log: List[List[Any]] = []
+        self._log_path = path + ".editlog"
+        self._load_edit_log()
+        self._log_fh = open(self._log_path, "a", encoding="utf-8")
+        self.requests = 0
+        self.opened_at = time.monotonic()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _load_edit_log(self) -> None:
+        if not os.path.exists(self._log_path):
+            return
+        with open(self._log_path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    self.edit_log.append(json.loads(line))
+
+    def _log_edit(self, row: int, col: int, formula: Any) -> None:
+        entry = [row, col, formula]
+        self.edit_log.append(entry)
+        self._log_fh.write(json.dumps(entry, default=str) + "\n")
+
+    # -- lifecycle -----------------------------------------------------
+
+    @staticmethod
+    def state_path(root: str, sid: str) -> str:
+        return os.path.join(root, sid, "sheet")
+
+    @classmethod
+    def open(
+        cls,
+        sid: str,
+        config: ServeConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Session":
+        """Open a session: resurrect from disk if it has state, else
+        create it fresh.
+
+        Runs on a worker thread.  The tenant runtime is built with the
+        config's watchdog budget and (optional) resilience deadline; its
+        metrics collector is pointed at the server's shared registry so
+        every tenant aggregates into one ``/metrics`` exposition.
+        """
+        path = cls.state_path(config.root, sid)
+        policy = None
+        if config.deadline_seconds is not None:
+            policy = ResiliencePolicy(deadline_seconds=config.deadline_seconds)
+        watchdog = None
+        if config.watchdog_max_steps is not None:
+            watchdog = Watchdog(max_steps=config.watchdog_max_steps)
+        runtime_kwargs: Dict[str, Any] = {
+            "watchdog": watchdog,
+            "resilience": policy,
+        }
+        if config.parallel_drains is not None:
+            runtime_kwargs["parallel_drains"] = config.parallel_drains
+        if os.path.exists(path):
+            sheet, _report = Spreadsheet.load(path, **runtime_kwargs)
+            rt = sheet.runtime
+            resurrected = True
+        else:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            rt = Runtime(**runtime_kwargs)
+            with rt.active():
+                sheet = Spreadsheet(config.rows, config.cols)
+            resurrected = False
+        if registry is not None:
+            rt.obs.metrics = RuntimeMetrics(registry=registry)
+        rt.obs.enable(spans=False, metrics=True, explain=config.explain)
+        with rt.active():
+            # (Re)attach the WAL manager and cut a checkpoint: a fresh
+            # session becomes durable before its first edit, and a
+            # resurrected one folds its replayed WAL tail back into the
+            # checkpoint so the log never grows across generations.
+            sheet.save(path)
+        return cls(sid, sheet, rt, path, resurrected=resurrected)
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Flush, checkpoint, and release the tenant's threads.
+
+        Idempotent.  This is both the eviction path and the graceful
+        shutdown path: after it returns the session's entire state is on
+        disk and every thread-backed resource (deadline monitor, drain
+        pool, WAL handle) is stopped — :meth:`open` on the same
+        directory resurrects an equivalent session.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            with self.runtime.active():
+                self.runtime.flush()
+                if checkpoint:
+                    self.sheet.save(self.path)
+            self._log_fh.close()
+            self.runtime.obs.disable()
+            self.runtime.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- request execution ---------------------------------------------
+
+    def apply(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one protocol request against this tenant.
+
+        Raises :class:`SessionOpError` (422) when the operation itself
+        fails and :class:`ProtocolError` (400) when its arguments are
+        malformed; anything returned is the JSON-safe ``result``.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionOpError(f"session {self.sid!r} is closed")
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise ProtocolError(f"unknown session op {op!r}")
+            self.requests += 1
+            with self.runtime.active():
+                return handler(request)
+
+    # Each _op_* runs under the session lock with the runtime active.
+
+    def _op_write(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        cells = _cells_arg(request)
+        applied = 0
+        try:
+            for row, col, formula in cells:
+                self.sheet.set_formula(row, col, formula)
+                self._log_edit(row, col, formula)
+                applied += 1
+        except (AlphonseError, ValueError, IndexError, TypeError) as exc:
+            self._log_fh.flush()
+            raise SessionOpError(
+                f"write failed after {applied} cells: {exc}"
+            ) from exc
+        self._log_fh.flush()
+        return {"applied": applied}
+
+    def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        cells = _cells_arg(request)
+        try:
+            self.sheet.bulk_update(cells, rollback_on_error=True)
+        except (AlphonseError, ValueError, IndexError, TypeError) as exc:
+            # rollback_on_error restored every cell: nothing to log.
+            raise SessionOpError(f"batch rolled back: {exc}") from exc
+        for row, col, formula in cells:
+            self._log_edit(row, col, formula)
+        self._log_fh.flush()
+        return {"applied": len(cells)}
+
+    def _op_read(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        row, col = _coords_arg(request)
+        staleness = request.get("staleness", FRESH)
+        if staleness not in (FRESH, ALLOW_STALE):
+            raise ProtocolError(f"unknown staleness {staleness!r}")
+        if staleness == FRESH:
+            try:
+                return {"value": self.sheet.value(row, col), "stale": False}
+            except (CircularReference, NodeExecutionError) as exc:
+                raise SessionOpError(f"read R{row}C{col}: {exc}") from exc
+        # Degraded read: last-known-good value instead of an error.
+        value = self.sheet.display(row, col, allow_stale=True)
+        info = self.sheet.staleness(row, col)
+        result: Dict[str, Any] = {"value": value, "stale": info is not None}
+        if info is not None:
+            result["origin"] = info.origin
+            result["error"] = str(info.error)
+            result["age_seconds"] = info.age_seconds
+        return result
+
+    def _op_explain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        row, col = _coords_arg(request)
+        try:
+            explanation = self.runtime.explain(f"(R{row}C{col})")
+        except (AlphonseError, KeyError, ValueError) as exc:
+            raise SessionOpError(f"explain R{row}C{col}: {exc}") from exc
+        return {"explanation": str(explanation)}
+
+    def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.runtime.flush()
+        return {"path": self.sheet.save(self.path)}
+
+    def _op_dump(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "rows": self.sheet.rows,
+            "cols": self.sheet.cols,
+            "values": [
+                [self.sheet.display(r, c) for c in range(self.sheet.cols)]
+                for r in range(self.sheet.rows)
+            ],
+        }
+
+    def _op_log(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"edits": list(self.edit_log), "count": len(self.edit_log)}
+
+    def _op_audit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        violations = audit(self.runtime, raise_on_violation=False)
+        return {"violations": violations, "sound": not violations}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self.stats()
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "sid": self.sid,
+            "resurrected": self.resurrected,
+            "requests": self.requests,
+            "edits": len(self.edit_log),
+            "rows": self.sheet.rows,
+            "cols": self.sheet.cols,
+            "nodes": len(self.runtime.graph.nodes),
+            "uptime_seconds": round(time.monotonic() - self.opened_at, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# argument validation
+# ----------------------------------------------------------------------
+
+
+def _cells_arg(request: Dict[str, Any]) -> List[Any]:
+    cells = request.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ProtocolError("'cells' must be a non-empty list")
+    out = []
+    for entry in cells:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 3):
+            raise ProtocolError(f"cell entry must be [row, col, formula]: {entry!r}")
+        row, col, formula = entry
+        if not isinstance(row, int) or not isinstance(col, int):
+            raise ProtocolError(f"cell coordinates must be ints: {entry!r}")
+        out.append((row, col, formula))
+    return out
+
+
+def _coords_arg(request: Dict[str, Any]) -> tuple:
+    row, col = request.get("row"), request.get("col")
+    if not isinstance(row, int) or not isinstance(col, int):
+        raise ProtocolError("'row' and 'col' must be ints")
+    return row, col

@@ -396,7 +396,7 @@ class Spreadsheet:
         return path
 
     @classmethod
-    def load(cls, path: str) -> Tuple["Spreadsheet", Any]:
+    def load(cls, path: str, **runtime_kwargs: Any) -> Tuple["Spreadsheet", Any]:
         """Rebuild a sheet from a :meth:`save` checkpoint (plus WAL tail).
 
         Returns ``(sheet, report)`` where ``report`` is the
@@ -409,10 +409,20 @@ class Spreadsheet:
         Corrupt state degrades to an exhaustive rebuild of the same
         formulas; only a checkpoint too damaged to surface the sheet's
         dimensions raises :class:`SpreadsheetLoadError`.
+
+        Extra keyword arguments configure the recovered runtime
+        (forwarded to the :class:`~repro.core.runtime.Runtime`
+        constructor) — the serve layer restores each tenant session
+        with its own watchdog and resilience policy this way, and the
+        parallel persistence tests reload under
+        ``parallel_drains=N``.  Loading the same checkpoint several
+        times builds fully independent sheets: each call recovers into
+        its own runtime and id space, so two sessions restored from
+        one directory layout never share state.
         """
         from ..persist.recover import recover as _recover
 
-        rt, report = _recover(path, restore_values=True)
+        rt, report = _recover(path, restore_values=True, **runtime_kwargs)
         state = report.app_state
         if not isinstance(state, dict) or "rows" not in state:
             detail = f" ({report.reason})" if report.reason else ""

@@ -1,0 +1,114 @@
+"""Runtime.close(): every thread-backed resource released, idempotently."""
+
+import threading
+import time
+
+from repro import ResiliencePolicy, Runtime
+from repro.core.watchdog import Watchdog
+
+
+def monitor_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name == "alphonse-deadline-monitor"
+    ]
+
+
+class TestClose:
+    def test_idempotent(self):
+        rt = Runtime()
+        rt.close()
+        rt.close()
+        assert rt.closed
+
+    def test_context_manager(self):
+        with Runtime() as rt:
+            assert not rt.closed
+        assert rt.closed
+
+    def test_detaches_and_closes_resilience_policy(self):
+        policy = ResiliencePolicy(deadline_seconds=30.0)
+        rt = Runtime(resilience=policy, watchdog=Watchdog(max_steps=100))
+        assert rt._resilience is policy
+        assert rt.watchdog.resilience is policy
+        rt.close()
+        assert rt._resilience is None
+        assert rt.watchdog.resilience is None
+
+    def test_joins_the_deadline_monitor_thread(self):
+        policy = ResiliencePolicy(deadline_seconds=30.0)
+        rt = Runtime(resilience=policy)
+        with rt.active():
+            from repro import TrackedObject, maintained
+
+            class Node(TrackedObject):
+                _fields_ = ("x",)
+
+                @maintained
+                def out(self):
+                    return self.x + 1
+
+            node = Node(x=1)
+            assert node.out() == 2  # spawns the monitor lazily
+        assert monitor_threads()
+        rt.close()
+        deadline = time.monotonic() + 3.0
+        while monitor_threads() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not monitor_threads()
+
+    def test_closes_parallel_drain_pool(self):
+        rt = Runtime(parallel_drains=3)
+        before = len(threading.enumerate())
+        with rt.active():
+            from repro import TrackedObject, maintained
+
+            class Node(TrackedObject):
+                _fields_ = ("x",)
+
+                @maintained
+                def out(self):
+                    return self.x * 2
+
+            nodes = [Node(x=i) for i in range(4)]
+            for node in nodes:
+                node.out()
+            for node in nodes:
+                node.x += 1
+            rt.flush()
+        rt.close()
+        deadline = time.monotonic() + 3.0
+        while len(threading.enumerate()) > before and (
+            time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert len(threading.enumerate()) <= before
+
+    def test_closes_attached_wal(self, tmp_path):
+        rt = Runtime()
+        manager = rt.persist_to(str(tmp_path / "state"))
+        assert rt._persist is manager
+        rt.close()
+        assert rt._persist is None
+        assert manager.wal._fh.closed
+
+    def test_shared_policy_survives_for_reuse(self):
+        """Closing one runtime must not brick a policy shared with
+        another: the monitor restarts lazily on next registration."""
+        policy = ResiliencePolicy(deadline_seconds=30.0)
+        first = Runtime(resilience=policy)
+        first.close()
+        second = Runtime(resilience=policy)
+        with second.active():
+            from repro import TrackedObject, maintained
+
+            class Node(TrackedObject):
+                _fields_ = ("x",)
+
+                @maintained
+                def out(self):
+                    return self.x - 1
+
+            node = Node(x=5)
+            assert node.out() == 4  # re-registers on a fresh monitor
+        second.close()

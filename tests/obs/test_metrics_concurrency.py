@@ -1,0 +1,98 @@
+"""MetricsRegistry under concurrent emitters: scrapes stay consistent.
+
+The serve layer points every tenant runtime's ``RuntimeMetrics`` at one
+shared registry, so instruments are updated from many worker threads
+while ``/metrics`` scrapes ``to_prometheus()`` and ``snapshot()`` from
+the loop thread.  Two properties must hold:
+
+* registration is safe mid-scrape — a new session registering a
+  per-procedure histogram while another thread iterates the registry
+  must not blow up (``RuntimeError: dictionary changed size``);
+* a histogram is rendered from one self-consistent copy — the rendered
+  ``_count`` always equals the sum of its rendered buckets, even while
+  ``observe()`` races the scrape.
+"""
+
+import re
+import threading
+
+from repro.obs.metrics import MetricsRegistry, RuntimeMetrics, TIME_BUCKETS
+
+
+class TestConcurrentRegistration:
+    def test_scrape_races_registration(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def registrar():
+            i = 0
+            while not stop.is_set():
+                registry.counter(f"c_{i % 500}").inc()
+                registry.histogram(f"h_{i % 200}", buckets=TIME_BUCKETS)
+                i += 1
+
+        def scraper():
+            try:
+                while not stop.is_set():
+                    registry.to_prometheus()
+                    registry.snapshot()
+            except Exception as exc:  # noqa: BLE001 - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=registrar) for _ in range(3)]
+        threads += [threading.Thread(target=scraper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+        assert errors == []
+
+    def test_shared_registry_aggregates_collectors(self):
+        """Several RuntimeMetrics on one registry share instruments
+        (the serve layer's /metrics aggregation mechanism)."""
+        registry = MetricsRegistry()
+        first = RuntimeMetrics(registry=registry)
+        second = RuntimeMetrics(registry=registry)
+        assert first.executions is second.executions
+        first.executions.inc(3)
+        second.executions.inc(4)
+        assert registry.get("alphonse_executions_total").value == 7
+
+
+class TestConsistentHistograms:
+    def test_count_equals_bucket_sum_under_race(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=TIME_BUCKETS)
+        stop = threading.Event()
+
+        def emitter():
+            value = 0.0001
+            while not stop.is_set():
+                histogram.observe(value)
+                value = value * 10 if value < 1 else 0.0001
+
+        threads = [threading.Thread(target=emitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                snap = histogram.snapshot()
+                assert snap["count"] == sum(snap["counts"]), snap
+                text = registry.to_prometheus()
+                buckets = [
+                    int(m)
+                    for m in re.findall(r'h_bucket\{le="[^+]+?"\} (\d+)', text)
+                ]
+                inf = int(re.search(r'h_bucket\{le="\+Inf"\} (\d+)', text)[1])
+                count = int(re.search(r"h_count (\d+)", text)[1])
+                # Cumulative buckets are monotone and +Inf == _count.
+                assert buckets == sorted(buckets)
+                assert inf == count
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

@@ -1,0 +1,104 @@
+"""Wire-protocol validation: parsing, error payloads, HTTP framing."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Rejected,
+    ServeError,
+    SessionOpError,
+    Unavailable,
+    encode_line,
+    error_response,
+    http_response,
+    is_http,
+    ok_response,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_valid_session_op(self):
+        request = parse_request(
+            b'{"op": "write", "session": "alice", "cells": [[0, 0, 5]]}'
+        )
+        assert request["op"] == "write"
+        assert request["session"] == "alice"
+
+    def test_valid_global_op(self):
+        assert parse_request(b'{"op": "healthz"}')["op"] == "healthz"
+
+    def test_not_json(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"this is not json")
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"[1, 2, 3]")
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request(b'{"op": "frobnicate"}')
+
+    def test_session_op_requires_session(self):
+        with pytest.raises(ProtocolError, match="requires a 'session'"):
+            parse_request(b'{"op": "read", "row": 0, "col": 0}')
+
+    def test_session_id_cannot_traverse_paths(self):
+        for sid in ("../evil", "a/b", "..", "."):
+            line = json.dumps({"op": "read", "session": sid}).encode()
+            with pytest.raises(ProtocolError, match="invalid session id"):
+                parse_request(line)
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(b"x" * (1 << 21))
+
+
+class TestErrorPayloads:
+    def test_codes_follow_http_semantics(self):
+        assert ProtocolError("x").code == 400
+        assert SessionOpError("x").code == 422
+        assert Rejected("x", 0.1).code == 429
+        assert Unavailable("x").code == 503
+        assert ServeError("x").code == 500
+
+    def test_rejected_carries_retry_after(self):
+        payload = Rejected("mailbox full", 0.05).payload()
+        assert payload["code"] == 429
+        assert payload["retry_after"] == 0.05
+
+    def test_error_response_echoes_request_id(self):
+        response = error_response({"id": 42}, SessionOpError("boom"))
+        assert response == {
+            "id": 42,
+            "ok": False,
+            "error": {"code": 422, "message": "boom"},
+        }
+
+    def test_ok_response_without_id(self):
+        assert ok_response({"op": "healthz"}, {"a": 1}) == {
+            "ok": True,
+            "result": {"a": 1},
+        }
+
+
+class TestFraming:
+    def test_encode_line_roundtrips(self):
+        line = encode_line({"ok": True, "result": [1, "two"]})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"ok": True, "result": [1, "two"]}
+
+    def test_is_http_detects_get_and_head(self):
+        assert is_http(b"GET /metrics HTTP/1.1\r\n")
+        assert is_http(b"HEAD /healthz HTTP/1.1\r\n")
+        assert not is_http(b'{"op": "healthz"}\n')
+
+    def test_http_response_framing(self):
+        raw = http_response("200 OK", "hello")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 5" in head
+        assert body == b"hello"
