@@ -46,7 +46,9 @@ WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
 #: the engine *does*, not just what it costs.  E17's come from the
 #: serve layer's scripted lifecycle scenario: drift there means
 #: admission control, LRU eviction, or resurrection changed behaviour.
-TRACKED = ("E1", "E6a", "E6b", "E9b", "E16", "E17")
+#: E18's come from the flight-recorder-attached tree cycle: drift there
+#: means the always-on postmortem ring changed what the engine *does*.
+TRACKED = ("E1", "E6a", "E6b", "E9b", "E16", "E17", "E18")
 
 #: Allowed relative drift per counter.
 TOLERANCE = 0.10

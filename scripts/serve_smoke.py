@@ -8,12 +8,17 @@ scenario, and asserts:
 * convergence — served grids equal a serial replay of each session's
   edit log;
 * graceful drain-then-checkpoint shutdown with zero leaked threads;
-* the lifecycle counters land on their exact expected values.
+* the lifecycle counters land on their exact expected values;
+* the load run stayed inside its latency SLOs;
+* one traced TCP request stitches into a single Chrome timeline that
+  spans all four layers (server accept, dispatch hop, session op,
+  runtime drain) under one ``trace_id``.
 
 Writes a machine-readable summary (for the CI artifact) to
-``serve_smoke_report.json`` (or the path given as argv[1]) and a
-``BENCH_serve.json`` next to it.  Exit status 0 means every assertion
-held.
+``serve_smoke_report.json`` (or the path given as argv[1]), a
+``BENCH_serve.json`` next to it, and the observability artifacts
+(``serve_trace.json`` plus the flight-recorder dumps) into the same
+directory for CI upload.  Exit status 0 means every assertion held.
 
 Usage::
 
@@ -22,8 +27,10 @@ Usage::
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import shutil
 import sys
 import tempfile
 
@@ -31,11 +38,12 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
-from repro.serve import LoadProfile, ServeConfig, run_load  # noqa: E402
+from repro.serve import LoadProfile, ServeConfig, Server, run_load  # noqa: E402
 from repro.serve.loadgen import (  # noqa: E402
     run_counter_scenario,
     write_bench_record,
 )
+from repro.serve.protocol import encode_line  # noqa: E402
 
 EXPECTED_COUNTERS = {
     "requests_served": 6,
@@ -43,6 +51,81 @@ EXPECTED_COUNTERS = {
     "evictions": 4,
     "resurrections": 2,
 }
+
+TRACE_LAYERS = {"request", "dispatch", "session-op", "drain"}
+
+
+async def _trace_scenario(root: str, artifact_dir: str) -> list:
+    """One traced request over real TCP, stitched across all layers.
+
+    Primes a dependent cell, dirties its input, then reads it with a
+    client-supplied id: serving that read forces a change-propagation
+    drain, so the exported Chrome trace must show the request on every
+    layer — the server's request span, the dispatch hop, the session
+    op, and the runtime drain — all under one ``trace_id``.
+    """
+    failures = []
+    config = ServeConfig(
+        root=root, rows=4, cols=4, workers=2, trace=True, explain=False
+    )
+    server = await Server(config).start()
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+    async def call(request):
+        writer.write(encode_line(request))
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    await call(
+        {"op": "write", "session": "a",
+         "cells": [[0, 0, 3], [0, 1, "R0C0 + 4"]]}
+    )
+    await call({"op": "read", "session": "a", "row": 0, "col": 1})
+    await call({"op": "write", "session": "a", "cells": [[0, 0, 10]]})
+    read = await call(
+        {"op": "read", "session": "a", "row": 0, "col": 1,
+         "id": "smoke-trace"}
+    )
+    if not (read.get("ok") and read["result"]["value"] == 14):
+        failures.append(f"traced read drifted: {read}")
+    debug = await call({"op": "debug", "session": "a", "dump": True})
+    writer.close()
+    await writer.wait_closed()
+
+    chrome = server.export_chrome()
+    ours = [
+        e
+        for e in chrome["traceEvents"]
+        if e.get("args", {}).get("request_id") == "smoke-trace"
+    ]
+    layers = {e["cat"] for e in ours}
+    missing = TRACE_LAYERS - layers
+    if missing:
+        failures.append(
+            f"trace missing layers {sorted(missing)} (saw {sorted(layers)})"
+        )
+    trace_ids = {e["args"].get("trace_id") for e in ours}
+    if len(trace_ids) != 1 or None in trace_ids:
+        failures.append(f"expected one trace_id across layers: {trace_ids}")
+
+    with open(
+        os.path.join(artifact_dir, "serve_trace.json"), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(chrome, fh, indent=2)
+        fh.write("\n")
+
+    await server.shutdown()
+    # Keep the flight dumps (shutdown wrote the server's; the debug op
+    # wrote session a's) beyond the tempdir for the CI artifact.
+    for src, name in (
+        (os.path.join(root, "flight-server.jsonl"), "flight-server.jsonl"),
+        (debug.get("result", {}).get("path"), "flight-session-a.jsonl"),
+    ):
+        if src and os.path.exists(src):
+            shutil.copy(src, os.path.join(artifact_dir, name))
+        else:
+            failures.append(f"flight dump missing: {src}")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -73,6 +156,7 @@ def main(argv=None) -> int:
                 max_live_sessions=6,
                 mailbox_limit=8,
                 workers=4,
+                slo_ms=1000.0,  # generous: CI asserts the plumbing, not speed
             ),
         )
         load = run_load(profile)
@@ -86,6 +170,17 @@ def main(argv=None) -> int:
             failures.append(f"threads leaked: {load.leaked_threads}")
         if load.errors:
             failures.append(f"{load.errors} request errors")
+        if not load.slo.get("requests"):
+            failures.append("SLO surface saw no requests")
+        if not load.slo_ok:
+            failures.append(f"load run burned its SLO budget: {load.slo}")
+
+        artifact_dir = os.path.dirname(report_path) or "."
+        failures.extend(
+            asyncio.run(
+                _trace_scenario(os.path.join(td, "trace"), artifact_dir)
+            )
+        )
 
     summary = {
         "lifecycle_counters": counters,
@@ -109,7 +204,8 @@ def main(argv=None) -> int:
         print(
             f"serve smoke OK — {load.requests} requests over TCP, "
             f"{load.counters['evictions']:.0f} evictions, "
-            f"p99 {load.p99_ms:.2f} ms",
+            f"p99 {load.p99_ms:.2f} ms, slo burn {load.slo['burn']:.3f}, "
+            f"trace stitched across {len(TRACE_LAYERS)} layers",
             file=sys.stderr,
         )
     return 0 if not failures else 1

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from typing import Any, Dict
 
 from .explain import CausalLink, Explanation, ExplainRecorder, explain
+from .flight import FlightRecorder
 from .inspect import GraphSnapshot, SnapshotDiff
 from .metrics import (
     SIZE_BUCKETS,
@@ -46,12 +47,14 @@ from .metrics import (
     RuntimeMetrics,
 )
 from .spans import Span, SpanTracer
+from .trace import TraceContext, current_trace, mint_trace_id, trace_scope
 
 __all__ = [
     "CausalLink",
     "Counter",
     "Explanation",
     "ExplainRecorder",
+    "FlightRecorder",
     "Gauge",
     "GraphSnapshot",
     "Histogram",
@@ -63,7 +66,11 @@ __all__ = [
     "SpanTracer",
     "SnapshotDiff",
     "TIME_BUCKETS",
+    "TraceContext",
+    "current_trace",
     "explain",
+    "mint_trace_id",
+    "trace_scope",
 ]
 
 
@@ -80,6 +87,7 @@ class Observability:
         self.tracer = SpanTracer()
         self.metrics = RuntimeMetrics()
         self.recorder = ExplainRecorder()
+        self.flight = FlightRecorder()
         self._enabled = False
 
     @property
@@ -92,11 +100,14 @@ class Observability:
         spans: bool = True,
         metrics: bool = True,
         explain: bool = True,
+        flight: bool = False,
     ) -> "Observability":
         """Attach the selected consumers to the runtime's event bus.
 
         Idempotent per consumer; re-enabling an attached facade is a
-        no-op for the parts already running.
+        no-op for the parts already running.  ``flight`` attaches the
+        bounded :class:`~repro.obs.flight.FlightRecorder` — opt-in here,
+        always-on for serve-layer sessions.
         """
         bus = self._runtime.events
         if spans and self.tracer._bus is None:
@@ -105,6 +116,8 @@ class Observability:
             self.metrics.attach(bus)
         if explain and self.recorder._bus is None:
             self.recorder.attach(bus)
+        if flight and self.flight._bus is None:
+            self.flight.attach(bus)
         self._enabled = True
         return self
 
@@ -113,6 +126,7 @@ class Observability:
         self.tracer.detach()
         self.metrics.detach()
         self.recorder.detach()
+        self.flight.detach()
         self._enabled = False
 
     def clear(self) -> None:

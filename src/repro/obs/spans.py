@@ -34,6 +34,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.events import EventBus, EventKind
+from .trace import current_trace
 
 __all__ = ["Span", "SpanTracer"]
 
@@ -95,6 +96,7 @@ class Span:
             "start": self.start,
             "duration": self.duration,
             "status": self.status,
+            "tid": self.tid,
         }
         if self.meta:
             out["meta"] = self.meta
@@ -207,6 +209,13 @@ class SpanTracer:
             # DRAIN_STARTED carries {"partition": pid}: tag the span so
             # flame views can group drain time by partition.
             span.meta.update(data)
+        ctx = current_trace()
+        if ctx is not None:
+            # The ambient request context (serve layer): stamping the
+            # ids here is what lets a Chrome export correlate this
+            # drain/execute span with the protocol request that caused
+            # it, across the asyncio→worker-thread boundary.
+            span.meta.update(ctx.ids())
         self._stack.append(span)
 
     def _on_close(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:

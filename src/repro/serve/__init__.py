@@ -34,6 +34,7 @@ from .protocol import (
 )
 from .server import Server
 from .session import Session
+from .telemetry import ServeTelemetry, SloTracker
 
 __all__ = [
     "LoadProfile",
@@ -43,10 +44,12 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServeMetrics",
+    "ServeTelemetry",
     "Server",
     "Session",
     "SessionManager",
     "SessionOpError",
+    "SloTracker",
     "Unavailable",
     "WorkerPool",
     "run_counter_scenario",

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 __all__ = ["ServeConfig"]
 
@@ -52,6 +52,27 @@ class ServeConfig:
     #: Attach the explain recorder to each session (ring-buffered, so
     #: safe for long-lived tenants).
     explain: bool = True
+
+    # -- observability -------------------------------------------------
+    #: Attach the span tracer to each session runtime, so per-request
+    #: drain/execute spans carry the originating request's trace ids
+    #: and export to one stitched Chrome timeline.  Off by default:
+    #: spans accumulate unboundedly on long-lived tenants.
+    trace: bool = False
+    #: Ring size of each flight recorder (one per session plus one for
+    #: the server itself).  The recorder is always on — it only captures
+    #: low-rate incident/boundary events, so idle cost is near zero.
+    flight_capacity: int = 512
+
+    # -- SLOs ----------------------------------------------------------
+    #: Default per-operation latency objective, in milliseconds; a
+    #: request slower than its op's objective burns error budget.
+    slo_ms: float = 250.0
+    #: Per-op objective overrides, e.g. ``{"snapshot": 2000.0}``.
+    slo_overrides: Dict[str, float] = field(default_factory=dict)
+    #: Tolerated breach fraction per op before ``/healthz`` reports the
+    #: objective as failing.
+    slo_error_budget: float = 0.01
 
     # -- transport -----------------------------------------------------
     host: str = "127.0.0.1"

@@ -20,6 +20,7 @@ separate graphs) become concurrency boundaries in the service.
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 import zlib
@@ -70,11 +71,18 @@ class WorkerPool:
         ordering guarantee is what lets eviction submit a session's
         *close* to the session's own worker and know every previously
         admitted operation has finished when it runs.
+
+        The submitter's :mod:`contextvars` context is captured here and
+        the job runs inside a copy of it on the worker — this is the
+        propagation shim that carries the request's
+        :class:`~repro.obs.trace.TraceContext` (and anything else
+        context-local) across the asyncio→worker-thread hop.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         future: "Future[Any]" = Future()
-        self._queues[self.worker_for(key)].put((future, fn))
+        context = contextvars.copy_context()
+        self._queues[self.worker_for(key)].put((future, fn, context))
         return future
 
     def close(self, *, join_timeout: float = 10.0) -> None:
@@ -92,10 +100,10 @@ class WorkerPool:
             item = q.get()
             if item is _STOP:
                 return
-            future, fn = item
+            future, fn, context = item
             if not future.set_running_or_notify_cancel():
                 continue
             try:
-                future.set_result(fn())
+                future.set_result(context.run(fn))
             except BaseException as exc:  # noqa: BLE001 - relayed to caller
                 future.set_exception(exc)

@@ -93,6 +93,10 @@ class LoadReport:
     audit_violations: List[str] = field(default_factory=list)
     leaked_threads: List[str] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
+    #: The server's SLO ledger (``/healthz``'s ``slo`` object) captured
+    #: at the end of the run, so a harness can assert objectives held —
+    #: not just that the run converged.
+    slo: Dict[str, Any] = field(default_factory=dict)
     sessions: int = 0
     clients: int = 0
 
@@ -105,6 +109,11 @@ class LoadReport:
             and not self.leaked_threads
             and not self.errors
         )
+
+    @property
+    def slo_ok(self) -> bool:
+        """Did every op hold its latency objective within budget?"""
+        return bool(self.slo.get("ok", False))
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -127,6 +136,7 @@ class LoadReport:
             "leaked_threads": self.leaked_threads,
             "clean": self.clean,
             "counters": self.counters,
+            "slo": self.slo,
         }
 
 
@@ -334,6 +344,7 @@ def run_load(profile: LoadProfile) -> LoadReport:
         )
         report.elapsed_seconds = time.perf_counter() - started
         report.counters = server.metrics.counters()
+        report.slo = server.telemetry.slo.status()
         await _verify_and_shutdown(server, profile, report)
 
     asyncio.run(main())

@@ -74,6 +74,11 @@ class SessionManager:
     def get(self, sid: str) -> Optional[Session]:
         return self._sessions.get(sid)
 
+    def live_sessions(self) -> Dict[str, Session]:
+        """A snapshot of the live-session table (loop thread only) —
+        what the telemetry layer stitches Chrome traces from."""
+        return dict(self._sessions)
+
     # -- acquisition ---------------------------------------------------
 
     async def acquire(self, sid: str) -> Session:
@@ -157,7 +162,9 @@ class SessionManager:
             victim = self._sessions.pop(victim_sid)
             self.metrics.sessions_live.set(len(self._sessions))
             await asyncio.wrap_future(
-                self.pool.submit(victim_sid, victim.close)
+                self.pool.submit(
+                    victim_sid, lambda v=victim: v.close(reason="eviction")
+                )
             )
             self.metrics.evictions.inc()
 

@@ -51,6 +51,16 @@ class ServeMetrics:
             "wall time per session operation, admission to response",
             TIME_BUCKETS,
         )
+        # SLO burn accounting (per-op breakdown lives in the
+        # SloTracker; these aggregate series feed alerting).
+        self.slo_observations = reg.counter(
+            "serve_slo_observations_total",
+            "requests measured against a latency objective",
+        )
+        self.slo_breaches = reg.counter(
+            "serve_slo_breaches_total",
+            "requests that overran their op's latency objective",
+        )
 
     def counters(self) -> dict:
         """The four headline serve counters (the E17 regression gate)."""

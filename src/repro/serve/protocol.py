@@ -60,6 +60,7 @@ SESSION_OPS = frozenset(
         "log",
         "audit",
         "stats",
+        "debug",
     }
 )
 
@@ -152,9 +153,18 @@ def ok_response(request: Optional[Dict[str, Any]], result: Any) -> Dict[str, Any
 
 
 def error_response(
-    request: Optional[Dict[str, Any]], error: ServeError
+    request: Optional[Dict[str, Any]],
+    error: ServeError,
+    trace: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    response: Dict[str, Any] = {"ok": False, "error": error.payload()}
+    """Render an error; with a trace context the payload also carries
+    ``trace_id``/``request_id`` so the client can correlate the failure
+    with server-side flight dumps (the 429 path included, alongside its
+    ``retry_after``)."""
+    payload = error.payload()
+    if trace is not None:
+        payload.update(trace.ids())
+    response: Dict[str, Any] = {"ok": False, "error": payload}
     if isinstance(request, dict) and "id" in request:
         response["id"] = request["id"]
     return response

@@ -26,14 +26,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from typing import Any, Dict, Optional
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import trace_scope
 from .config import ServeConfig
 from .dispatch import WorkerPool
 from .manager import SessionManager
 from .metrics import ServeMetrics
+from .telemetry import ServeTelemetry
 from .protocol import (
     SESSION_OPS,
     ProtocolError,
@@ -63,6 +66,7 @@ class Server:
         self.config = config if config is not None else ServeConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.metrics = ServeMetrics(self.registry)
+        self.telemetry = ServeTelemetry(self.config, self.metrics)
         self.pool = WorkerPool(self.config.workers)
         self.sessions = SessionManager(self.config, self.pool, self.metrics)
         self._tcp: Optional[asyncio.AbstractServer] = None
@@ -81,22 +85,38 @@ class Server:
 
     async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one already-parsed request; always returns a response
-        dict (errors become ``ok: false`` payloads, never exceptions)."""
-        started = time.perf_counter()
-        try:
-            result = await self._dispatch(request)
-        except ServeError as exc:
-            if isinstance(exc, Rejected):
-                self.metrics.rejections.inc()
-            else:
+        dict (errors become ``ok: false`` payloads, never exceptions).
+
+        A :class:`~repro.obs.trace.TraceContext` is minted here and
+        installed for the whole request: the dispatch shim carries it
+        onto the worker thread, so flight notes, tracer spans, and
+        resilience events downstream all tag themselves with this
+        request's ids — and every error payload echoes them back.
+        """
+        ctx = self.telemetry.begin(request)
+        with trace_scope(ctx):
+            started = time.perf_counter()
+            code = 200
+            try:
+                result = await self._dispatch(request)
+            except ServeError as exc:
+                code = exc.code
+                if isinstance(exc, Rejected):
+                    self.metrics.rejections.inc()
+                else:
+                    self.metrics.errors.inc()
+                return error_response(request, exc, trace=ctx)
+            except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
+                code = 500
                 self.metrics.errors.inc()
-            return error_response(request, exc)
-        except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
-            self.metrics.errors.inc()
-            return error_response(request, ServeError(f"internal error: {exc}"))
-        finally:
-            self.metrics.request_seconds.observe(time.perf_counter() - started)
-        return ok_response(request, result)
+                return error_response(
+                    request, ServeError(f"internal error: {exc}"), trace=ctx
+                )
+            finally:
+                elapsed = time.perf_counter() - started
+                self.metrics.request_seconds.observe(elapsed)
+                self.telemetry.finish(ctx, elapsed, code)
+            return ok_response(request, result)
 
     async def handle_line(self, line: bytes) -> Dict[str, Any]:
         """Parse + handle one wire line (shared by TCP and tests)."""
@@ -104,7 +124,7 @@ class Server:
             request = parse_request(line)
         except ProtocolError as exc:
             self.metrics.errors.inc()
-            return error_response(None, exc)
+            return error_response(None, exc, trace=self.telemetry.begin(None))
         return await self.handle(request)
 
     async def _dispatch(self, request: Dict[str, Any]) -> Any:
@@ -141,9 +161,29 @@ class Server:
         self._idle.clear()
         try:
             session = await self.sessions.acquire(sid)
-            result = await asyncio.wrap_future(
-                self.pool.submit(sid, lambda: session.apply(request))
-            )
+            submitted = time.perf_counter()
+
+            def job() -> Any:
+                # Worker side of the hop, inside the dispatch shim's
+                # copied context: the note carries the request's trace
+                # ids plus how long the job sat queued behind the
+                # tenant's earlier operations.
+                queued = time.perf_counter() - submitted
+                started = time.perf_counter()
+                try:
+                    return session.apply(request)
+                finally:
+                    self.telemetry.flight.note(
+                        "dispatch",
+                        sid,
+                        data={
+                            "worker": self.pool.worker_for(sid),
+                            "queued_s": round(queued, 6),
+                        },
+                        duration=time.perf_counter() - started,
+                    )
+
+            result = await asyncio.wrap_future(self.pool.submit(sid, job))
         finally:
             remaining = inflight.get(sid, 1) - 1
             if remaining:
@@ -172,6 +212,7 @@ class Server:
             "status": "draining" if self._draining else "ok",
             "live_sessions": self.sessions.live,
             "inflight": self._total_inflight,
+            "slo": self.telemetry.slo.status(),
         }
 
     def server_stats(self) -> Dict[str, Any]:
@@ -198,7 +239,44 @@ class Server:
                 json.dumps(self.server_stats(), default=str, indent=2),
                 content_type="application/json",
             )
+        if path == "/debug" or path.startswith("/debug/"):
+            return self._http_debug(path)
         return http_response("404 Not Found", f"no route {path}\n")
+
+    def _http_debug(self, path: str) -> bytes:
+        """``GET /debug`` — the server's flight ring; ``GET
+        /debug/<sid>`` — a live session's ring (404 when not resident:
+        an evicted tenant's evidence is its on-disk ``flight.jsonl``)."""
+        sid = path[len("/debug/"):] if path.startswith("/debug/") else ""
+        if not sid:
+            body = {
+                "scope": "server",
+                "records": self.telemetry.flight.records(),
+                "recorded": self.telemetry.flight.recorded,
+                "dropped": self.telemetry.flight.dropped,
+            }
+        else:
+            session = self.sessions.get(sid)
+            if session is None:
+                return http_response(
+                    "404 Not Found", f"session {sid!r} is not resident\n"
+                )
+            body = {
+                "scope": sid,
+                "records": session.flight.records(),
+                "recorded": session.flight.recorded,
+                "dropped": session.flight.dropped,
+            }
+        return http_response(
+            "200 OK",
+            json.dumps(body, default=str, indent=2),
+            content_type="application/json",
+        )
+
+    def export_chrome(self) -> Dict[str, Any]:
+        """The stitched Chrome trace across the server and every live
+        session (loop thread only)."""
+        return self.telemetry.stitched_chrome(self.sessions.live_sessions())
 
     # -- TCP transport -------------------------------------------------
 
@@ -296,4 +374,16 @@ class Server:
             self._tcp = None
         self.pool.close()
         self._closed = True
+        # Last act: preserve the server's flight ring next to the
+        # session state, so a postmortem of the *whole process* has the
+        # recent request/dispatch history even after a clean exit.
+        try:
+            os.makedirs(self.config.root, exist_ok=True)
+            self.telemetry.flight.dump(
+                os.path.join(self.config.root, "flight-server.jsonl"),
+                reason="shutdown",
+                extra={"slo": self.telemetry.slo.status()},
+            )
+        except OSError:
+            pass  # a dump must never turn a clean shutdown into a crash
         return {"closed": True, "sessions_closed": closed, "drained": drained}

@@ -24,8 +24,10 @@ from typing import Any, Dict, List, Optional
 
 from ..core import Runtime
 from ..core.errors import AlphonseError, NodeExecutionError
+from ..core.events import EventKind
 from ..core.integrity import audit
 from ..core.watchdog import Watchdog
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry, RuntimeMetrics
 from ..resil import ALLOW_STALE, FRESH, ResiliencePolicy
 from ..spreadsheet import CircularReference, Spreadsheet
@@ -66,6 +68,20 @@ class Session:
         self.opened_at = time.monotonic()
         self._lock = threading.Lock()
         self._closed = False
+        #: The tenant's always-on flight recorder (attached to the
+        #: runtime bus by :meth:`open`); session-op notes land here too.
+        self.flight = runtime.obs.flight
+        # Incident-triggered dumps: a watchdog trip or a circuit
+        # breaker opening writes the ring to disk *at the moment of the
+        # incident*, while the evidence is still in the buffer.  The
+        # flight recorder subscribed first (in open()), so the trigger
+        # event itself is already recorded when the dump runs.
+        self._incident_kinds = (
+            EventKind.WATCHDOG_TRIPPED,
+            EventKind.BREAKER_STATE,
+        )
+        for kind in self._incident_kinds:
+            runtime.events.subscribe(kind, self._on_incident)
 
     def _load_edit_log(self) -> None:
         if not os.path.exists(self._log_path):
@@ -127,7 +143,13 @@ class Session:
             resurrected = False
         if registry is not None:
             rt.obs.metrics = RuntimeMetrics(registry=registry)
-        rt.obs.enable(spans=False, metrics=True, explain=config.explain)
+        rt.obs.flight = FlightRecorder(config.flight_capacity)
+        rt.obs.enable(
+            spans=config.trace,
+            metrics=True,
+            explain=config.explain,
+            flight=True,
+        )
         with rt.active():
             # (Re)attach the WAL manager and cut a checkpoint: a fresh
             # session becomes durable before its first edit, and a
@@ -136,14 +158,20 @@ class Session:
             sheet.save(path)
         return cls(sid, sheet, rt, path, resurrected=resurrected)
 
-    def close(self, *, checkpoint: bool = True) -> None:
+    def close(
+        self, *, checkpoint: bool = True, reason: str = "shutdown"
+    ) -> None:
         """Flush, checkpoint, and release the tenant's threads.
 
-        Idempotent.  This is both the eviction path and the graceful
-        shutdown path: after it returns the session's entire state is on
-        disk and every thread-backed resource (deadline monitor, drain
-        pool, WAL handle) is stopped — :meth:`open` on the same
-        directory resurrects an equivalent session.
+        Idempotent.  This is both the eviction path (``reason=
+        "eviction"``) and the graceful shutdown path: after it returns
+        the session's entire state is on disk and every thread-backed
+        resource (deadline monitor, drain pool, WAL handle) is stopped —
+        :meth:`open` on the same directory resurrects an equivalent
+        session.  An eviction that buries live poisoned values dumps
+        the flight ring first: the tenant is leaving memory with an
+        unresolved failure, and this is the last chance to keep the
+        evidence.
         """
         with self._lock:
             if self._closed:
@@ -153,13 +181,45 @@ class Session:
                 self.runtime.flush()
                 if checkpoint:
                     self.sheet.save(self.path)
+            if (
+                reason == "eviction"
+                and getattr(self.runtime, "_poison_live", 0) > 0
+            ):
+                self.dump_flight(reason="eviction-with-poison")
             self._log_fh.close()
+            for kind in self._incident_kinds:
+                self.runtime.events.unsubscribe(kind, self._on_incident)
             self.runtime.obs.disable()
             self.runtime.close()
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    # -- flight recorder -----------------------------------------------
+
+    def flight_path(self) -> str:
+        """Where this tenant's flight dumps land (``<root>/<sid>/``)."""
+        return os.path.join(os.path.dirname(self.path), "flight.jsonl")
+
+    def dump_flight(
+        self, *, reason: str = "on-demand", extra: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Write the flight ring as JSONL; returns the path."""
+        header: Dict[str, Any] = {"sid": self.sid}
+        if extra:
+            header.update(extra)
+        self.flight.dump(self.flight_path(), reason=reason, extra=header)
+        return self.flight_path()
+
+    def _on_incident(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        # Breaker events fire on every transition; only *opening* is an
+        # incident worth a dump (half-open/close are recovery).
+        if kind is EventKind.BREAKER_STATE and not (
+            isinstance(data, dict) and data.get("to") == "open"
+        ):
+            return
+        self.dump_flight(reason=kind.value)
 
     # -- request execution ---------------------------------------------
 
@@ -178,8 +238,20 @@ class Session:
             if handler is None:
                 raise ProtocolError(f"unknown session op {op!r}")
             self.requests += 1
-            with self.runtime.active():
-                return handler(request)
+            started = time.perf_counter()
+            try:
+                with self.runtime.active():
+                    return handler(request)
+            finally:
+                # Runs on the pinned worker inside the dispatch shim's
+                # copied context, so the note carries the request's
+                # trace ids — the "session-op" lane of the stitched
+                # Chrome timeline.
+                self.flight.note(
+                    "session-op",
+                    f"{op} {self.sid}",
+                    duration=time.perf_counter() - started,
+                )
 
     # Each _op_* runs under the session lock with the runtime active.
 
@@ -262,6 +334,24 @@ class Session:
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return self.stats()
+
+    def _op_debug(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The flight ring on demand (optionally dumped to disk too)."""
+        limit = request.get("limit")
+        records = self.flight.records()
+        if isinstance(limit, int) and 0 < limit < len(records):
+            records = records[-limit:]
+        result: Dict[str, Any] = {
+            "sid": self.sid,
+            "records": records,
+            "recorded": self.flight.recorded,
+            "dropped": self.flight.dropped,
+            "tracing": self.runtime.obs.tracer._bus is not None,
+            "spans": len(self.runtime.obs.tracer),
+        }
+        if request.get("dump"):
+            result["path"] = self.dump_flight(reason="debug-op")
+        return result
 
     def stats(self) -> Dict[str, Any]:
         return {

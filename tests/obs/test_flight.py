@@ -1,0 +1,180 @@
+"""Flight recorder and trace contexts: the always-on postmortem ring."""
+
+import json
+import threading
+
+import pytest
+
+from repro import Cell, cached
+from repro.core.events import EventBus, EventKind
+from repro.obs import (
+    FlightRecorder,
+    TraceContext,
+    current_trace,
+    mint_trace_id,
+    trace_scope,
+)
+
+
+class TestTraceContext:
+    def test_minted_ids_are_unique(self):
+        ids = {mint_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_scope_installs_and_restores(self):
+        assert current_trace() is None
+        outer = TraceContext(request_id="r1")
+        with trace_scope(outer):
+            assert current_trace() is outer
+            inner = TraceContext(request_id="r2")
+            with trace_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_ids_and_to_dict(self):
+        ctx = TraceContext(
+            trace_id="t-9", request_id="r-9", session="alice", op="read"
+        )
+        assert ctx.ids() == {"trace_id": "t-9", "request_id": "r-9"}
+        assert ctx.to_dict() == {
+            "trace_id": "t-9",
+            "request_id": "r-9",
+            "session": "alice",
+            "op": "read",
+        }
+        # request_id is optional: absent, not None.
+        assert TraceContext(trace_id="t").ids() == {"trace_id": "t"}
+
+    def test_plain_threads_do_not_inherit(self):
+        """contextvars don't cross a bare Thread — the dispatch shim's
+        copy_context is what carries the trace (covered in serve tests)."""
+        seen = []
+        with trace_scope(TraceContext(trace_id="t-x")):
+            thread = threading.Thread(target=lambda: seen.append(current_trace()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestFlightRecorder:
+    def test_captures_incident_kinds_from_a_runtime(self, rt):
+        recorder = FlightRecorder().attach(rt.events)
+        x = Cell(1, label="x")
+
+        @cached
+        def f():
+            return x.get() + 1
+
+        f()
+        x.set(5)
+        f()
+        recorder.detach()
+        kinds = {record["kind"] for record in recorder.records()}
+        assert EventKind.DRAIN.value in kinds
+
+    def test_hot_path_kinds_are_not_subscribed(self):
+        assert EventKind.ACCESS not in FlightRecorder.DEFAULT_KINDS
+        assert EventKind.MODIFY not in FlightRecorder.DEFAULT_KINDS
+        assert EventKind.WAL_APPEND not in FlightRecorder.DEFAULT_KINDS
+
+    def test_capacity_bounds_with_drop_accounting(self):
+        recorder = FlightRecorder(capacity=4, clock=lambda: 0.0)
+        for i in range(10):
+            recorder.note("tick", str(i))
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        labels = [r["label"] for r in recorder.records()]
+        assert labels == ["6", "7", "8", "9"]  # oldest fell off the front
+        seqs = [r["seq"] for r in recorder.records()]
+        assert seqs == sorted(seqs)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_note_with_duration_backdates_start(self):
+        ticks = iter([10.0])
+        recorder = FlightRecorder(clock=lambda: next(ticks))
+        recorder.note("request", "read a", duration=2.5)
+        (record,) = recorder.records()
+        assert record["ts"] == 7.5
+        assert record["duration"] == 2.5
+
+    def test_records_tag_ambient_trace(self):
+        recorder = FlightRecorder(clock=lambda: 0.0)
+        recorder.note("request", "untraced")
+        with trace_scope(TraceContext(trace_id="t-1", request_id="r-1")):
+            recorder.note("request", "traced")
+        untraced, traced = recorder.records()
+        assert "trace_id" not in untraced
+        assert traced["trace_id"] == "t-1"
+        assert traced["request_id"] == "r-1"
+
+    def test_bus_events_tag_ambient_trace(self):
+        bus = EventBus()
+        recorder = FlightRecorder(clock=lambda: 0.0).attach(bus)
+        with trace_scope(TraceContext(trace_id="t-2")):
+            bus.emit(EventKind.CHECKPOINT, None, data={"path": "p"})
+        (record,) = recorder.records()
+        assert record["kind"] == EventKind.CHECKPOINT.value
+        assert record["trace_id"] == "t-2"
+        assert record["data"] == {"path": "p"}
+
+    def test_attach_twice_raises_detach_is_idempotent(self):
+        bus = EventBus()
+        recorder = FlightRecorder().attach(bus)
+        with pytest.raises(RuntimeError):
+            recorder.attach(bus)
+        recorder.detach()
+        recorder.detach()
+        bus.emit(EventKind.CHECKPOINT, None)
+        assert len(recorder) == 0
+
+    def test_dump_writes_header_then_records(self, tmp_path):
+        recorder = FlightRecorder(capacity=2, clock=lambda: 1.0)
+        for i in range(3):
+            recorder.note("tick", str(i))
+        path = str(tmp_path / "flight.jsonl")
+        count = recorder.dump(path, reason="unit-test", extra={"sid": "a"})
+        assert count == 2
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        header, *records = lines
+        assert header["flight_dump"] == "unit-test"
+        assert header["sid"] == "a"
+        assert header["records"] == 2
+        assert header["dropped"] == 1
+        assert "wall_time" in header and "monotonic_now" in header
+        assert [r["label"] for r in records] == ["1", "2"]
+
+    def test_to_jsonl_round_trips(self):
+        recorder = FlightRecorder(clock=lambda: 0.0)
+        recorder.note("request", "a", data={"code": 200}, duration=0.1)
+        for line in recorder.to_jsonl().splitlines():
+            assert json.loads(line)["kind"] == "request"
+
+    def test_chrome_events_spans_and_instants(self):
+        recorder = FlightRecorder(clock=lambda: 2.0)
+        with trace_scope(TraceContext(trace_id="t-c")):
+            recorder.note("request", "read a", duration=0.5)
+            recorder.note("incident", "watchdog")
+        span, instant = recorder.chrome_events(pid=7, tid="server")
+        assert span["ph"] == "X"
+        assert span["dur"] == pytest.approx(0.5e6)
+        assert span["ts"] == pytest.approx(1.5e6)
+        assert span["pid"] == 7 and span["tid"] == "server"
+        assert span["args"]["trace_id"] == "t-c"
+        assert instant["ph"] == "i"
+        assert instant["name"] == "watchdog"
+
+    def test_clear_keeps_totals(self):
+        recorder = FlightRecorder(clock=lambda: 0.0)
+        recorder.note("tick")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.recorded == 1
