@@ -48,7 +48,10 @@ WAIVER_PATH = os.path.join(HERE, "REGRESSION_WAIVER")
 #: admission control, LRU eviction, or resurrection changed behaviour.
 #: E18's come from the flight-recorder-attached tree cycle: drift there
 #: means the always-on postmortem ring changed what the engine *does*.
-TRACKED = ("E1", "E6a", "E6b", "E9b", "E16", "E17", "E18")
+#: E19's come from the scripted replication scenario: drift there means
+#: the shipper started sending different records per committed edit, or
+#: promotion started replaying a different tail.
+TRACKED = ("E1", "E6a", "E6b", "E9b", "E16", "E17", "E18", "E19")
 
 #: Allowed relative drift per counter.
 TOLERANCE = 0.10

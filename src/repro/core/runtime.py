@@ -858,13 +858,21 @@ class Runtime:
     # durability (see repro.persist, docs/persistence.md)
     # ------------------------------------------------------------------
 
-    def persist_to(self, path: str, *, codec: str = "pickle") -> Any:
+    def persist_to(
+        self,
+        path: str,
+        *,
+        codec: str = "pickle",
+        segment_records: Optional[int] = None,
+    ) -> Any:
         """Attach a :class:`~repro.persist.wal.PersistenceManager`.
 
         Every committed write (and batch) from now on is appended to the
         write-ahead log at ``path + ".wal"``; :meth:`checkpoint` rolls
-        the log into a snapshot at ``path``.  Returns the manager (also
-        kept at ``rt._persist``); call its ``close()`` to detach.
+        the log into a snapshot at ``path``.  ``segment_records`` seals
+        the log into read-only segment files every N records (see
+        :class:`~repro.persist.wal.WriteAheadLog`).  Returns the manager
+        (also kept at ``rt._persist``); call its ``close()`` to detach.
         """
         if self._persist is not None:
             raise RuntimeStateError(
@@ -872,7 +880,9 @@ class Runtime:
             )
         from ..persist.wal import PersistenceManager
 
-        manager = PersistenceManager(self, path, codec=codec)
+        manager = PersistenceManager(
+            self, path, codec=codec, segment_records=segment_records
+        )
         self._persist = manager
         return manager
 

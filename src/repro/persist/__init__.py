@@ -35,6 +35,7 @@ _LAZY = {
     "read_checkpoint": "snapshot",
     "write_checkpoint": "snapshot",
     "PersistenceManager": "wal",
+    "WalScan": "wal",
     "WriteAheadLog": "wal",
     "RecoveryReport": "recover",
     "RestoredFault": "recover",

@@ -73,6 +73,15 @@ class RecoveryReport:
     app_state: Any = None
     app_records: List[Any] = dataclasses.field(default_factory=list)
     violations: List[str] = dataclasses.field(default_factory=list)
+    #: When the WAL was damaged mid-log: which file and at which byte
+    #: offset the first bad record starts.  This is the exact tail an
+    #: operator inspects and replication gap detection points at —
+    #: everything before it replayed (or was salvaged), everything
+    #: after it is untrusted.
+    corrupt_file: Optional[str] = None
+    corrupt_offset: Optional[int] = None
+    #: Highest LSN among the readable WAL records (0 when empty).
+    wal_last_lsn: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -173,8 +182,10 @@ def recover(
             app_state=payload.get("app_state"),
         )
 
-    records, dropped_tail, corrupt = WriteAheadLog.read(wal_path)
+    wal = WriteAheadLog.scan(wal_path)
+    records, dropped_tail, corrupt = wal.as_tuple()
     report.dropped_tail = dropped_tail
+    report.wal_last_lsn = wal.last_lsn
     if corrupt is not None:
         # The restored graph cannot be trusted past an unreadable log:
         # writes after the damage are unknown.  Discard it wholesale.
@@ -244,11 +255,14 @@ def _degraded(
         app_state=app_state,
         violations=violations or [],
     )
-    records, dropped_tail, _corrupt = WriteAheadLog.read(path + ".wal")
-    for record in records:
+    wal = WriteAheadLog.scan(path + ".wal")
+    for record in wal.records:
         if record.get("t") == "a":
             report.app_records.append(record.get("d"))
-    report.dropped_tail = dropped_tail
+    report.dropped_tail = wal.dropped_tail
+    report.wal_last_lsn = wal.last_lsn
+    report.corrupt_file = wal.corrupt_file
+    report.corrupt_offset = wal.corrupt_offset
     rt.last_recovery = report
     rt.events.emit(EventKind.RECOVERY, None, data=report.to_dict())
     return rt, report

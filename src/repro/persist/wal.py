@@ -11,12 +11,29 @@ Record format: ``{crc32:08x} {canonical-json}\\n`` per line.  Records::
     {"t": "b", "w": [<write>, ...]}          # one committed batch
     {"t": "a", "d": <application payload>}   # app-level redo record
 
+Every appended record additionally carries a log-local ``lsn`` — a
+monotonically increasing sequence number, resumed across reopens and
+reset by checkpoint truncation.  The LSN is what replication gap
+detection and the parallel-drain ordering property key on: a log whose
+LSNs are not strictly increasing was interleaved incorrectly.
+
+Segment rotation (``segment_records``): when set, the active file is
+sealed to ``<path>.segNNNNNN`` every N records and a fresh active file
+opened.  A checkpoint truncates the log (:meth:`WriteAheadLog.truncate`
+deletes every sealed segment and empties the active file), so the
+segment set on disk is exactly "the records since the last checkpoint"
+— which is what a warm standby fetches to join mid-life
+(``checkpoint + segments since``; see ``docs/replication.md``).
+
 Torn-tail tolerance: a final line with no trailing newline that fails
 to parse is the signature of a crash mid-append and is silently
 dropped — the write it described was never acknowledged.  Any invalid
-line *followed by more data* (or a complete-but-garbled line) is real
-corruption and fails the whole log, which ``recover()`` turns into
-degraded mode.
+line *followed by more data* (or a complete-but-garbled line, or any
+damage in a sealed segment) is real corruption and fails the whole
+log, which ``recover()`` turns into degraded mode.
+:meth:`WriteAheadLog.scan` reports the file and byte offset of the
+first bad record, so operators (and replication resync) can point at
+the exact tail instead of rereading the whole log by hand.
 
 Durability trade: appends are flushed to the OS per record (surviving
 process death, the failure mode this subsystem targets) but not
@@ -34,8 +51,10 @@ individually.  The log is strictly a *redo* log of committed state.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import re
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -44,22 +63,105 @@ from .codec import CodecError, get_codec
 from .ids import fingerprint
 from .snapshot import write_checkpoint
 
-__all__ = ["PersistenceManager", "WriteAheadLog"]
+__all__ = ["PersistenceManager", "WalScan", "WriteAheadLog"]
+
+#: Sealed-segment suffix: ``<path>.seg000001`` etc., ordered by number.
+_SEGMENT_RE = re.compile(r"\.seg(\d{6})$")
+
+
+@dataclasses.dataclass
+class WalScan:
+    """Typed outcome of one :meth:`WriteAheadLog.scan`.
+
+    ``records`` is the readable prefix across every segment in order;
+    ``dropped_tail`` marks a tolerated torn final append.  When the log
+    is damaged anywhere else, ``corrupt`` carries the reason and
+    ``corrupt_file``/``corrupt_offset`` name the file and the byte
+    offset of the first bad record's line — the exact tail replication
+    gap detection and operators resume or resync from.  ``last_lsn`` is
+    the highest LSN among the readable records (0 for an empty log or a
+    pre-LSN log).
+    """
+
+    records: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    dropped_tail: bool = False
+    corrupt: Optional[str] = None
+    corrupt_file: Optional[str] = None
+    corrupt_offset: Optional[int] = None
+    last_lsn: int = 0
+    files: List[str] = dataclasses.field(default_factory=list)
+
+    def as_tuple(self) -> Tuple[List[Dict[str, Any]], bool, Optional[str]]:
+        return self.records, self.dropped_tail, self.corrupt
 
 
 class WriteAheadLog:
-    """Append-only CRC-per-record log file."""
+    """Append-only CRC-per-record log: an active file plus optional
+    sealed segments.
 
-    def __init__(self, path: str) -> None:
+    ``segment_records`` (constructor argument or mutable attribute)
+    enables rotation: after that many records the active file is sealed
+    to ``<path>.segNNNNNN`` and a fresh active file opened.  Readers
+    (:meth:`scan`/:meth:`read`) always see the concatenation of sealed
+    segments plus the active file, so rotation is invisible to
+    recovery.
+    """
+
+    def __init__(
+        self, path: str, *, segment_records: Optional[int] = None
+    ) -> None:
         self.path = path
+        #: Seal the active file after this many records (None = never).
+        self.segment_records = segment_records
         self._fh = open(path, "a", encoding="utf-8")
         self.records_written = 0
+        #: Records in the active (not yet sealed) file.
+        self.active_records = 0
+        #: Highest LSN ever appended to this log (resumed across
+        #: reopens, reset by truncation).
+        self.last_lsn = 0
+        #: Sealed segments created over this handle's lifetime.
+        self.segments_sealed = 0
+        #: Observation tap: called with ``(line, record)`` after every
+        #: durable append — the serve layer's replication shipper hangs
+        #: off this.  A tap must not raise; failures are counted, never
+        #: allowed to fail the (already durable) local write.
+        self.on_append: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        self.tap_errors = 0
+        self._resume_state()
         #: Test seam for simulated crashes: ``(prefix_bytes, exception)``
         #: makes the next append write only a torn prefix of its line,
         #: then raise.  One-shot.
         self._torn: Optional[Tuple[int, BaseException]] = None
 
-    def append(self, record: Dict[str, Any]) -> None:
+    def _resume_state(self) -> None:
+        """Resume LSN numbering and active-record count from disk."""
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            raw = b""
+        active_lines = [ln for ln in raw.split(b"\n") if ln]
+        self.active_records = len(active_lines)
+        files = [*self.segment_files(self.path), self.path]
+        for file in reversed(files):
+            lsn = _last_lsn_in(file)
+            if lsn is not None:
+                self.last_lsn = lsn
+                return
+        # Pre-LSN (or empty) log: number after whatever is there so
+        # LSNs stay monotonic even when old records carry none.
+        total = self.active_records
+        for segment in self.segment_files(self.path):
+            total += sum(
+                1 for ln in open(segment, "rb").read().split(b"\n") if ln
+            )
+        self.last_lsn = total
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one record; returns the LSN it was stamped with."""
+        lsn = self.last_lsn + 1
+        record = dict(record, lsn=lsn)
         body = json.dumps(record, sort_keys=True, separators=(",", ":"))
         crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
         line = f"{crc:08x} {body}\n"
@@ -72,7 +174,34 @@ class WriteAheadLog:
             raise exc
         self._fh.write(line)
         self._fh.flush()
+        self.last_lsn = lsn
         self.records_written += 1
+        self.active_records += 1
+        if (
+            self.segment_records is not None
+            and self.active_records >= self.segment_records
+        ):
+            self._rotate()
+        if self.on_append is not None:
+            try:
+                self.on_append(line, record)
+            except Exception:  # noqa: BLE001 - a tap must never fail a write
+                self.tap_errors += 1
+        return lsn
+
+    def _rotate(self) -> None:
+        """Seal the active file into the next numbered segment."""
+        existing = self.segment_files(self.path)
+        if existing:
+            last = _SEGMENT_RE.search(existing[-1])
+            seq = int(last.group(1)) + 1 if last else 1
+        else:
+            seq = 1
+        self._fh.close()
+        os.replace(self.path, f"{self.path}.seg{seq:06d}")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.active_records = 0
+        self.segments_sealed += 1
 
     def sync(self) -> None:
         """fsync the log (power-loss durability on demand)."""
@@ -80,10 +209,23 @@ class WriteAheadLog:
         os.fsync(self._fh.fileno())
 
     def truncate(self) -> None:
-        """Discard every record (a checkpoint subsumed them)."""
+        """Discard every record (a checkpoint subsumed them).
+
+        Checkpoint-anchored: sealed segments are deleted together with
+        the active records, so what remains on disk after a checkpoint
+        is exactly the (empty) tail since it, and LSN numbering
+        restarts at 1 for the new checkpoint epoch.
+        """
+        for segment in self.segment_files(self.path):
+            try:
+                os.remove(segment)
+            except OSError:  # pragma: no cover - already gone
+                pass
         self._fh.seek(0)
         self._fh.truncate(0)
         self._fh.flush()
+        self.active_records = 0
+        self.last_lsn = 0
 
     def close(self) -> None:
         try:
@@ -92,7 +234,78 @@ class WriteAheadLog:
             pass
 
     @staticmethod
+    def segment_files(path: str) -> List[str]:
+        """The sealed segments of the log at ``path``, oldest first."""
+        directory = os.path.dirname(path) or "."
+        base = os.path.basename(path)
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if name.startswith(base) and _SEGMENT_RE.search(
+                name[len(base):] or ""
+            ) and name[: len(base)] == base:
+                out.append(os.path.join(directory, name))
+        return sorted(out)
+
+    @classmethod
+    def scan(cls, path: str) -> WalScan:
+        """Parse the whole log (sealed segments + active file) at
+        ``path``; see :class:`WalScan`.  A missing file is an empty,
+        healthy log.
+        """
+        result = WalScan()
+        files = [*cls.segment_files(path), path]
+        result.files = files
+        for file_index, file in enumerate(files):
+            is_active = file_index == len(files) - 1
+            try:
+                with open(file, "rb") as fh:
+                    raw = fh.read()
+            except FileNotFoundError:
+                continue
+            except OSError as exc:
+                result.corrupt = f"unreadable WAL: {exc}"
+                result.corrupt_file = file
+                return result
+            if not raw:
+                continue
+            complete_tail = raw.endswith(b"\n")
+            lines = raw.split(b"\n")
+            if complete_tail:
+                lines.pop()  # the empty string after the final newline
+            offset = 0
+            for i, line in enumerate(lines):
+                record = _parse_line(line)
+                if record is None:
+                    if (
+                        is_active
+                        and i == len(lines) - 1
+                        and not complete_tail
+                    ):
+                        # Torn final append: the crash artifact the
+                        # format is designed to tolerate.
+                        result.dropped_tail = True
+                        return result
+                    result.corrupt = (
+                        f"WAL record {i} of {os.path.basename(file)} is "
+                        f"corrupt (byte offset {offset})"
+                    )
+                    result.corrupt_file = file
+                    result.corrupt_offset = offset
+                    return result
+                result.records.append(record)
+                lsn = record.get("lsn")
+                if isinstance(lsn, int) and lsn > result.last_lsn:
+                    result.last_lsn = lsn
+                offset += len(line) + 1
+        return result
+
+    @classmethod
     def read(
+        cls,
         path: str,
     ) -> Tuple[List[Dict[str, Any]], bool, Optional[str]]:
         """Parse the log at ``path``.
@@ -102,32 +315,44 @@ class WriteAheadLog:
         ``corrupt_reason`` is non-None when the log is damaged anywhere
         else (the records parsed before the damage are still returned,
         but callers must not trust the log as a whole).
-        A missing file is an empty, healthy log.
+        A missing file is an empty, healthy log.  :meth:`scan` returns
+        the same information plus the damage location and last LSN.
         """
-        try:
-            with open(path, "rb") as fh:
-                raw = fh.read()
-        except FileNotFoundError:
-            return [], False, None
-        except OSError as exc:
-            return [], False, f"unreadable WAL: {exc}"
-        if not raw:
-            return [], False, None
-        complete_tail = raw.endswith(b"\n")
-        lines = raw.split(b"\n")
-        if complete_tail:
-            lines.pop()  # the empty string after the final newline
-        records: List[Dict[str, Any]] = []
-        for i, line in enumerate(lines):
-            record = _parse_line(line)
-            if record is None:
-                if i == len(lines) - 1 and not complete_tail:
-                    # Torn final append: the crash artifact the format
-                    # is designed to tolerate.
-                    return records, True, None
-                return records, False, f"WAL record {i} is corrupt"
-            records.append(record)
-        return records, False, None
+        return cls.scan(path).as_tuple()
+
+
+def _last_lsn_in(path: str) -> Optional[int]:
+    """The LSN of the last parseable record in ``path`` (None if none)."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return None
+    for line in reversed(raw.split(b"\n")):
+        if not line:
+            continue
+        record = _parse_line(line)
+        if record is not None:
+            lsn = record.get("lsn")
+            return lsn if isinstance(lsn, int) else None
+    return None
+
+
+def _line_crc_ok(line: bytes) -> bool:
+    """Whether a WAL line's embedded CRC matches its body.
+
+    The cheap half of :func:`_parse_line`: replication re-verifies
+    every shipped WAL line on the standby's hot apply path, where the
+    JSON decode would double the cost for bytes that are only ever
+    appended verbatim.
+    """
+    if len(line) < 10 or line[8:9] != b" ":
+        return False
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return False
+    return zlib.crc32(line[9:]) & 0xFFFFFFFF == crc
 
 
 def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
@@ -159,11 +384,20 @@ class PersistenceManager:
     spreadsheet's formula log).
     """
 
-    def __init__(self, rt: Any, path: str, *, codec: str = "pickle") -> None:
+    def __init__(
+        self,
+        rt: Any,
+        path: str,
+        *,
+        codec: str = "pickle",
+        segment_records: Optional[int] = None,
+    ) -> None:
         self.runtime = rt
         self.path = path
         self.codec = get_codec(codec)
-        self.wal = WriteAheadLog(path + ".wal")
+        self.wal = WriteAheadLog(
+            path + ".wal", segment_records=segment_records
+        )
         self._buffer: Optional[List[Dict[str, Any]]] = None
         self._app_buffer: Optional[List[Any]] = None
         #: Test seam forwarded to ``write_checkpoint(crash_hook=...)``.

@@ -1,0 +1,62 @@
+"""WAL shipping to warm standbys, and promotion when the primary dies.
+
+``repro.replicate`` turns one server's durable session state into a
+replicated stream:
+
+* :mod:`repro.replicate.stream` — the record/frame format, per-session
+  stream LSNs, CRCs, and persisted standby positions.
+* :mod:`repro.replicate.shipper` — primary side: fan records out to
+  replica links (in-proc or TCP) with retry/backoff, semi-sync or
+  async delivery, and resync-based healing.
+* :mod:`repro.replicate.standby` — standby side: apply the stream into
+  a mirror serve-state root with strict gap detection, keeping warm
+  in-memory replicas via the lazy-adoption recovery path.
+* :mod:`repro.replicate.promote` — failover: open every replicated
+  session through ordinary resurrection, audit, and report.
+
+Topology, LSN/ack semantics, and the failover runbook are documented
+in ``docs/replication.md``; ``scripts/failover_drill.py`` exercises the
+whole path with a real SIGKILL.
+
+Submodules load lazily (PEP 562): the serve layer imports pieces of
+this package and vice versa, and laziness keeps the import graph a DAG.
+"""
+
+from __future__ import annotations
+
+_LAZY = {
+    "RECORD_KINDS": "stream",
+    "StreamPosition": "stream",
+    "make_record": "stream",
+    "record_crc": "stream",
+    "session_resync_frame": "stream",
+    "verify_record": "stream",
+    "InprocLink": "shipper",
+    "LinkDown": "shipper",
+    "ReplicationError": "shipper",
+    "Shipper": "shipper",
+    "TcpLink": "shipper",
+    "StandbyApplier": "standby",
+    "PromotionReport": "promote",
+    "promote_root": "promote",
+    "session_ids": "promote",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name):
+    try:
+        modname = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{modname}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

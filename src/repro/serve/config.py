@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = ["ServeConfig"]
 
@@ -73,6 +73,39 @@ class ServeConfig:
     #: Tolerated breach fraction per op before ``/healthz`` reports the
     #: objective as failing.
     slo_error_budget: float = 0.01
+
+    # -- replication ---------------------------------------------------
+    #: Standby addresses (``"host:port"``) every committed session
+    #: record is shipped to.  Empty means replication is off.
+    replicas: Tuple[str, ...] = ()
+    #: Pre-built replica link objects (anything with ``send``/``close``,
+    #: e.g. :class:`repro.replicate.shipper.InprocLink`) appended to the
+    #: TCP links built from ``replicas`` — the deterministic harness
+    #: tests and benchmarks replicate through.
+    replica_links: Tuple = ()
+    #: ``"semi-sync"``: a write is acknowledged to the client only
+    #: after every live standby acked it (zero lost acknowledged writes
+    #: across failover).  ``"async"``: records drain through a
+    #: background thread per link; the unacked tail can be lost.
+    replication_mode: str = "semi-sync"
+    #: Retry attempts + base backoff (seconds) for a replica link
+    #: delivery, fed to :class:`repro.resil.RetryPolicy`.
+    replication_retries: int = 3
+    replication_backoff_s: float = 0.05
+    #: Seal the per-session WAL into a read-only segment every N
+    #: records; ``None`` keeps one file.  Segments are what let a
+    #: standby join mid-life from ``checkpoint + segments since``.
+    wal_segment_records: Optional[int] = None
+    #: Run this server as a warm standby: it accepts ``ship`` frames
+    #: and refuses session ops with 503 until ``promote`` flips it.
+    standby: bool = False
+    #: On a standby, reload a session through the recovery path every N
+    #: applied records (keeps it seconds-behind-warm and bounds the
+    #: replay tail promotion pays); 0 defers all replay to promotion.
+    standby_warm_every: int = 64
+    #: fsync the session edit-log sidecar every N appends (``None``
+    #: flushes to the OS only; the log is always fsynced on close).
+    editlog_fsync_every_n: Optional[int] = None
 
     # -- transport -----------------------------------------------------
     host: str = "127.0.0.1"

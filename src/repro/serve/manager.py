@@ -46,6 +46,9 @@ class SessionManager:
         self.config = config
         self.pool = pool
         self.metrics = metrics
+        #: Set by the server when replication is on; every session it
+        #: opens (or resurrects) attaches to it and ships from then on.
+        self.shipper: Any = None
         #: Live sessions, LRU order (oldest first).
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
         #: In-flight request count per sid — admission control's mailbox
@@ -101,7 +104,10 @@ class SessionManager:
                 self.pool.submit(
                     sid,
                     lambda: Session.open(
-                        sid, self.config, self.metrics.registry
+                        sid,
+                        self.config,
+                        self.metrics.registry,
+                        shipper=self.shipper,
                     ),
                 )
             )

@@ -61,6 +61,40 @@ class ServeMetrics:
             "serve_slo_breaches_total",
             "requests that overran their op's latency objective",
         )
+        # Replication (primary ships, standby applies; one registry may
+        # host either role, so both sets register unconditionally).
+        self.repl_records_shipped = reg.counter(
+            "serve_replication_records_shipped_total",
+            "stream records handed to replica links",
+        )
+        self.repl_records_acked = reg.counter(
+            "serve_replication_records_acked_total",
+            "stream records acknowledged by a standby",
+        )
+        self.repl_records_applied = reg.counter(
+            "serve_replication_records_applied_total",
+            "stream records applied to the local replica (standby role)",
+        )
+        self.repl_resyncs = reg.counter(
+            "serve_replication_resyncs_total",
+            "full-session resync frames delivered",
+        )
+        self.repl_gaps = reg.counter(
+            "serve_replication_gaps_total",
+            "shipped records refused for LSN gap or CRC failure",
+        )
+        self.repl_link_failures = reg.counter(
+            "serve_replication_link_failures_total",
+            "replica link deliveries abandoned after retries",
+        )
+        self.repl_lag = reg.gauge(
+            "serve_replication_lag_records",
+            "records shipped (or queued) but not yet acknowledged",
+        )
+        self.promotions = reg.counter(
+            "serve_promotions_total",
+            "standby-to-primary promotions completed",
+        )
 
     def counters(self) -> dict:
         """The four headline serve counters (the E17 regression gate)."""

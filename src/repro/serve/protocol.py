@@ -65,7 +65,20 @@ SESSION_OPS = frozenset(
 )
 
 #: Operations answered by the server itself, no session involved.
-GLOBAL_OPS = frozenset({"metrics", "healthz", "server_stats", "shutdown"})
+#: ``ship`` (a replication frame from a primary), ``replication``
+#: (role/lag status), and ``promote`` (standby -> primary) belong to
+#: the replication surface; see :mod:`repro.replicate`.
+GLOBAL_OPS = frozenset(
+    {
+        "metrics",
+        "healthz",
+        "server_stats",
+        "shutdown",
+        "ship",
+        "replication",
+        "promote",
+    }
+)
 
 #: Upper bound on one request line; longer lines are a protocol error
 #: (and the transport's read limit backstops hostile peers).

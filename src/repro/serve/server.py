@@ -69,6 +69,49 @@ class Server:
         self.telemetry = ServeTelemetry(self.config, self.metrics)
         self.pool = WorkerPool(self.config.workers)
         self.sessions = SessionManager(self.config, self.pool, self.metrics)
+        # Replication role: a standby owns an applier; a primary with
+        # replicas configured owns a shipper that every session opened
+        # by the manager attaches to.  A plain server owns neither.
+        self._standby = self.config.standby
+        self._promoting = False
+        self.shipper = None
+        self.applier = None
+        if self._standby:
+            from ..replicate.standby import StandbyApplier
+
+            self.applier = StandbyApplier(
+                self.config.root,
+                warm_every=self.config.standby_warm_every,
+                metrics=self.metrics,
+                flight=self.telemetry.flight,
+            )
+        elif self.config.replicas or self.config.replica_links:
+            from ..replicate.shipper import LinkDown, Shipper, TcpLink
+            from ..resil.retry import RetryPolicy
+
+            links = []
+            for address in self.config.replicas:
+                host, _, port = address.rpartition(":")
+                links.append(TcpLink(host or "127.0.0.1", int(port)))
+            links.extend(self.config.replica_links)
+            self.shipper = Shipper(
+                links,
+                mode=self.config.replication_mode,
+                root=self.config.root,
+                retry=RetryPolicy(
+                    max_attempts=self.config.replication_retries,
+                    base_delay=self.config.replication_backoff_s,
+                    max_delay=1.0,
+                    retry_on=LinkDown,
+                ),
+                metrics=self.metrics,
+                flight=self.telemetry.flight,
+            )
+            if self.config.replication_mode == "async":
+                # Background shipper threads heal NACKs through the
+                # session's own worker so the snapshot is quiescent.
+                self.shipper.resync_source = self._resync_frame_for
+            self.sessions.shipper = self.shipper
         self._tcp: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
         self._draining = False
@@ -137,6 +180,12 @@ class Server:
             return {"prometheus": self.registry.to_prometheus()}
         if op == "server_stats":
             return self.server_stats()
+        if op == "ship":
+            return await self._ship(request)
+        if op == "replication":
+            return self.replication_status()
+        if op == "promote":
+            return await self.promote()
         if op == "shutdown":
             # Ack first, drain in the background: the requesting client
             # still gets its response line before admission closes.
@@ -147,6 +196,10 @@ class Server:
     async def _session_op(self, request: Dict[str, Any]) -> Any:
         if self._draining:
             raise Unavailable("server is draining for shutdown")
+        if self._standby:
+            raise Unavailable(
+                "standby replica: session ops are refused until promoted"
+            )
         sid = request["session"]
         inflight = self.sessions.inflight
         depth = inflight.get(sid, 0)
@@ -199,6 +252,131 @@ class Server:
         self.metrics.requests.inc()
         return result
 
+    # -- replication ---------------------------------------------------
+
+    async def _ship(self, request: Dict[str, Any]) -> Any:
+        """Apply one replication frame from a primary (standby role).
+        Frames for one session ride that session's pinned worker, so
+        stream order per session is the worker queue's order."""
+        if self.applier is None:
+            raise ProtocolError("this server is not a standby")
+        if self._draining or self._promoting:
+            raise Unavailable("standby is draining or promoting")
+        frame = request.get("frame")
+        if not isinstance(frame, dict):
+            raise ProtocolError("'frame' must be an object")
+        sid = frame.get("sid")
+        if not isinstance(sid, str) or not sid:
+            raise ProtocolError("ship frame requires a 'sid' string")
+        applier = self.applier
+        try:
+            return await asyncio.wrap_future(
+                self.pool.submit(sid, lambda: applier.apply(frame))
+            )
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+    def _resync_frame_for(self, sid: str) -> Optional[Dict[str, Any]]:
+        """Resync snapshot for async-mode healing (shipper thread).
+        Runs the build on the session's pinned worker when the session
+        is resident; None lets the shipper fall back to reading files."""
+        session = self.sessions.get(sid)
+        if session is None or session.closed:
+            return None
+        return self.pool.submit(sid, session.build_resync_frame).result()
+
+    def replication_status(self) -> Dict[str, Any]:
+        if self.shipper is not None:
+            return self.shipper.status()
+        if self.applier is not None:
+            status = self.applier.status()
+            status["promoting"] = self._promoting
+            return status
+        return {"role": "standby-promoted" if self.config.standby else "none"}
+
+    async def promote(self) -> Dict[str, Any]:
+        """Standby -> primary: replay every session's WAL tail through
+        ordinary resurrection, audit invariants, open for writes.
+
+        Sessions are opened via the residency manager (on their pinned
+        workers, LRU bounds respected), so after promotion the server
+        is in exactly the state a normal primary restart would reach —
+        there is no special post-promotion regime.
+        """
+        from ..replicate.promote import PromotionReport, session_ids
+
+        if self.applier is None:
+            raise ProtocolError("this server is not a standby")
+        if self._promoting:
+            raise Unavailable("promotion already in progress")
+        if self._draining:
+            raise Unavailable("server is draining for shutdown")
+        self._promoting = True
+        started = time.perf_counter()
+        report = PromotionReport(root=self.config.root)
+        try:
+            # Stop applying and release replica handles/warm runtimes:
+            # from here on the files belong to the sessions.
+            applied = self.applier.status()
+            self.applier.close()
+            for sid in session_ids(self.config.root):
+                report.sessions += 1
+                try:
+                    session = await self.sessions.acquire(sid)
+                except ServeError as exc:
+                    report.errors[sid] = exc.message
+                    continue
+
+                def audit_job(session=session):
+                    from ..core.integrity import audit
+
+                    with session.runtime.active():
+                        return audit(session.runtime, raise_on_violation=False)
+
+                recovery = getattr(session.runtime, "last_recovery", None)
+                if recovery is not None:
+                    # WAL tail = graph-write records plus the semantic
+                    # redo records Spreadsheet.load replays.
+                    tail = recovery.replayed + len(recovery.app_records)
+                    report.modes[sid] = (
+                        "replayed" if tail and recovery.mode == "clean"
+                        else recovery.mode
+                    )
+                    report.replayed[sid] = tail
+                else:
+                    report.modes[sid] = "fresh"
+                    report.replayed[sid] = 0
+                report.violations[sid] = await asyncio.wrap_future(
+                    self.pool.submit(sid, audit_job)
+                )
+            self._standby = False
+            self.applier = None
+        finally:
+            self._promoting = False
+        report.elapsed_seconds = time.perf_counter() - started
+        self.metrics.promotions.inc()
+        result = report.to_dict()
+        result["promoted"] = True
+        result["standby_applied"] = applied
+        self.telemetry.flight.note(
+            "replication",
+            "promoted to primary",
+            data={
+                "sessions": report.sessions,
+                "replayed_records": report.replayed_records,
+                "ok": report.ok,
+            },
+        )
+        try:
+            self.telemetry.flight.dump(
+                os.path.join(self.config.root, "flight-promotion.jsonl"),
+                reason="promotion",
+                extra={"report": result},
+            )
+        except OSError:
+            pass  # evidence is best-effort; promotion already succeeded
+        return result
+
     def _spawn(self, coro: Any) -> "asyncio.Task[Any]":
         task = asyncio.get_running_loop().create_task(coro)
         self._bg_tasks.add(task)
@@ -208,12 +386,24 @@ class Server:
     # -- operator surface ----------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        return {
+        if self.applier is not None:
+            role = "standby"
+        elif self.shipper is not None:
+            role = "primary"
+        else:
+            role = "promoted" if self.config.standby else "solo"
+        health: Dict[str, Any] = {
             "status": "draining" if self._draining else "ok",
+            "role": role,
             "live_sessions": self.sessions.live,
             "inflight": self._total_inflight,
             "slo": self.telemetry.slo.status(),
         }
+        if self.shipper is not None:
+            health["replication_lag_records"] = self.shipper.status()[
+                "lag_records"
+            ]
+        return health
 
     def server_stats(self) -> Dict[str, Any]:
         return {
@@ -237,6 +427,12 @@ class Server:
             return http_response(
                 "200 OK",
                 json.dumps(self.server_stats(), default=str, indent=2),
+                content_type="application/json",
+            )
+        if path == "/replication":
+            return http_response(
+                "200 OK",
+                json.dumps(self.replication_status(), default=str, indent=2),
                 content_type="application/json",
             )
         if path == "/debug" or path.startswith("/debug/"):
@@ -368,6 +564,12 @@ class Server:
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         closed = await self.sessions.close_all()
+        # Sessions shipped their closing checkpoints above; now drain
+        # the replication queues and release links/replica handles.
+        if self.shipper is not None:
+            self.shipper.close()
+        if self.applier is not None:
+            self.applier.close()
         if self._tcp is not None:
             self._tcp.close()
             await self._tcp.wait_closed()

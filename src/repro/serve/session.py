@@ -48,12 +48,25 @@ class Session:
         path: str,
         *,
         resurrected: bool,
+        fsync_every_n: Optional[int] = None,
     ) -> None:
         self.sid = sid
         self.sheet = sheet
         self.runtime = runtime
         self.path = path
         self.resurrected = resurrected
+        #: Edit-log durability policy: fsync after every N appends
+        #: (None = flush to the OS only); close() always fsyncs, so an
+        #: eviction or graceful shutdown never leaves buffered edits.
+        self.fsync_every_n = fsync_every_n
+        self._edits_since_sync = 0
+        # Replication (attached by attach_replication when the server
+        # has replicas configured): committed WAL lines, edit-log
+        # appends, and checkpoints buffer here and are flushed to the
+        # shipper at the end of each request, before the response.
+        self._shipper: Any = None
+        self._ship_lsn = 0
+        self._ship_pending: List[Any] = []
         #: Applied formula edits in execution order — ``(row, col,
         #: source)`` triples.  This is the serializable history a
         #: convergence check replays; batch edits are appended only
@@ -87,15 +100,41 @@ class Session:
         if not os.path.exists(self._log_path):
             return
         with open(self._log_path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    self.edit_log.append(json.loads(line))
+            lines = fh.readlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                self.edit_log.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    # Torn final append (crash mid-write): drop it, like
+                    # the WAL's torn-tail tolerance.  The edit is absent
+                    # from the WAL-recovered sheet too, so history and
+                    # state agree.
+                    break
+                raise
 
     def _log_edit(self, row: int, col: int, formula: Any) -> None:
         entry = [row, col, formula]
         self.edit_log.append(entry)
-        self._log_fh.write(json.dumps(entry, default=str) + "\n")
+        line = json.dumps(entry, default=str)
+        self._log_fh.write(line + "\n")
+        self._edits_since_sync += 1
+        if self._shipper is not None:
+            self._ship_pending.append(("edit", line))
+
+    def _flush_editlog(self) -> None:
+        """Flush the edit-log sidecar, fsyncing per the configured
+        policy (every N appends; always on close)."""
+        self._log_fh.flush()
+        if (
+            self.fsync_every_n is not None
+            and self._edits_since_sync >= self.fsync_every_n
+        ):
+            os.fsync(self._log_fh.fileno())
+            self._edits_since_sync = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -109,6 +148,8 @@ class Session:
         sid: str,
         config: ServeConfig,
         registry: Optional[MetricsRegistry] = None,
+        *,
+        shipper: Any = None,
     ) -> "Session":
         """Open a session: resurrect from disk if it has state, else
         create it fresh.
@@ -156,7 +197,19 @@ class Session:
             # resurrected one folds its replayed WAL tail back into the
             # checkpoint so the log never grows across generations.
             sheet.save(path)
-        return cls(sid, sheet, rt, path, resurrected=resurrected)
+        if config.wal_segment_records is not None and rt._persist is not None:
+            rt._persist.wal.segment_records = config.wal_segment_records
+        session = cls(
+            sid,
+            sheet,
+            rt,
+            path,
+            resurrected=resurrected,
+            fsync_every_n=config.editlog_fsync_every_n,
+        )
+        if shipper is not None:
+            session.attach_replication(shipper)
+        return session
 
     def close(
         self, *, checkpoint: bool = True, reason: str = "shutdown"
@@ -186,6 +239,12 @@ class Session:
                 and getattr(self.runtime, "_poison_live", 0) > 0
             ):
                 self.dump_flight(reason="eviction-with-poison")
+            # The closing checkpoint (and any straggler records) must
+            # reach the standbys before the hooks detach.
+            self._flush_ship()
+            self._detach_replication()
+            self._log_fh.flush()
+            os.fsync(self._log_fh.fileno())
             self._log_fh.close()
             for kind in self._incident_kinds:
                 self.runtime.events.unsubscribe(kind, self._on_incident)
@@ -221,6 +280,70 @@ class Session:
             return
         self.dump_flight(reason=kind.value)
 
+    # -- replication ---------------------------------------------------
+
+    def attach_replication(self, shipper: Any) -> None:
+        """Start streaming this session's durable state to ``shipper``.
+
+        Hooks the WAL's append tap, edit-log appends, and CHECKPOINT
+        events; everything buffers in request order and is flushed at
+        the end of each :meth:`apply` — before the client response, so
+        in semi-sync mode an acknowledged write is on every live
+        standby.  Attaching always opens with a full resync frame: the
+        stream LSN restarts at 0 per session generation, and the resync
+        is what makes eviction/resurrection cycles self-correcting.
+        """
+        self._shipper = shipper
+        self._ship_lsn = 0
+        self._ship_pending = []
+        manager = self.runtime._persist
+        if manager is not None:
+            manager.wal.on_append = self._tap_wal
+        self.runtime.events.subscribe(EventKind.CHECKPOINT, self._on_checkpoint)
+        shipper.resync(self.sid, self.build_resync_frame())
+
+    def _detach_replication(self) -> None:
+        if self._shipper is None:
+            return
+        manager = self.runtime._persist
+        if manager is not None and manager.wal.on_append == self._tap_wal:
+            manager.wal.on_append = None
+        self.runtime.events.unsubscribe(EventKind.CHECKPOINT, self._on_checkpoint)
+        self._shipper = None
+
+    def _tap_wal(self, line: str, record: Dict[str, Any]) -> None:
+        self._ship_pending.append(("wal", line.rstrip("\n")))
+
+    def _on_checkpoint(self, kind: EventKind, node: Any, amount: int, data: Any) -> None:
+        # Ship the whole checkpoint file: it anchors WAL truncation on
+        # the standby exactly as it did here.
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                self._ship_pending.append(("ckpt", fh.read()))
+        except OSError:
+            pass  # unreadable checkpoint: the standby keeps replaying WAL
+
+    def _flush_ship(self) -> None:
+        """Hand buffered stream records to the shipper (request tail)."""
+        if self._shipper is None or not self._ship_pending:
+            return
+        from ..replicate.stream import make_record
+
+        pending, self._ship_pending = self._ship_pending, []
+        records = []
+        for record_kind, payload in pending:
+            self._ship_lsn += 1
+            records.append(make_record(self._ship_lsn, record_kind, payload))
+        self._shipper.ship(self.sid, records, self.build_resync_frame)
+
+    def build_resync_frame(self) -> Dict[str, Any]:
+        """A full-session snapshot frame at the current stream position
+        (runs on the session's own worker, so the files are quiescent)."""
+        from ..replicate.stream import session_resync_frame
+
+        root = os.path.dirname(os.path.dirname(self.path))
+        return session_resync_frame(root, self.sid, self._ship_lsn)
+
     # -- request execution ---------------------------------------------
 
     def apply(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -243,6 +366,11 @@ class Session:
                 with self.runtime.active():
                     return handler(request)
             finally:
+                # Ship whatever this request made durable *before* the
+                # response is written (a failed op ships its applied
+                # prefix too — it is durable locally, so it must be on
+                # the standbys).  Semi-sync blocks here until acked.
+                self._flush_ship()
                 # Runs on the pinned worker inside the dispatch shim's
                 # copied context, so the note carries the request's
                 # trace ids — the "session-op" lane of the stitched
@@ -264,11 +392,11 @@ class Session:
                 self._log_edit(row, col, formula)
                 applied += 1
         except (AlphonseError, ValueError, IndexError, TypeError) as exc:
-            self._log_fh.flush()
+            self._flush_editlog()
             raise SessionOpError(
                 f"write failed after {applied} cells: {exc}"
             ) from exc
-        self._log_fh.flush()
+        self._flush_editlog()
         return {"applied": applied}
 
     def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -280,7 +408,7 @@ class Session:
             raise SessionOpError(f"batch rolled back: {exc}") from exc
         for row, col, formula in cells:
             self._log_edit(row, col, formula)
-        self._log_fh.flush()
+        self._flush_editlog()
         return {"applied": len(cells)}
 
     def _op_read(self, request: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,185 @@
+"""Segment rotation, LSN stamping, scan offsets, and the append tap
+(repro.persist.wal) — the WAL surface replication is built on."""
+
+import os
+
+from repro.persist.recover import recover
+from repro.persist.wal import WalScan, WriteAheadLog
+
+
+def _rec(n):
+    return {"t": "w", "sid": f"a#{n}", "v": str(n), "fp": None}
+
+
+class TestLsn:
+    def test_appends_are_stamped_monotonically_from_one(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        lsns = [wal.append(_rec(i)) for i in range(5)]
+        wal.close()
+        assert lsns == [1, 2, 3, 4, 5]
+        scan = WriteAheadLog.scan(path)
+        assert [r["lsn"] for r in scan.records] == lsns
+        assert scan.last_lsn == 5
+
+    def test_lsn_resumes_across_reopen(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(_rec(0))
+        wal.append(_rec(1))
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert wal.append(_rec(2)) == 3
+        wal.close()
+
+    def test_truncate_resets_the_lsn(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(_rec(0))
+        wal.truncate()
+        assert wal.append(_rec(1)) == 1
+        wal.close()
+
+
+class TestSegments:
+    def test_rotation_seals_read_only_segments(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, segment_records=2)
+        for i in range(5):
+            wal.append(_rec(i))
+        wal.close()
+        segments = WriteAheadLog.segment_files(path)
+        assert len(segments) == 2
+        assert all(".seg" in os.path.basename(s) for s in segments)
+        assert wal.segments_sealed == 2
+
+    def test_scan_reads_segments_in_order(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, segment_records=2)
+        for i in range(7):
+            wal.append(_rec(i))
+        wal.close()
+        scan = WriteAheadLog.scan(path)
+        assert [r["sid"] for r in scan.records] == [f"a#{i}" for i in range(7)]
+        assert [r["lsn"] for r in scan.records] == list(range(1, 8))
+        assert scan.corrupt is None
+
+    def test_recover_replays_across_segments(self, tmp_path):
+        # The compat read() used by recover() must see the full
+        # multi-segment history as one log.
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, segment_records=3)
+        for i in range(8):
+            wal.append({"t": "a", "d": {"n": i}})
+        wal.close()
+        records, dropped, corrupt = WriteAheadLog.read(path)
+        assert corrupt is None and not dropped
+        assert [r["d"]["n"] for r in records] == list(range(8))
+
+    def test_truncate_removes_sealed_segments(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, segment_records=1)
+        for i in range(4):
+            wal.append(_rec(i))
+        wal.truncate()
+        wal.close()
+        assert WriteAheadLog.segment_files(path) == []
+        assert WriteAheadLog.scan(path).records == []
+
+    def test_torn_tail_only_tolerated_in_active_file(self, tmp_path):
+        # A torn line inside a *sealed* segment is mid-log corruption:
+        # records provably followed it.
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path, segment_records=2)
+        for i in range(4):
+            wal.append(_rec(i))
+        wal.close()
+        first_segment = WriteAheadLog.segment_files(path)[0]
+        with open(first_segment, "ab") as fh:
+            fh.write(b'deadbeef {"torn')
+        scan = WriteAheadLog.scan(path)
+        assert scan.corrupt is not None
+        assert scan.corrupt_file == first_segment
+
+
+class TestScanOffsets:
+    def test_corrupt_record_reports_file_and_byte_offset(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(_rec(0))
+        wal.append(_rec(1))
+        wal.close()
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as fh:
+            fh.write(lines[0])
+            fh.write(b"garbage line\n")
+            fh.write(lines[1])
+        scan = WriteAheadLog.scan(path)
+        assert scan.corrupt is not None
+        assert scan.corrupt_file == path
+        assert scan.corrupt_offset == len(lines[0])
+        assert f"byte offset {len(lines[0])}" in scan.corrupt
+
+    def test_recovery_report_surfaces_the_offset(self, tmp_path):
+        # Satellite: operators (and replication gap detection) can point
+        # at the exact tail from the RecoveryReport alone.
+        base = str(tmp_path / "state")
+        path = base + ".wal"
+        wal = WriteAheadLog(path)
+        wal.append(_rec(0))
+        wal.close()
+        good = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(b"garbage line\n")
+            fh.write(good)
+        _rt, report = recover(base)
+        assert report.mode == "degraded"
+        assert report.corrupt_file == path
+        assert report.corrupt_offset == 0
+
+    def test_clean_recovery_reports_last_lsn(self, tmp_path):
+        base = str(tmp_path / "state")
+        wal = WriteAheadLog(base + ".wal")
+        wal.append({"t": "a", "d": {"n": 1}})
+        wal.append({"t": "a", "d": {"n": 2}})
+        wal.close()
+        _rt, report = recover(base)
+        assert report.wal_last_lsn == 2
+
+
+class TestAppendTap:
+    def test_tap_sees_line_and_stamped_record(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        seen = []
+        wal.on_append = lambda line, record: seen.append((line, record))
+        wal.append(_rec(0))
+        wal.close()
+        assert len(seen) == 1
+        line, record = seen[0]
+        assert record["lsn"] == 1
+        assert line.endswith("\n")
+        # The tapped line is byte-identical to what hit the disk.
+        assert open(path, encoding="utf-8").read() == line
+
+    def test_tap_errors_never_break_appends(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+
+        def boom(line, record):
+            raise RuntimeError("tap exploded")
+
+        wal.on_append = boom
+        assert wal.append(_rec(0)) == 1
+        assert wal.tap_errors == 1
+        wal.close()
+        assert len(WriteAheadLog.scan(path).records) == 1
+
+    def test_as_tuple_matches_read(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(_rec(0))
+        wal.close()
+        scan = WriteAheadLog.scan(path)
+        assert isinstance(scan, WalScan)
+        assert scan.as_tuple() == WriteAheadLog.read(path)

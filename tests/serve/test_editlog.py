@@ -1,0 +1,123 @@
+"""Edit-log sidecar durability: fsync policy and crash behaviour.
+
+Satellite coverage for the fsync knob (``editlog_fsync_every_n``): the
+sidecar previously survived eviction (flush-on-op + close) but not
+power loss between flushes.  The policy fsyncs every N appends and
+always on close; the CrashPoint scenario checks that an edit the client
+was never acked for is absent from the durable history, while every
+prior edit survives.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.serve import ServeConfig
+from repro.serve.session import Session
+from repro.testing import CrashPoint, SimulatedCrash
+
+
+def make_config(tmp_path, **kw):
+    kw.setdefault("root", str(tmp_path / "state"))
+    kw.setdefault("rows", 4)
+    kw.setdefault("cols", 4)
+    kw.setdefault("watchdog_max_steps", None)
+    kw.setdefault("explain", False)
+    return ServeConfig(**kw)
+
+
+class TestFsyncPolicy:
+    def test_fsync_every_n_appends(self, tmp_path, monkeypatch):
+        config = make_config(tmp_path, editlog_fsync_every_n=2)
+        session = Session.open("a", config)
+        editlog_fd = session._log_fh.fileno()
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os,
+            "fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        session.apply({"op": "write", "cells": [[0, 0, "1"]]})
+        assert synced.count(editlog_fd) == 0  # 1 append < 2
+        session.apply({"op": "write", "cells": [[0, 1, "2"]]})
+        assert synced.count(editlog_fd) == 1  # threshold reached
+        session.apply({"op": "write", "cells": [[0, 2, "3"]]})
+        assert synced.count(editlog_fd) == 1  # counter reset
+        session.close()
+        assert synced.count(editlog_fd) == 2  # close always fsyncs
+
+    def test_default_policy_never_fsyncs_mid_life_but_close_does(
+        self, tmp_path, monkeypatch
+    ):
+        config = make_config(tmp_path)  # editlog_fsync_every_n=None
+        session = Session.open("a", config)
+        editlog_fd = session._log_fh.fileno()
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os,
+            "fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        for col in range(4):
+            session.apply({"op": "write", "cells": [[0, col, str(col)]]})
+        assert synced.count(editlog_fd) == 0
+        session.close()
+        assert synced.count(editlog_fd) == 1
+
+
+class TestCrashDurability:
+    def test_unacked_edit_is_absent_acked_edits_survive(self, tmp_path):
+        config = make_config(tmp_path, editlog_fsync_every_n=1)
+        session = Session.open("a", config)
+        session.apply({"op": "write", "cells": [[0, 0, "5"]]})  # acked
+
+        # Power loss at the next WAL append: set_formula dies before
+        # the edit-log append for the doomed cell runs, so the sidecar
+        # can never claim an edit the WAL does not have.
+        crash = CrashPoint("wal-append", nth=1)
+        with crash.applied(session.runtime):
+            with pytest.raises(SimulatedCrash):
+                session.apply({"op": "write", "cells": [[0, 1, "7"]]})
+        assert crash.fired
+
+        log_path = session._log_path
+        durable = [
+            json.loads(line)
+            for line in open(log_path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert durable == [[0, 0, "5"]]
+
+        # The resurrected session agrees with the durable history.
+        revived = Session.open("a", config)
+        assert revived.edit_log == [[0, 0, "5"]]
+        assert revived.apply({"op": "read", "row": 0, "col": 0})["value"] == 5
+        assert revived.apply({"op": "audit"})["sound"] is True
+        revived.close()
+
+    def test_torn_final_editlog_line_is_dropped_on_load(self, tmp_path):
+        config = make_config(tmp_path)
+        session = Session.open("a", config)
+        session.apply({"op": "write", "cells": [[0, 0, "5"]]})
+        session.close()
+        log_path = session._log_path
+        with open(log_path, "a", encoding="utf-8") as fh:
+            fh.write('[0, 1, "tor')  # crash mid-append
+        revived = Session.open("a", config)
+        assert revived.edit_log == [[0, 0, "5"]]
+        revived.close()
+
+    def test_mid_file_editlog_damage_still_raises(self, tmp_path):
+        config = make_config(tmp_path)
+        session = Session.open("a", config)
+        session.apply({"op": "write", "cells": [[0, 0, "5"]]})
+        session.close()
+        log_path = session._log_path
+        good = open(log_path, encoding="utf-8").read()
+        with open(log_path, "w", encoding="utf-8") as fh:
+            fh.write("garbage\n" + good)
+        with pytest.raises(ValueError):
+            Session.open("a", config)
